@@ -1,0 +1,105 @@
+// Benchmarks that regenerate the paper's evaluation: one benchmark per
+// table and figure (§8), each driving the shared experiment harness at a
+// benchmark-friendly scale. cmd/slash-bench runs the same experiments at
+// full volume with progress output and table formatting.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig6aYSB -benchtime 3x
+package slash_test
+
+import (
+	"testing"
+
+	"github.com/slash-stream/slash/internal/harness"
+)
+
+// benchOptions keeps each iteration short while staying above the volume
+// floor where the systems' differences are visible.
+func benchOptions() harness.Options {
+	return harness.Options{Scale: 0.1, Nodes: []int{2, 4}, Threads: 2, Seed: 42}
+}
+
+// runExperiment executes one harness experiment per iteration and reports
+// the Slash series' throughput as the headline metric.
+func runExperiment(b *testing.B, fn func(harness.Options) ([]harness.Row, error)) {
+	b.Helper()
+	var lastRows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows, err := fn(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastRows = rows
+	}
+	var slashRecs, slashSec float64
+	var modelM float64
+	for _, r := range lastRows {
+		if r.System == "slash" {
+			slashRecs += float64(r.Records)
+			slashSec += r.Elapsed.Seconds()
+			modelM += r.Metrics["model_Mrec_s"]
+		}
+	}
+	if slashSec > 0 {
+		b.ReportMetric(slashRecs/slashSec, "slash_rec/s")
+	}
+	if modelM > 0 {
+		b.ReportMetric(modelM, "slash_model_Mrec/s")
+	}
+}
+
+// BenchmarkFig6aYSB regenerates Fig. 6a: YSB weak scaling, Flink vs RDMA
+// UpPar vs Slash.
+func BenchmarkFig6aYSB(b *testing.B) { runExperiment(b, harness.Fig6a) }
+
+// BenchmarkFig6bCM regenerates Fig. 6b: Cluster Monitoring weak scaling.
+func BenchmarkFig6bCM(b *testing.B) { runExperiment(b, harness.Fig6b) }
+
+// BenchmarkFig6cNB7 regenerates Fig. 6c: NEXMark Q7 weak scaling.
+func BenchmarkFig6cNB7(b *testing.B) { runExperiment(b, harness.Fig6c) }
+
+// BenchmarkFig6dNB8 regenerates Fig. 6d: NEXMark Q8 join weak scaling.
+func BenchmarkFig6dNB8(b *testing.B) { runExperiment(b, harness.Fig6d) }
+
+// BenchmarkFig6eNB11 regenerates Fig. 6e: NEXMark Q11 session join.
+func BenchmarkFig6eNB11(b *testing.B) { runExperiment(b, harness.Fig6e) }
+
+// BenchmarkFig7COST regenerates Fig. 7: the COST analysis against the
+// LightSaber scale-up baseline on YSB, CM, and NB7.
+func BenchmarkFig7COST(b *testing.B) { runExperiment(b, harness.Fig7) }
+
+// BenchmarkFig8aBufferThroughput regenerates Fig. 8a: RO throughput versus
+// channel buffer size on the throttled fabric.
+func BenchmarkFig8aBufferThroughput(b *testing.B) { runExperiment(b, harness.Fig8a) }
+
+// BenchmarkFig8bBufferLatency regenerates Fig. 8b: per-buffer latency
+// versus buffer size.
+func BenchmarkFig8bBufferLatency(b *testing.B) { runExperiment(b, harness.Fig8b) }
+
+// BenchmarkFig8cParallelism regenerates Fig. 8c: RO throughput versus
+// thread count (the saturation experiment).
+func BenchmarkFig8cParallelism(b *testing.B) { runExperiment(b, harness.Fig8c) }
+
+// BenchmarkFig8dSkew regenerates Fig. 8d: throughput and consumer load
+// imbalance under Zipfian skew, for RO and YSB.
+func BenchmarkFig8dSkew(b *testing.B) { runExperiment(b, harness.Fig8d) }
+
+// BenchmarkFig9BreakdownRO regenerates Fig. 9: the top-down execution
+// breakdown of RO (modelled from measured operation counts).
+func BenchmarkFig9BreakdownRO(b *testing.B) { runExperiment(b, harness.Fig9) }
+
+// BenchmarkFig10BreakdownYSB regenerates Fig. 10: the execution breakdown
+// of YSB.
+func BenchmarkFig10BreakdownYSB(b *testing.B) { runExperiment(b, harness.Fig10) }
+
+// BenchmarkTable1Utilization regenerates Table 1: IPC, instructions and
+// cycles per record, cache misses, and memory bandwidth on YSB.
+func BenchmarkTable1Utilization(b *testing.B) { runExperiment(b, harness.Table1) }
+
+// BenchmarkCreditSweep regenerates the §8.3.2 credit sweep (c = 4…64).
+func BenchmarkCreditSweep(b *testing.B) { runExperiment(b, harness.CreditSweep) }
+
+// BenchmarkAblations runs the design-choice ablations DESIGN.md calls out:
+// push (WRITE) vs pull (READ) transfer, selective signaling, and the SSB
+// epoch-length sweep.
+func BenchmarkAblations(b *testing.B) { runExperiment(b, harness.Ablations) }

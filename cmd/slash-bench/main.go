@@ -1,0 +1,106 @@
+// Command slash-bench regenerates the paper's evaluation (§8): every figure
+// and table has a named experiment that runs the systems under test on the
+// simulated cluster and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	slash-bench -list
+//	slash-bench -experiment fig6a
+//	slash-bench -experiment all -scale 2 -threads 4 -out results.txt
+//
+// Scale multiplies the input volumes (1.0 targets a laptop-class host; the
+// paper streams 1 GB per thread). EXPERIMENTS.md records paper-vs-measured
+// for each experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/slash-stream/slash/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (fig6a..fig10, table1, credits, ablations) or 'all'")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		scale      = flag.Float64("scale", 1.0, "input volume multiplier")
+		threads    = flag.Int("threads", 2, "source threads per simulated node")
+		nodes      = flag.String("nodes", "2,4,8,16", "comma-separated node counts for scaling sweeps")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		quiet      = flag.Bool("q", false, "suppress per-run progress")
+		out        = flag.String("out", "", "also write the result table to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	nodeList, err := parseNodes(*nodes)
+	if err != nil {
+		fatal(err)
+	}
+	opts := harness.Options{
+		Scale:   *scale,
+		Nodes:   nodeList,
+		Threads: *threads,
+		Seed:    *seed,
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	var selected []harness.Experiment
+	if *experiment == "all" {
+		selected = harness.Experiments()
+	} else {
+		for _, name := range strings.Split(*experiment, ",") {
+			e, ok := harness.ByName(strings.TrimSpace(name))
+			if !ok {
+				fatal(fmt.Errorf("unknown experiment %q (use -list)", name))
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	var rows []harness.Row
+	for _, e := range selected {
+		fmt.Fprintf(os.Stderr, "# %s — %s\n", e.Name, e.Title)
+		rs, err := e.Run(opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.Name, err))
+		}
+		rows = append(rows, rs...)
+	}
+	table := harness.FormatTable(rows)
+	fmt.Print(table)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(table), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func parseNodes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid node count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slash-bench:", err)
+	os.Exit(1)
+}

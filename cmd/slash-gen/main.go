@@ -1,0 +1,116 @@
+// Command slash-gen inspects the benchmark workload generators (§8.1.2):
+// it prints sample records, key-distribution statistics, and the derived
+// query shape for any of the paper's workloads.
+//
+// Usage:
+//
+//	slash-gen -workload ysb -records 100000
+//	slash-gen -workload ro -zipf 1.4 -records 50000 -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/slash-stream/slash/internal/core"
+	"github.com/slash-stream/slash/internal/stream"
+	"github.com/slash-stream/slash/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "ysb", "workload: ysb, nb7, nb8, nb11, cm, ro")
+		records = flag.Int("records", 100_000, "records to generate")
+		keys    = flag.Uint64("keys", 0, "key range override (0 = workload default)")
+		zipf    = flag.Float64("zipf", 0, "Zipf exponent for ysb/ro (0 = workload default)")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		sample  = flag.Int("sample", 5, "sample records to print")
+		top     = flag.Int("top", 10, "heavy hitters to print")
+	)
+	flag.Parse()
+
+	flow, q, err := buildFlow(*name, *records, *keys, *zipf, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slash-gen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload: %s\n", *name)
+	fmt.Printf("query:    %s (record %d B, window %s)\n", q.Name, q.Codec.Size(), q.Window.Name())
+	stateful := "aggregation"
+	if q.JoinSide != nil {
+		stateful = "windowed join"
+	}
+	fmt.Printf("operator: %s\n\n", stateful)
+
+	counts := map[uint64]int{}
+	var rec stream.Record
+	var n, kept int
+	var minT, maxT int64
+	for flow.Next(&rec) {
+		if n < *sample {
+			fmt.Printf("  sample %d: %v\n", n, rec)
+		}
+		if n == 0 {
+			minT = rec.Time
+		}
+		maxT = rec.Time
+		if q.Filter == nil || q.Filter(&rec) {
+			kept++
+		}
+		counts[rec.Key]++
+		n++
+	}
+	fmt.Printf("\nrecords:        %d\n", n)
+	fmt.Printf("kept by filter: %d (%.1f%%)\n", kept, 100*float64(kept)/float64(max(n, 1)))
+	fmt.Printf("distinct keys:  %d\n", len(counts))
+	fmt.Printf("event-time:     [%d, %d] µs\n", minT, maxT)
+
+	type kc struct {
+		k uint64
+		c int
+	}
+	var hot []kc
+	for k, c := range counts {
+		hot = append(hot, kc{k, c})
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i].c > hot[j].c })
+	fmt.Printf("\ntop-%d keys:\n", *top)
+	for i := 0; i < *top && i < len(hot); i++ {
+		fmt.Printf("  key %-12d %8d records (%.2f%%)\n", hot[i].k, hot[i].c, 100*float64(hot[i].c)/float64(n))
+	}
+}
+
+func buildFlow(name string, records int, keys uint64, zipf float64, seed int64) (core.Flow, *core.Query, error) {
+	switch name {
+	case "ysb":
+		w := workload.YSB{Keys: keys, RecordsPerFlow: records, Seed: seed, ZipfS: zipf}
+		return w.Flows(1, 1)[0][0], w.Query(), nil
+	case "nb7":
+		w := workload.NB7{Keys: keys, RecordsPerFlow: records, Seed: seed}
+		return w.Flows(1, 1)[0][0], w.Query(), nil
+	case "nb8":
+		w := workload.NB8{Sellers: keys, RecordsPerFlow: records, Seed: seed}
+		return w.Flows(1, 1)[0][0], w.Query(), nil
+	case "nb11":
+		w := workload.NB11{Keys: keys, RecordsPerFlow: records, Seed: seed}
+		return w.Flows(1, 1)[0][0], w.Query(), nil
+	case "cm":
+		w := workload.CM{Jobs: keys, RecordsPerFlow: records, Seed: seed}
+		return w.Flows(1, 1)[0][0], w.Query(), nil
+	case "ro":
+		w := workload.RO{Keys: keys, RecordsPerFlow: records, Seed: seed, ZipfS: zipf}
+		return w.Flows(1, 1)[0][0], w.Query(), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

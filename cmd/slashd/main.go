@@ -1,0 +1,129 @@
+// Command slashd runs one Slash deployment end to end: it builds the
+// simulated rack-scale cluster (one executor per node, RDMA channels between
+// all pairs), executes a benchmark query over generated flows, and prints
+// the execution report — the single-binary equivalent of launching the
+// paper's prototype on a cluster.
+//
+// Usage:
+//
+//	slashd -workload ysb -nodes 4 -threads 2
+//	slashd -workload nb8 -nodes 8 -epoch 4194304 -results 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/slash-stream/slash/internal/core"
+	"github.com/slash-stream/slash/internal/rdma"
+	"github.com/slash-stream/slash/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "ysb", "workload: ysb, nb7, nb8, nb11, cm, ro")
+		nodes    = flag.Int("nodes", 2, "simulated cluster nodes")
+		threads  = flag.Int("threads", 2, "source worker threads per node")
+		records  = flag.Int("records", 500_000, "records per thread")
+		epoch    = flag.Int64("epoch", 0, "SSB epoch length in bytes (0 = default)")
+		credits  = flag.Int("credits", 0, "RDMA channel credits (0 = default 8)")
+		throttle = flag.Bool("throttle", false, "pace the simulated fabric at a scaled EDR line rate")
+		results  = flag.Int("results", 5, "sample result rows to print")
+		seed     = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	q, flows, err := buildWorkload(*name, *nodes, *threads, *records, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.Config{
+		Nodes:          *nodes,
+		ThreadsPerNode: *threads,
+		EpochBytes:     *epoch,
+	}
+	cfg.Channel.Credits = *credits
+	if *throttle {
+		cfg.Fabric = rdma.Config{
+			LinkBandwidth: rdma.EDRLinkBandwidth / 100,
+			BaseLatency:   2 * time.Microsecond,
+			Throttle:      true,
+		}
+	}
+
+	col := &core.Collector{}
+	fmt.Fprintf(os.Stderr, "slashd: %d nodes × %d threads, %s, %d records/thread\n",
+		*nodes, *threads, q.Name, *records)
+	rep, err := core.Run(cfg, q, flows, col)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("query:            %s\n", rep.Query)
+	fmt.Printf("deployment:       %d nodes × %d source threads (+1 service worker each)\n", rep.Nodes, rep.Threads)
+	fmt.Printf("records:          %d\n", rep.Records)
+	fmt.Printf("state updates:    %d\n", rep.Updates)
+	fmt.Printf("elapsed:          %v\n", rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput:       %.0f records/s\n", rep.RecordsPerSec)
+	fmt.Printf("network:          %.1f MB in %d RDMA messages\n", float64(rep.NetTxBytes)/1e6, rep.NetTxMsgs)
+	fmt.Printf("SSB:              %d delta chunks (%.1f MB) merged, %d windows triggered\n",
+		rep.ChunksMerged, float64(rep.BytesMerged)/1e6, rep.WindowsOutput)
+	fmt.Printf("scheduler:        %d task steps, %d idle rounds\n", rep.Sched.Steps, rep.Sched.IdleRounds)
+
+	aggs := col.Aggs()
+	joins := col.Joins()
+	if len(aggs) > 0 {
+		fmt.Printf("\nresults:          %d aggregate rows; first %d:\n", len(aggs), min(*results, len(aggs)))
+		for i := 0; i < *results && i < len(aggs); i++ {
+			r := aggs[i]
+			fmt.Printf("  window %-6d key %-12d value %d\n", r.Win, r.Key, r.Value)
+		}
+	}
+	if len(joins) > 0 {
+		fmt.Printf("\nresults:          %d join rows; first %d:\n", len(joins), min(*results, len(joins)))
+		for i := 0; i < *results && i < len(joins); i++ {
+			r := joins[i]
+			fmt.Printf("  window %-6d key %-12d left %d right %d pairs %d\n", r.Win, r.Key, r.Left, r.Right, r.Pairs)
+		}
+	}
+}
+
+func buildWorkload(name string, nodes, threads, records int, seed int64) (*core.Query, [][]core.Flow, error) {
+	switch name {
+	case "ysb":
+		w := workload.YSB{RecordsPerFlow: records, Keys: 100_000, Seed: seed}
+		return w.Query(), w.Flows(nodes, threads), nil
+	case "nb7":
+		w := workload.NB7{RecordsPerFlow: records, Keys: 100_000, Seed: seed}
+		return w.Query(), w.Flows(nodes, threads), nil
+	case "nb8":
+		w := workload.NB8{RecordsPerFlow: records, Sellers: 20_000, Seed: seed}
+		return w.Query(), w.Flows(nodes, threads), nil
+	case "nb11":
+		w := workload.NB11{RecordsPerFlow: records, Keys: 20_000, Seed: seed}
+		return w.Query(), w.Flows(nodes, threads), nil
+	case "cm":
+		w := workload.CM{RecordsPerFlow: records, Jobs: 50_000, Seed: seed}
+		return w.Query(), w.Flows(nodes, threads), nil
+	case "ro":
+		w := workload.RO{RecordsPerFlow: records, Keys: 1 << 20, Seed: seed}
+		return w.Query(), w.Flows(nodes, threads), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slashd:", err)
+	os.Exit(1)
+}

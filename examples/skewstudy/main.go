@@ -1,0 +1,50 @@
+// Skew study: the Fig. 8d experiment as a runnable example — Slash's
+// throughput under increasingly skewed key distributions, demonstrating the
+// skew-agnostic behaviour §8.3.2 reports (throughput rises with skew because
+// fewer distinct groups reach the merge phase, and no consumer becomes a
+// hash-partitioning hotspot).
+//
+//	go run ./examples/skewstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	slash "github.com/slash-stream/slash"
+)
+
+func main() {
+	cluster, err := slash.NewCluster(slash.ClusterConfig{Nodes: 2, ThreadsPerNode: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const perFlow = 150_000
+	fmt.Println("YSB under Zipfian campaign keys (z = skew exponent):")
+	fmt.Printf("%8s %14s %14s %12s\n", "z", "records/s", "result rows", "net MB")
+	for _, z := range []float64{0.2, 0.6, 1.0, 1.4, 2.0} {
+		w := slash.YSBWorkload{
+			Keys:           100_000,
+			RecordsPerFlow: perFlow,
+			Seed:           5,
+			ZipfS:          z,
+		}
+		q := slash.NewQuery("ysb-skew", 78).
+			Filter(func(r *slash.Record) bool { return r.V0 == 0 }).
+			TumblingWindowMicros(perFlow * 10 / 8).
+			CountPerKey()
+		sink := &slash.CountingSink{}
+		rep, err := cluster.Run(q, w.Flows(2, 2), sink)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.1f %14.0f %14d %12.2f\n",
+			z, rep.RecordsPerSec, sink.AggRows.Load(), float64(rep.NetTxBytes)/1e6)
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Println("\nHigher skew → fewer distinct groups per epoch → smaller deltas and")
+	fmt.Println("higher throughput, with no load-imbalance penalty: Slash channels are")
+	fmt.Println("key-agnostic, unlike hash re-partitioning.")
+}

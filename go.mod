@@ -1,0 +1,3 @@
+module github.com/slash-stream/slash
+
+go 1.22

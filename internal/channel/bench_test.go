@@ -1,0 +1,67 @@
+package channel
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/slash-stream/slash/internal/rdma"
+)
+
+// Micro-benchmark for the channel fast path: acquire → fill → post on the
+// producer, poll → release on a consumer goroutine, across slot sizes.
+func BenchmarkChannelTransfer(b *testing.B) {
+	for _, kb := range []int{4, 32, 256} {
+		b.Run(benchSize(kb), func(b *testing.B) {
+			f := rdma.NewFabric(rdma.Config{})
+			p, c, err := New(f.MustNIC("a"), f.MustNIC("b"), Config{Credits: 8, SlotSize: kb << 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			defer c.Close()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for n := 0; n < b.N; n++ {
+					for {
+						rb, ok := c.TryPoll()
+						if !ok {
+							runtime.Gosched()
+							continue
+						}
+						if err := c.Release(rb); err != nil {
+							b.Error(err)
+							return
+						}
+						break
+					}
+				}
+			}()
+			b.SetBytes(int64(kb << 10))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				sb := p.Acquire()
+				if sb == nil {
+					b.Fatal("channel closed")
+				}
+				sb.Data[0] = byte(n)
+				if err := p.Post(sb, len(sb.Data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			<-done
+		})
+	}
+}
+
+func benchSize(kb int) string {
+	switch kb {
+	case 4:
+		return "slot=4KB"
+	case 32:
+		return "slot=32KB"
+	default:
+		return "slot=256KB"
+	}
+}

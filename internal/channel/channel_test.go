@@ -1,0 +1,273 @@
+package channel
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	"github.com/slash-stream/slash/internal/rdma"
+)
+
+func newChannel(t *testing.T, cfg Config) (*Producer, *Consumer) {
+	t.Helper()
+	f := rdma.NewFabric(rdma.Config{})
+	p, c, err := New(f.MustNIC("prod"), f.MustNIC("cons"), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		p.Close()
+		c.Close()
+	})
+	return p, c
+}
+
+func mustRecv(t *testing.T, c *Consumer) *RecvBuffer {
+	t.Helper()
+	for i := 0; ; i++ {
+		if rb, ok := c.TryPoll(); ok {
+			return rb
+		}
+		if err := c.Err(); err != nil {
+			t.Fatalf("consumer error: %v", err)
+		}
+		runtime.Gosched()
+		if i > 1e8 {
+			t.Fatal("timed out polling for buffer")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	f := rdma.NewFabric(rdma.Config{})
+	a, b := f.MustNIC("a"), f.MustNIC("b")
+	if _, _, err := New(a, b, Config{Credits: -1}); err == nil {
+		t.Fatal("negative credits accepted")
+	}
+	if _, _, err := New(a, b, Config{SlotSize: 4}); err == nil {
+		t.Fatal("tiny slot accepted")
+	}
+	p, _, err := New(a, b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.cfg.Credits != DefaultCredits || p.cfg.SlotSize != DefaultSlotSize {
+		t.Fatalf("defaults not applied: %+v", p.cfg)
+	}
+}
+
+func TestSingleTransfer(t *testing.T) {
+	p, c := newChannel(t, Config{Credits: 4, SlotSize: 256})
+	sb, ok := p.TryAcquire()
+	if !ok {
+		t.Fatal("no credit on fresh channel")
+	}
+	if len(sb.Data) != 256-FooterSize {
+		t.Fatalf("data region = %d", len(sb.Data))
+	}
+	copy(sb.Data, "payload")
+	if err := p.Post(sb, 7); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	rb := mustRecv(t, c)
+	if string(rb.Data) != "payload" {
+		t.Fatalf("received %q", rb.Data)
+	}
+	if err := c.Release(rb); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+}
+
+func TestCreditExhaustionAndReturn(t *testing.T) {
+	const credits = 3
+	p, c := newChannel(t, Config{Credits: credits, SlotSize: 64})
+	// Invariant 1+3: after c posts with no releases, acquire fails.
+	for i := 0; i < credits; i++ {
+		sb, ok := p.TryAcquire()
+		if !ok {
+			t.Fatalf("acquire %d failed with credits available", i)
+		}
+		sb.Data[0] = byte(i)
+		if err := p.Post(sb, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := p.TryAcquire(); ok {
+		t.Fatal("acquired a slot with zero credits")
+	}
+	if p.Credits() != 0 {
+		t.Fatalf("Credits() = %d, want 0", p.Credits())
+	}
+	// Invariant 2: one release returns exactly one credit.
+	rb := mustRecv(t, c)
+	if err := c.Release(rb); err != nil {
+		t.Fatal(err)
+	}
+	for p.Credits() == 0 {
+		runtime.Gosched()
+	}
+	if got := p.Credits(); got != 1 {
+		t.Fatalf("Credits() = %d, want 1", got)
+	}
+	if _, ok := p.TryAcquire(); !ok {
+		t.Fatal("acquire failed after credit returned")
+	}
+}
+
+func TestFIFOOrderAcrossWraps(t *testing.T) {
+	const credits = 4
+	const n = 100
+	p, c := newChannel(t, Config{Credits: credits, SlotSize: 64})
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			sb := p.Acquire()
+			sb.Data[0] = byte(i)
+			sb.Data[1] = byte(i >> 8)
+			if err := p.Post(sb, 2); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < n; i++ {
+		rb := mustRecv(t, c)
+		got := int(rb.Data[0]) | int(rb.Data[1])<<8
+		if got != i {
+			t.Fatalf("buffer %d carried %d: FIFO violated", i, got)
+		}
+		if err := c.Release(rb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProducerBlocksWithoutRelease(t *testing.T) {
+	p, c := newChannel(t, Config{Credits: 2, SlotSize: 64})
+	for i := 0; i < 2; i++ {
+		sb := p.Acquire()
+		if err := p.Post(sb, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The consumer has the data but never releases: the producer must not
+	// make progress (no unread-slot overwrite is possible).
+	if _, ok := p.TryAcquire(); ok {
+		t.Fatal("producer acquired without credit")
+	}
+	rb1 := mustRecv(t, c)
+	rb2 := mustRecv(t, c)
+	if rb1.Data[0] != rb2.Data[0] && false {
+		t.Log("distinct slots")
+	}
+	// Data is intact while held.
+	if err := c.Release(rb1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(rb2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseOrderEnforced(t *testing.T) {
+	p, c := newChannel(t, Config{Credits: 4, SlotSize: 64})
+	for i := 0; i < 2; i++ {
+		sb := p.Acquire()
+		if err := p.Post(sb, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rb1 := mustRecv(t, c)
+	rb2 := mustRecv(t, c)
+	if err := c.Release(rb2); !errors.Is(err, ErrReleaseOrder) {
+		t.Fatalf("out-of-order release err = %v", err)
+	}
+	if err := c.Release(rb1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(rb1); !errors.Is(err, ErrDoubleRelease) {
+		t.Fatalf("double release err = %v", err)
+	}
+	if err := c.Release(rb2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadSizeValidation(t *testing.T) {
+	p, _ := newChannel(t, Config{Credits: 2, SlotSize: 64})
+	sb := p.Acquire()
+	if err := p.Post(sb, 64); !errors.Is(err, ErrPayloadSize) {
+		t.Fatalf("oversized post err = %v", err)
+	}
+	if err := p.Post(sb, -1); !errors.Is(err, ErrPayloadSize) {
+		t.Fatalf("negative post err = %v", err)
+	}
+	if err := p.Post(sb, 56); err != nil {
+		t.Fatalf("max payload rejected: %v", err)
+	}
+}
+
+func TestDoubleAcquireBlocked(t *testing.T) {
+	p, _ := newChannel(t, Config{Credits: 4, SlotSize: 64})
+	if _, ok := p.TryAcquire(); !ok {
+		t.Fatal("first acquire failed")
+	}
+	if _, ok := p.TryAcquire(); ok {
+		t.Fatal("second acquire before post succeeded")
+	}
+}
+
+func TestClose(t *testing.T) {
+	p, c := newChannel(t, Config{Credits: 2, SlotSize: 64})
+	p.Close()
+	c.Close()
+	if _, ok := p.TryAcquire(); ok {
+		t.Fatal("acquire after close")
+	}
+	if p.Acquire() != nil {
+		t.Fatal("Acquire returned buffer after close")
+	}
+	if _, ok := c.TryPoll(); ok {
+		t.Fatal("poll after close")
+	}
+}
+
+func TestHighVolumeStress(t *testing.T) {
+	// Larger pipelined run across many wraps with varying payload sizes.
+	const n = 5000
+	p, c := newChannel(t, Config{Credits: 8, SlotSize: 512})
+	go func() {
+		for i := 0; i < n; i++ {
+			sb := p.Acquire()
+			size := 1 + i%len(sb.Data)
+			for j := 0; j < size; j++ {
+				sb.Data[j] = byte(i + j)
+			}
+			if err := p.Post(sb, size); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		rb := mustRecv(t, c)
+		wantSize := 1 + i%(512-FooterSize)
+		if len(rb.Data) != wantSize {
+			t.Fatalf("buffer %d size = %d, want %d", i, len(rb.Data), wantSize)
+		}
+		for j := range rb.Data {
+			if rb.Data[j] != byte(i+j) {
+				t.Fatalf("buffer %d corrupt at %d", i, j)
+			}
+		}
+		if err := c.Release(rb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Sent() != n || c.Received() != n {
+		t.Fatalf("sent=%d received=%d", p.Sent(), c.Received())
+	}
+}

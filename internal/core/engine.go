@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/slash-stream/slash/internal/channel"
+	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/rdma"
+	"github.com/slash-stream/slash/internal/sched"
+	"github.com/slash-stream/slash/internal/ssb"
+)
+
+// Config describes a Slash deployment: a rack-scale cluster simulated in
+// process, one executor per node, each with ThreadsPerNode source workers
+// plus one service worker that interleaves delta reception, merging, and
+// window triggering.
+type Config struct {
+	// Nodes is the number of executors (one per simulated node).
+	Nodes int
+	// ThreadsPerNode is the number of source worker threads per executor.
+	ThreadsPerNode int
+	// Fabric configures the simulated RDMA interconnect.
+	Fabric rdma.Config
+	// Channel configures the n² state-synchronization RDMA channels
+	// (§7.2.2 setup phase). SlotSize is derived from ChunkSize when zero.
+	Channel channel.Config
+	// EpochBytes is the per-thread epoch length in ingested bytes
+	// (§8.1.1; the paper uses 64 MB cluster-wide).
+	EpochBytes int64
+	// ChunkSize caps one state delta chunk.
+	ChunkSize int
+	// BatchRecords is the number of records a source task processes per
+	// scheduler step. Defaults to 256.
+	BatchRecords int
+}
+
+func (c *Config) fill() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("core: %d nodes", c.Nodes)
+	}
+	if c.ThreadsPerNode < 1 {
+		return fmt.Errorf("core: %d threads per node", c.ThreadsPerNode)
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = ssb.DefaultChunkSize
+	}
+	if c.EpochBytes == 0 {
+		c.EpochBytes = ssb.DefaultEpochBytes
+	}
+	if c.BatchRecords == 0 {
+		c.BatchRecords = 256
+	}
+	need := c.ChunkSize + ssb.ChunkHeaderSize + channel.FooterSize
+	if c.Channel.SlotSize == 0 {
+		c.Channel.SlotSize = need
+	}
+	if c.Channel.SlotSize < need {
+		return fmt.Errorf("core: channel slot %d cannot fit chunk of %d", c.Channel.SlotSize, need)
+	}
+	return nil
+}
+
+// Report summarizes one query execution.
+type Report struct {
+	// Query is the query name.
+	Query string
+	// Nodes and Threads echo the deployment shape.
+	Nodes, Threads int
+	// Records is the number of ingested records across all flows.
+	Records int64
+	// Updates is the number of state updates applied.
+	Updates int64
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+	// RecordsPerSec is the end-to-end processing throughput.
+	RecordsPerSec float64
+	// NetTxBytes is the total bytes pushed through the simulated fabric.
+	NetTxBytes int64
+	// NetTxMsgs is the number of RDMA messages posted.
+	NetTxMsgs int64
+	// ChunksMerged and BytesMerged aggregate the leader-side SSB counters.
+	ChunksMerged uint64
+	BytesMerged  uint64
+	// WindowsOutput is the number of windows triggered cluster-wide.
+	WindowsOutput uint64
+	// Sched aggregates scheduler counters across all workers.
+	Sched sched.WorkerStats
+}
+
+// Run executes query q over the given per-node, per-thread flows on a fresh
+// simulated cluster and reports execution statistics. flows must be
+// [Nodes][ThreadsPerNode]. Results stream into sink; pass nil to discard.
+func Run(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Report, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	if len(flows) != cfg.Nodes {
+		return nil, fmt.Errorf("core: %d flow groups for %d nodes", len(flows), cfg.Nodes)
+	}
+	for i, fs := range flows {
+		if len(fs) != cfg.ThreadsPerNode {
+			return nil, fmt.Errorf("core: node %d has %d flows, want %d", i, len(fs), cfg.ThreadsPerNode)
+		}
+	}
+	if sink == nil {
+		sink = &CountingSink{}
+	}
+
+	fabric := rdma.NewFabric(cfg.Fabric)
+	nics := make([]*rdma.NIC, cfg.Nodes)
+	for i := range nics {
+		nics[i] = fabric.MustNIC(fmt.Sprintf("node%d", i))
+	}
+
+	// Setup phase of the SSB epoch protocol: every executor connects to
+	// every other executor — n·(n-1) directed channels (§7.2.2).
+	producers := make([][]*channel.Producer, cfg.Nodes)
+	consumers := make([][]*channel.Consumer, cfg.Nodes) // consumers[dst] = inbound
+	for i := range producers {
+		producers[i] = make([]*channel.Producer, cfg.Nodes)
+	}
+	for i := range consumers {
+		consumers[i] = nil
+	}
+	for src := 0; src < cfg.Nodes; src++ {
+		for dst := 0; dst < cfg.Nodes; dst++ {
+			if src == dst {
+				continue
+			}
+			p, c, err := channel.New(nics[src], nics[dst], cfg.Channel)
+			if err != nil {
+				return nil, fmt.Errorf("core: channel %d->%d: %w", src, dst, err)
+			}
+			producers[src][dst] = p
+			consumers[dst] = append(consumers[dst], c)
+		}
+	}
+	defer func() {
+		for src := range producers {
+			for _, p := range producers[src] {
+				if p != nil {
+					p.Close()
+				}
+			}
+		}
+		for _, cs := range consumers {
+			for _, c := range cs {
+				c.Close()
+			}
+		}
+	}()
+
+	var agg crdt.Aggregate
+	if !q.holistic() {
+		agg = q.Agg
+	}
+	backends := make([]*ssb.Backend, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		senders := make([]ssb.Sender, cfg.Nodes)
+		for j := 0; j < cfg.Nodes; j++ {
+			if j != i {
+				senders[j] = &chanSender{prod: producers[i][j]}
+			}
+		}
+		be, err := ssb.New(ssb.Config{
+			Node:           i,
+			Nodes:          cfg.Nodes,
+			ThreadsPerNode: cfg.ThreadsPerNode,
+			Agg:            agg,
+			ChunkSize:      cfg.ChunkSize,
+			EpochBytes:     cfg.EpochBytes,
+			WindowEnd:      q.Window.End,
+		}, senders)
+		if err != nil {
+			return nil, err
+		}
+		backends[i] = be
+	}
+
+	// One worker per source thread plus one service worker per node that
+	// interleaves RDMA polling, merging, and triggering (§5.3).
+	workersPerNode := cfg.ThreadsPerNode + 1
+	pool := sched.NewPool(cfg.Nodes * workersPerNode)
+	run := &runState{pool: pool, sink: sink}
+	// On failure, closing the producers unblocks any sender spinning for
+	// credit from a consumer that will never poll again.
+	run.onFail = func() {
+		for src := range producers {
+			for _, p := range producers[src] {
+				if p != nil {
+					p.Close()
+				}
+			}
+		}
+	}
+
+	var records, updates atomic.Int64
+	for node := 0; node < cfg.Nodes; node++ {
+		for th := 0; th < cfg.ThreadsPerNode; th++ {
+			st := &sourceTask{
+				run:     run,
+				q:       q,
+				flow:    flows[node][th],
+				ts:      backends[node].Thread(th),
+				batch:   cfg.BatchRecords,
+				recSize: q.Codec.Size(),
+				records: &records,
+				updates: &updates,
+			}
+			pool.Worker(node*workersPerNode + th).Add(st)
+		}
+		mt := &mergeTask{
+			run:  run,
+			node: node,
+			be:   backends[node],
+			cons: consumers[node],
+			q:    q,
+		}
+		pool.Worker(node*workersPerNode + cfg.ThreadsPerNode).Add(mt)
+	}
+
+	start := time.Now()
+	pool.Run()
+	elapsed := time.Since(start)
+	if err := run.err(); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Query:   q.Name,
+		Nodes:   cfg.Nodes,
+		Threads: cfg.ThreadsPerNode,
+		Records: records.Load(),
+		Updates: updates.Load(),
+		Elapsed: elapsed,
+		Sched:   pool.Stats(),
+	}
+	if elapsed > 0 {
+		rep.RecordsPerSec = float64(rep.Records) / elapsed.Seconds()
+	}
+	for _, nic := range nics {
+		s := nic.Stats()
+		rep.NetTxBytes += s.TxBytes
+		rep.NetTxMsgs += s.TxMsgs
+	}
+	for _, be := range backends {
+		s := be.Stats()
+		rep.ChunksMerged += s.ChunksMerged
+		rep.BytesMerged += s.BytesMerged
+		rep.WindowsOutput += s.WindowsOutput
+	}
+	return rep, nil
+}
+
+// runState carries cross-task execution state: first error wins and stops
+// the pool so no task spins forever after a failure.
+type runState struct {
+	pool    *sched.Pool
+	sink    Sink
+	onFail  func()
+	errOnce sync.Once
+	errVal  atomic.Value
+}
+
+func (r *runState) fail(err error) {
+	r.errOnce.Do(func() {
+		r.errVal.Store(err)
+		r.pool.Stop()
+		if r.onFail != nil {
+			r.onFail()
+		}
+	})
+}
+
+func (r *runState) err() error {
+	if v := r.errVal.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}

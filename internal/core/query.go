@@ -1,0 +1,109 @@
+// Package core implements the Slash stateful executor (§5): data-parallel
+// pipelines over physically partitioned data flows, eager computation of
+// partial state into the SSB, lazy cluster-level merging over RDMA channels,
+// and vector-clock-driven window triggering. It is the paper's primary
+// contribution wired together from the substrate packages.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/stream"
+	"github.com/slash-stream/slash/internal/window"
+)
+
+// Flow is one physical data flow of a stream: the per-thread record source.
+// Slash does not assume flows are partitioned by key — the same key may
+// appear in any flow (§5.1).
+type Flow interface {
+	// Next fills rec with the next record, returning false at end of flow.
+	// Timestamps within a flow must be non-decreasing (the data model's
+	// monotonic event time, §2.2).
+	Next(rec *stream.Record) bool
+}
+
+// SideFunc tells a windowed join which input stream a record belongs to
+// (0 = build/left, 1 = probe/right).
+type SideFunc func(rec *stream.Record) uint8
+
+// Query is a declarative streaming query: an operator pipeline ending in a
+// soft pipeline breaker (window trigger). Filter and Map fuse into the
+// stateful pipeline; exactly one of Agg or JoinSide selects the terminal
+// stateful operator.
+type Query struct {
+	// Name labels the query in reports.
+	Name string
+	// Codec is the wire schema of input records; its size drives epoch
+	// accounting and channel framing.
+	Codec stream.Codec
+	// Filter drops records that return false. Optional.
+	Filter func(rec *stream.Record) bool
+	// Map transforms records in place (projection). Optional.
+	Map func(rec *stream.Record)
+	// Window assigns records to event-time windows. Required for stateful
+	// queries.
+	Window window.Assigner
+	// Agg selects a windowed aggregation by key (non-holistic CRDT state).
+	Agg crdt.Aggregate
+	// JoinSide selects a windowed join: records are appended to per-key,
+	// per-window bags tagged with their side, and the trigger emits
+	// per-key pairings (holistic CRDT state).
+	JoinSide SideFunc
+}
+
+// Errors returned by query validation.
+var (
+	ErrNoWindow     = errors.New("core: stateful query needs a window assigner")
+	ErrNoStateful   = errors.New("core: query needs an aggregate or a join")
+	ErrBothStateful = errors.New("core: query cannot be both aggregation and join")
+)
+
+// validate checks the query shape.
+func (q *Query) validate() error {
+	if q.Codec.Size() == 0 {
+		return fmt.Errorf("core: query %q has no codec", q.Name)
+	}
+	if q.Window == nil {
+		return ErrNoWindow
+	}
+	if q.Agg == nil && q.JoinSide == nil {
+		return ErrNoStateful
+	}
+	if q.Agg != nil && q.JoinSide != nil {
+		return ErrBothStateful
+	}
+	return nil
+}
+
+// holistic reports whether the query keeps bag state.
+func (q *Query) holistic() bool { return q.JoinSide != nil }
+
+// SliceFlow replays a pre-generated record slice (the paper's methodology
+// streams pre-generated data from main memory, §8.2.1).
+type SliceFlow struct {
+	recs []stream.Record
+	pos  int
+}
+
+// NewSliceFlow wraps recs.
+func NewSliceFlow(recs []stream.Record) *SliceFlow {
+	return &SliceFlow{recs: recs}
+}
+
+// Next implements Flow.
+func (f *SliceFlow) Next(rec *stream.Record) bool {
+	if f.pos >= len(f.recs) {
+		return false
+	}
+	*rec = f.recs[f.pos]
+	f.pos++
+	return true
+}
+
+// FuncFlow adapts a generator function to Flow.
+type FuncFlow func(rec *stream.Record) bool
+
+// Next implements Flow.
+func (f FuncFlow) Next(rec *stream.Record) bool { return f(rec) }

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/slash-stream/slash/internal/channel"
+	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/sched"
+	"github.com/slash-stream/slash/internal/ssb"
+	"github.com/slash-stream/slash/internal/stream"
+)
+
+// chanSender ships SSB chunks over an RDMA channel. Threads of one node
+// share the producer endpoint, so sends serialize on a mutex; they happen at
+// epoch granularity, not per record, so contention is negligible (§7.1.2:
+// the common case is the local partial-state update).
+type chanSender struct {
+	mu   sync.Mutex
+	prod *channel.Producer
+}
+
+// Send implements ssb.Sender. It encodes the chunk directly into the
+// channel's staging slot (zero further copies) and posts it.
+func (s *chanSender) Send(c *ssb.Chunk) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sb := s.prod.Acquire()
+	if sb == nil {
+		return channel.ErrClosed
+	}
+	if c.EncodedSize() > len(sb.Data) {
+		return fmt.Errorf("core: chunk of %d bytes exceeds channel slot %d", c.EncodedSize(), len(sb.Data))
+	}
+	n := c.Encode(sb.Data)
+	return s.prod.Post(sb, n)
+}
+
+// sourceTask is the stateful operator pipeline of one executor thread: it
+// ingests its physical data flow, applies the fused filter/map operators,
+// assigns windows, and eagerly updates thread-local SSB fragments — the
+// common-case fast path that replaces per-record re-partitioning (§5.1).
+type sourceTask struct {
+	run     *runState
+	q       *Query
+	flow    Flow
+	ts      *ssb.ThreadState
+	batch   int
+	recSize int
+
+	wins    []uint64
+	records *atomic.Int64
+	updates *atomic.Int64
+
+	localRecords int64
+	localUpdates int64
+}
+
+// Name implements sched.Task.
+func (t *sourceTask) Name() string {
+	return fmt.Sprintf("source(%s,gtid=%d)", t.q.Name, t.ts.GlobalThreadID())
+}
+
+// Step implements sched.Task: process one batch of records, flushing state
+// at epoch boundaries.
+func (t *sourceTask) Step() sched.Status {
+	var rec stream.Record
+	for i := 0; i < t.batch; i++ {
+		if !t.flow.Next(&rec) {
+			t.records.Add(t.localRecords)
+			t.updates.Add(t.localUpdates)
+			if err := t.ts.FinishStream(); err != nil {
+				t.run.fail(err)
+			}
+			return sched.Done
+		}
+		t.localRecords++
+		if t.q.Filter != nil && !t.q.Filter(&rec) {
+			// Dropped records still drive progress tracking.
+			t.ts.ObserveTime(rec.Time)
+			continue
+		}
+		if t.q.Map != nil {
+			t.q.Map(&rec)
+		}
+		t.wins = t.q.Window.Assign(rec.Time, t.wins[:0])
+		for _, win := range t.wins {
+			var err error
+			if t.q.JoinSide != nil {
+				e := crdt.BagFromRecord(&rec, t.q.JoinSide(&rec))
+				err = t.ts.AppendBag(win, rec.Key, &e)
+			} else {
+				err = t.ts.UpdateAgg(win, &rec)
+			}
+			if err != nil {
+				t.run.fail(err)
+				return sched.Done
+			}
+			t.localUpdates++
+		}
+	}
+	if t.ts.Ingest(t.batch * t.recSize) {
+		// Epoch boundary: run the synchronization phase (§7.2.2).
+		if err := t.ts.Flush(); err != nil {
+			t.run.fail(err)
+			return sched.Done
+		}
+	}
+	return sched.Ready
+}
+
+// mergeTask is one node's service coroutine: it polls the inbound RDMA
+// channels for delta chunks, merges them into the primary partition, and
+// evaluates window triggers. It terminates once every thread in the cluster
+// has finished its stream and all pending windows have fired.
+type mergeTask struct {
+	run  *runState
+	node int
+	be   *ssb.Backend
+	cons []*channel.Consumer
+	q    *Query
+}
+
+// chunksPerChannelStep bounds work per scheduler step to keep the task
+// cooperative.
+const chunksPerChannelStep = 32
+
+// Name implements sched.Task.
+func (t *mergeTask) Name() string { return fmt.Sprintf("merge(node=%d)", t.node) }
+
+// Step implements sched.Task.
+func (t *mergeTask) Step() sched.Status {
+	progress := false
+	for _, cons := range t.cons {
+		for k := 0; k < chunksPerChannelStep; k++ {
+			rb, ok := cons.TryPoll()
+			if !ok {
+				if err := cons.Err(); err != nil {
+					t.run.fail(err)
+					return sched.Done
+				}
+				break
+			}
+			chunk, err := ssb.DecodeChunk(rb.Data)
+			if err == nil {
+				err = t.be.HandleChunk(&chunk)
+			}
+			if err == nil {
+				err = cons.Release(rb)
+			}
+			if err != nil {
+				t.run.fail(err)
+				return sched.Done
+			}
+			progress = true
+		}
+	}
+	if n := t.be.TriggerReady(t.emitAgg, t.emitBag); n > 0 {
+		progress = true
+	}
+	if t.be.Clock().Covers(math.MaxInt64) && t.be.PendingWindows() == 0 {
+		return sched.Done
+	}
+	if progress {
+		return sched.Ready
+	}
+	return sched.Idle
+}
+
+func (t *mergeTask) emitAgg(win, key uint64, value int64) {
+	t.run.sink.EmitAgg(t.node, win, key, value)
+}
+
+func (t *mergeTask) emitBag(win, key uint64, elems []crdt.BagElem) {
+	left, right := splitBag(elems)
+	t.run.sink.EmitJoin(t.node, win, key, left, right)
+}

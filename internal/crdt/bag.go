@@ -1,0 +1,39 @@
+package crdt
+
+import "github.com/slash-stream/slash/internal/stream"
+
+// BagElem is one element of a grow-only bag: the holistic-window CRDT used
+// by streaming joins (§5.2). Bags form a join-semilattice under multiset
+// union; executors ship delta elements and the leader concatenates them, so
+// merge order never changes the final multiset.
+type BagElem struct {
+	// Time is the contributing record's event-time timestamp.
+	Time int64
+	// Val is the record's payload attribute (e.g. the bid price).
+	Val int64
+	// Side distinguishes the input stream of a binary operator
+	// (0 = left/build, 1 = right/probe).
+	Side uint8
+}
+
+// BagElemSize is the encoded width of one bag element.
+const BagElemSize = 24
+
+// EncodeBagElem writes e into dst (at least BagElemSize bytes).
+func EncodeBagElem(dst []byte, e *BagElem) {
+	putI64(dst[0:], e.Time)
+	putI64(dst[8:], e.Val)
+	putI64(dst[16:], int64(e.Side))
+}
+
+// DecodeBagElem reads an element from src.
+func DecodeBagElem(src []byte, e *BagElem) {
+	e.Time = getI64(src[0:])
+	e.Val = getI64(src[8:])
+	e.Side = uint8(getI64(src[16:]))
+}
+
+// BagFromRecord builds a bag element from a record on the given side.
+func BagFromRecord(rec *stream.Record, side uint8) BagElem {
+	return BagElem{Time: rec.Time, Val: rec.V0, Side: side}
+}

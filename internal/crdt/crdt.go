@@ -1,0 +1,218 @@
+// Package crdt provides the conflict-free replicated data types that the
+// Slash State Backend stores per window group (§5.1). Non-holistic window
+// computations (aggregations) are represented by commutative, associative
+// Aggregates whose Merge combines partial results computed eagerly on
+// different executors. Holistic computations (joins) use grow-only bags —
+// a join-semilattice under set union with delta updates — whose elements are
+// concatenated at merge time.
+package crdt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/slash-stream/slash/internal/stream"
+)
+
+// Aggregate is a commutative, associative aggregation over records, stored
+// as a fixed-width byte state. The CRDT property the SSB relies on is:
+//
+//	Merge(Update*(Init, xs), Update*(Init, ys)) == Update*(Init, xs ++ ys)
+//
+// for any interleaving, which holds because Update folds a commutative
+// monoid operation and Merge is that monoid's combine.
+type Aggregate interface {
+	// Name identifies the aggregate (for diagnostics and ablation output).
+	Name() string
+	// Size is the fixed width of the encoded state in bytes.
+	Size() int
+	// Init writes the monoid identity into dst.
+	Init(dst []byte)
+	// Update folds one record into state in place.
+	Update(state []byte, rec *stream.Record)
+	// Merge folds src into dst in place (the CRDT join).
+	Merge(dst, src []byte)
+	// Result extracts the final aggregate value.
+	Result(state []byte) int64
+}
+
+// ErrUnknownAggregate is returned by ByName for unregistered names.
+var ErrUnknownAggregate = errors.New("crdt: unknown aggregate")
+
+// ByName resolves one of the built-in aggregates: "count", "sum", "min",
+// "max", "avg".
+func ByName(name string) (Aggregate, error) {
+	switch name {
+	case "count":
+		return Count{}, nil
+	case "sum":
+		return Sum{}, nil
+	case "min":
+		return Min{}, nil
+	case "max":
+		return Max{}, nil
+	case "avg":
+		return Avg{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAggregate, name)
+	}
+}
+
+func getI64(b []byte) int64 {
+	_ = b[7]
+	return int64(uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56)
+}
+
+func putI64(b []byte, v int64) {
+	u := uint64(v)
+	_ = b[7]
+	b[0] = byte(u)
+	b[1] = byte(u >> 8)
+	b[2] = byte(u >> 16)
+	b[3] = byte(u >> 24)
+	b[4] = byte(u >> 32)
+	b[5] = byte(u >> 40)
+	b[6] = byte(u >> 48)
+	b[7] = byte(u >> 56)
+}
+
+// Count counts records. State: one int64.
+type Count struct{}
+
+// Name implements Aggregate.
+func (Count) Name() string { return "count" }
+
+// Size implements Aggregate.
+func (Count) Size() int { return 8 }
+
+// Init implements Aggregate.
+func (Count) Init(dst []byte) { putI64(dst, 0) }
+
+// Update implements Aggregate.
+func (Count) Update(state []byte, _ *stream.Record) { putI64(state, getI64(state)+1) }
+
+// Merge implements Aggregate.
+func (Count) Merge(dst, src []byte) { putI64(dst, getI64(dst)+getI64(src)) }
+
+// Result implements Aggregate.
+func (Count) Result(state []byte) int64 { return getI64(state) }
+
+// Sum sums the V0 attribute. State: one int64.
+type Sum struct{}
+
+// Name implements Aggregate.
+func (Sum) Name() string { return "sum" }
+
+// Size implements Aggregate.
+func (Sum) Size() int { return 8 }
+
+// Init implements Aggregate.
+func (Sum) Init(dst []byte) { putI64(dst, 0) }
+
+// Update implements Aggregate.
+func (Sum) Update(state []byte, rec *stream.Record) { putI64(state, getI64(state)+rec.V0) }
+
+// Merge implements Aggregate.
+func (Sum) Merge(dst, src []byte) { putI64(dst, getI64(dst)+getI64(src)) }
+
+// Result implements Aggregate.
+func (Sum) Result(state []byte) int64 { return getI64(state) }
+
+// Min keeps the minimum V0. State: one int64, identity MaxInt64.
+type Min struct{}
+
+// Name implements Aggregate.
+func (Min) Name() string { return "min" }
+
+// Size implements Aggregate.
+func (Min) Size() int { return 8 }
+
+// Init implements Aggregate.
+func (Min) Init(dst []byte) { putI64(dst, math.MaxInt64) }
+
+// Update implements Aggregate.
+func (Min) Update(state []byte, rec *stream.Record) {
+	if rec.V0 < getI64(state) {
+		putI64(state, rec.V0)
+	}
+}
+
+// Merge implements Aggregate.
+func (Min) Merge(dst, src []byte) {
+	if s := getI64(src); s < getI64(dst) {
+		putI64(dst, s)
+	}
+}
+
+// Result implements Aggregate.
+func (Min) Result(state []byte) int64 { return getI64(state) }
+
+// Max keeps the maximum V0. State: one int64, identity MinInt64.
+type Max struct{}
+
+// Name implements Aggregate.
+func (Max) Name() string { return "max" }
+
+// Size implements Aggregate.
+func (Max) Size() int { return 8 }
+
+// Init implements Aggregate.
+func (Max) Init(dst []byte) { putI64(dst, math.MinInt64) }
+
+// Update implements Aggregate.
+func (Max) Update(state []byte, rec *stream.Record) {
+	if rec.V0 > getI64(state) {
+		putI64(state, rec.V0)
+	}
+}
+
+// Merge implements Aggregate.
+func (Max) Merge(dst, src []byte) {
+	if s := getI64(src); s > getI64(dst) {
+		putI64(dst, s)
+	}
+}
+
+// Result implements Aggregate.
+func (Max) Result(state []byte) int64 { return getI64(state) }
+
+// Avg computes the arithmetic mean of V0 as sum/count. State: two int64
+// (sum, count); the pair is itself a commutative monoid, so partial means
+// merge exactly — the property the CM benchmark's mean-CPU query needs.
+type Avg struct{}
+
+// Name implements Aggregate.
+func (Avg) Name() string { return "avg" }
+
+// Size implements Aggregate.
+func (Avg) Size() int { return 16 }
+
+// Init implements Aggregate.
+func (Avg) Init(dst []byte) {
+	putI64(dst[0:], 0)
+	putI64(dst[8:], 0)
+}
+
+// Update implements Aggregate.
+func (Avg) Update(state []byte, rec *stream.Record) {
+	putI64(state[0:], getI64(state[0:])+rec.V0)
+	putI64(state[8:], getI64(state[8:])+1)
+}
+
+// Merge implements Aggregate.
+func (Avg) Merge(dst, src []byte) {
+	putI64(dst[0:], getI64(dst[0:])+getI64(src[0:]))
+	putI64(dst[8:], getI64(dst[8:])+getI64(src[8:]))
+}
+
+// Result implements Aggregate. It returns the truncated mean, or 0 for an
+// empty state.
+func (Avg) Result(state []byte) int64 {
+	count := getI64(state[8:])
+	if count == 0 {
+		return 0
+	}
+	return getI64(state[0:]) / count
+}

@@ -1,0 +1,189 @@
+package crdt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/slash-stream/slash/internal/stream"
+)
+
+var allAggregates = []Aggregate{Count{}, Sum{}, Min{}, Max{}, Avg{}}
+
+func foldSequential(a Aggregate, recs []stream.Record) []byte {
+	st := make([]byte, a.Size())
+	a.Init(st)
+	for i := range recs {
+		a.Update(st, &recs[i])
+	}
+	return st
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range allAggregates {
+		got, err := ByName(a.Name())
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", a.Name(), err)
+		}
+		if got.Name() != a.Name() {
+			t.Fatalf("ByName(%q).Name() = %q", a.Name(), got.Name())
+		}
+	}
+	if _, err := ByName("median"); !errors.Is(err, ErrUnknownAggregate) {
+		t.Fatalf("err = %v, want ErrUnknownAggregate", err)
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	for _, a := range allAggregates {
+		st := make([]byte, a.Size())
+		a.Init(st)
+		switch a.(type) {
+		case Min:
+			if a.Result(st) != math.MaxInt64 {
+				t.Fatalf("%s identity = %d", a.Name(), a.Result(st))
+			}
+		case Max:
+			if a.Result(st) != math.MinInt64 {
+				t.Fatalf("%s identity = %d", a.Name(), a.Result(st))
+			}
+		default:
+			if a.Result(st) != 0 {
+				t.Fatalf("%s identity = %d", a.Name(), a.Result(st))
+			}
+		}
+	}
+}
+
+func TestBasicSemantics(t *testing.T) {
+	recs := []stream.Record{{V0: 5}, {V0: -3}, {V0: 10}, {V0: 0}}
+	cases := []struct {
+		agg  Aggregate
+		want int64
+	}{
+		{Count{}, 4},
+		{Sum{}, 12},
+		{Min{}, -3},
+		{Max{}, 10},
+		{Avg{}, 3},
+	}
+	for _, c := range cases {
+		st := foldSequential(c.agg, recs)
+		if got := c.agg.Result(st); got != c.want {
+			t.Fatalf("%s = %d, want %d", c.agg.Name(), got, c.want)
+		}
+	}
+}
+
+// TestMergeEqualsSequential is the core CRDT property: splitting a record
+// stream across m partial states and merging must equal the sequential fold
+// (the paper's consistency property P2 at the aggregate level).
+func TestMergeEqualsSequential(t *testing.T) {
+	for _, a := range allAggregates {
+		a := a
+		prop := func(seed int64, parts uint8) bool {
+			m := int(parts%4) + 1
+			rng := rand.New(rand.NewSource(seed))
+			n := rng.Intn(200)
+			recs := make([]stream.Record, n)
+			for i := range recs {
+				recs[i] = stream.Record{V0: rng.Int63n(2001) - 1000}
+			}
+			// Partial states over a random partition of the stream.
+			partials := make([][]byte, m)
+			for i := range partials {
+				partials[i] = make([]byte, a.Size())
+				a.Init(partials[i])
+			}
+			for i := range recs {
+				p := rng.Intn(m)
+				a.Update(partials[p], &recs[i])
+			}
+			merged := make([]byte, a.Size())
+			a.Init(merged)
+			for _, p := range partials {
+				a.Merge(merged, p)
+			}
+			seq := foldSequential(a, recs)
+			return a.Result(merged) == a.Result(seq)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+	}
+}
+
+// TestMergeCommutativeAssociative checks (a ∨ b) ∨ c == a ∨ (b ∨ c) and
+// a ∨ b == b ∨ a at the Result level.
+func TestMergeCommutativeAssociative(t *testing.T) {
+	for _, a := range allAggregates {
+		a := a
+		mk := func(vals []int64) []byte {
+			st := make([]byte, a.Size())
+			a.Init(st)
+			for _, v := range vals {
+				r := stream.Record{V0: v}
+				a.Update(st, &r)
+			}
+			return st
+		}
+		prop := func(xs, ys, zs []int64) bool {
+			// Commutativity.
+			ab := mk(xs)
+			a.Merge(ab, mk(ys))
+			ba := mk(ys)
+			a.Merge(ba, mk(xs))
+			if a.Result(ab) != a.Result(ba) {
+				return false
+			}
+			// Associativity.
+			left := mk(xs)
+			a.Merge(left, mk(ys))
+			a.Merge(left, mk(zs))
+			yz := mk(ys)
+			a.Merge(yz, mk(zs))
+			right := mk(xs)
+			a.Merge(right, yz)
+			return a.Result(left) == a.Result(right)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+	}
+}
+
+func TestAvgResultEmpty(t *testing.T) {
+	var a Avg
+	st := make([]byte, a.Size())
+	a.Init(st)
+	if a.Result(st) != 0 {
+		t.Fatal("avg of empty state should be 0")
+	}
+}
+
+func TestBagElemRoundTrip(t *testing.T) {
+	prop := func(tm, val int64, side bool) bool {
+		in := BagElem{Time: tm, Val: val}
+		if side {
+			in.Side = 1
+		}
+		buf := make([]byte, BagElemSize)
+		EncodeBagElem(buf, &in)
+		var out BagElem
+		DecodeBagElem(buf, &out)
+		return in == out
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBagFromRecord(t *testing.T) {
+	r := stream.Record{Key: 9, Time: 77, V0: 123}
+	e := BagFromRecord(&r, 1)
+	if e.Time != 77 || e.Val != 123 || e.Side != 1 {
+		t.Fatalf("elem = %+v", e)
+	}
+}

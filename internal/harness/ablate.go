@@ -1,0 +1,260 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/slash-stream/slash/internal/core"
+	"github.com/slash-stream/slash/internal/rdma"
+	"github.com/slash-stream/slash/internal/workload"
+)
+
+// Ablations benchmarks the design choices DESIGN.md calls out:
+//
+//   - push-based RDMA WRITE transfer vs pull-based RDMA READ polling
+//     (§6.3 "RDMA verbs"): reads pay a round trip per message and the
+//     consumer polls over the network instead of local memory;
+//   - selective signaling vs signaling every write (§2.1): per-message
+//     completions add completion-queue traffic on the hot path;
+//   - epoch length sweep (§8.1.1 configures 64 MB epochs): shorter epochs
+//     synchronize more often, longer epochs batch more state per merge.
+func Ablations(o Options) ([]Row, error) {
+	o = o.fill()
+	var rows []Row
+	r1, err := ablateWriteVsRead(o)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r1...)
+	r2, err := ablateSignaling(o)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r2...)
+	r3, err := ablateEpochLength(o)
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, r3...), nil
+}
+
+// ablateWriteVsRead transfers the same buffer stream once with the
+// channel's push model (one WRITE per message, local footer polling) and
+// once with a pull model (the consumer repeatedly READs the producer's
+// staging slot over the fabric until the flag byte indicates new data).
+func ablateWriteVsRead(o Options) ([]Row, error) {
+	const slot = 32 << 10
+	msgs := o.scaled(20_000) / 4
+	fcfg := throttledFabric()
+
+	// Push: reuse the RO micro-harness at one thread.
+	push, err := runRO(roConfig{
+		threads: 1, slotSize: slot, credits: 8,
+		perThread: msgs * (slot / 16), keys: 1 << 16, fabric: fcfg, seed: o.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ablate write: %w", err)
+	}
+
+	// Pull: consumer-driven RDMA READ polling of a single producer slot.
+	pull, err := runPullTransfer(fcfg, slot, msgs)
+	if err != nil {
+		return nil, fmt.Errorf("ablate read: %w", err)
+	}
+
+	o.logf("ablation write-vs-read: push %.1f MB/s, pull %.1f MB/s",
+		float64(push.bytes)/push.elapsed.Seconds()/1e6, pull.mbPerSec)
+	return []Row{
+		roRow("ablations", "write-push", "verbs=WRITE", push),
+		{
+			Experiment: "ablations", Workload: "ro", System: "read-pull", Params: "verbs=READ",
+			Records: int64(msgs), Elapsed: pull.elapsed,
+			RecsPerSec: float64(msgs) / pull.elapsed.Seconds(),
+			Metrics: map[string]float64{
+				"MB_per_s":   pull.mbPerSec,
+				"net_rtts":   float64(pull.reads),
+				"wasted_rtt": float64(pull.emptyReads),
+			},
+		},
+	}, nil
+}
+
+type pullResult struct {
+	elapsed    time.Duration
+	mbPerSec   float64
+	reads      int64
+	emptyReads int64
+}
+
+// runPullTransfer implements the pull model the paper rejects: the producer
+// fills a slot and sets a flag; the consumer RDMA-READs the remote flag and
+// slot until it observes fresh data, then acknowledges by a tiny WRITE.
+func runPullTransfer(fcfg rdma.Config, slot, msgs int) (pullResult, error) {
+	fabric := rdma.NewFabric(fcfg)
+	prod := fabric.MustNIC("producer")
+	cons := fabric.MustNIC("consumer")
+	src, err := prod.RegisterMemory(slot + 8) // payload + 8-byte generation flag
+	if err != nil {
+		return pullResult{}, err
+	}
+	ackMR, err := prod.RegisterMemory(1)
+	if err != nil {
+		return pullResult{}, err
+	}
+	qpC, qpP, err := rdma.Connect(cons, prod, rdma.QPOptions{}, rdma.QPOptions{})
+	if err != nil {
+		return pullResult{}, err
+	}
+	defer qpC.Close()
+	defer qpP.Close()
+	_ = qpP
+
+	start := time.Now()
+	done := make(chan error, 1)
+	// Producer: fill the slot, publish the generation flag with an atomic
+	// store (remote reads serialize against it), wait for the ack write.
+	go func() {
+		buf := src.Bytes()
+		for m := 1; m <= msgs; m++ {
+			for i := 0; i < slot; i++ {
+				buf[i] = byte(m)
+			}
+			if err := src.AtomicStore(slot, uint64(m)); err != nil {
+				done <- err
+				return
+			}
+			for ackMR.WriteVersion() < uint64(m) {
+				runtime.Gosched()
+			}
+		}
+		done <- nil
+	}()
+
+	var reads, emptyReads int64
+	flagBuf := make([]byte, 8)
+	payload := make([]byte, slot)
+	ackByte := []byte{1}
+	for m := 1; m <= msgs; m++ {
+		// Poll the remote flag over the network: each probe is a full
+		// round trip (§6.3's extra traffic).
+		for {
+			if err := qpC.PostRead(1, flagBuf, src.RKey(), slot); err != nil {
+				return pullResult{}, err
+			}
+			if c := qpC.SendCQ().Wait(); c.Err != nil {
+				return pullResult{}, c.Err
+			}
+			reads++
+			gen := uint64(flagBuf[0]) | uint64(flagBuf[1])<<8 | uint64(flagBuf[2])<<16 | uint64(flagBuf[3])<<24 |
+				uint64(flagBuf[4])<<32 | uint64(flagBuf[5])<<40 | uint64(flagBuf[6])<<48 | uint64(flagBuf[7])<<56
+			if gen >= uint64(m) {
+				break
+			}
+			emptyReads++
+		}
+		if err := qpC.PostRead(2, payload, src.RKey(), 0); err != nil {
+			return pullResult{}, err
+		}
+		if c := qpC.SendCQ().Wait(); c.Err != nil {
+			return pullResult{}, c.Err
+		}
+		reads++
+		if err := qpC.PostWrite(3, ackByte, ackMR.RKey(), 0, false); err != nil {
+			return pullResult{}, err
+		}
+	}
+	if err := <-done; err != nil {
+		return pullResult{}, err
+	}
+	elapsed := time.Since(start)
+	return pullResult{
+		elapsed:    elapsed,
+		mbPerSec:   float64(msgs) * float64(slot) / elapsed.Seconds() / 1e6,
+		reads:      reads,
+		emptyReads: emptyReads,
+	}, nil
+}
+
+// ablateSignaling compares unsignaled (selective signaling) writes against
+// signaling and polling a completion for every message.
+func ablateSignaling(o Options) ([]Row, error) {
+	const slot = 32 << 10
+	msgs := o.scaled(40_000) / 4
+	run := func(signalEvery bool) (time.Duration, error) {
+		fabric := rdma.NewFabric(rdma.Config{})
+		a := fabric.MustNIC("a")
+		b := fabric.MustNIC("b")
+		dst, err := b.RegisterMemory(slot)
+		if err != nil {
+			return 0, err
+		}
+		qa, qb, err := rdma.Connect(a, b, rdma.QPOptions{}, rdma.QPOptions{})
+		if err != nil {
+			return 0, err
+		}
+		defer qa.Close()
+		defer qb.Close()
+		payload := make([]byte, slot)
+		start := time.Now()
+		for m := 0; m < msgs; m++ {
+			sig := signalEvery || m == msgs-1
+			if err := qa.PostWrite(uint64(m), payload, dst.RKey(), 0, sig); err != nil {
+				return 0, err
+			}
+			if sig {
+				if c := qa.SendCQ().Wait(); c.Err != nil {
+					return 0, c.Err
+				}
+			}
+		}
+		return time.Since(start), nil
+	}
+	selective, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("ablate signaling: %w", err)
+	}
+	every, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("ablate signaling: %w", err)
+	}
+	o.logf("ablation signaling: selective %.3fs, per-message %.3fs", selective.Seconds(), every.Seconds())
+	mk := func(name string, el time.Duration) Row {
+		return Row{
+			Experiment: "ablations", Workload: "ro", System: name, Params: "msgs=" + fmt.Sprint(msgs),
+			Records: int64(msgs), Elapsed: el,
+			RecsPerSec: float64(msgs) / el.Seconds(),
+			Metrics:    map[string]float64{"MB_per_s": float64(msgs) * slot / el.Seconds() / 1e6},
+		}
+	}
+	return []Row{mk("sig-selective", selective), mk("sig-every", every)}, nil
+}
+
+// ablateEpochLength sweeps the SSB epoch size on YSB (§8.1.1 uses 64 MB;
+// scaled down proportionally to the scaled input volume).
+func ablateEpochLength(o Options) ([]Row, error) {
+	perFlow := o.scaled(aggPerFlowBase)
+	w := workload.YSB{Keys: 100_000, RecordsPerFlow: perFlow, Seed: o.Seed, TimeStep: 10}
+	var rows []Row
+	for _, kb := range []int{64, 256, 1024, 4096} {
+		rep, err := core.Run(core.Config{
+			Nodes:          2,
+			ThreadsPerNode: o.Threads,
+			EpochBytes:     int64(kb) << 10,
+		}, w.Query(), w.Flows(2, o.Threads), nil)
+		if err != nil {
+			return nil, fmt.Errorf("ablate epoch %dKB: %w", kb, err)
+		}
+		o.logf("ablation epoch=%dKB: %.0f rec/s, %d chunks", kb, rep.RecordsPerSec, rep.ChunksMerged)
+		rows = append(rows, Row{
+			Experiment: "ablations", Workload: "ysb", System: "slash",
+			Params:  fmt.Sprintf("epochKB=%d", kb),
+			Records: rep.Records, Elapsed: rep.Elapsed, RecsPerSec: rep.RecordsPerSec,
+			Metrics: map[string]float64{
+				"chunks":   float64(rep.ChunksMerged),
+				"merge_MB": float64(rep.BytesMerged) / 1e6,
+			},
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,304 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/slash-stream/slash/internal/core"
+	"github.com/slash-stream/slash/internal/flinksim"
+	"github.com/slash-stream/slash/internal/ipoib"
+	"github.com/slash-stream/slash/internal/lightsaber"
+	"github.com/slash-stream/slash/internal/rdma"
+	"github.com/slash-stream/slash/internal/stream"
+	"github.com/slash-stream/slash/internal/uppar"
+	"github.com/slash-stream/slash/internal/workload"
+)
+
+// endToEndLinkRate is the simulated per-NIC line rate of the end-to-end
+// experiments. The paper's regime is "CPUs can saturate the NIC": its
+// 10-core nodes drive ~10 GB/s against 11.8 GB/s links. A single Go host
+// processes roughly two orders of magnitude less per "node", so the
+// simulated link is scaled by the same factor to preserve the
+// compute-to-network ratio that makes repartitioning network-bound.
+const endToEndLinkRate = rdma.EDRLinkBandwidth / 100
+
+func endToEndFabric() rdma.Config {
+	return rdma.Config{LinkBandwidth: endToEndLinkRate, BaseLatency: 2 * time.Microsecond, Throttle: true}
+}
+
+// sut is one system under test for the end-to-end experiments.
+type sut struct {
+	name string
+	run  func(o Options, nodes int, q *core.Query, mkFlows func(nodes, threads int) [][]core.Flow, perFlow int) (*core.Report, error)
+}
+
+// runSlash executes on the Slash engine with all threads as sources.
+func runSlash(o Options, nodes int, q *core.Query, mkFlows func(int, int) [][]core.Flow, _ int) (*core.Report, error) {
+	return core.Run(core.Config{
+		Nodes:          nodes,
+		ThreadsPerNode: o.Threads,
+		Fabric:         endToEndFabric(),
+	}, q, mkFlows(nodes, o.Threads), nil)
+}
+
+// splitThreads halves a node's threads between producers and consumers, as
+// the paper configures repartitioning systems (§8.2.2).
+func splitThreads(threads int) (producers, consumers int) {
+	producers = threads / 2
+	if producers == 0 {
+		producers = 1
+	}
+	consumers = threads - producers
+	if consumers == 0 {
+		consumers = 1
+	}
+	return
+}
+
+// runUpPar executes on RDMA UpPar, preserving the total input volume: the
+// producer half ingests the data the full thread set would in Slash.
+func runUpPar(o Options, nodes int, q *core.Query, mkFlows func(int, int) [][]core.Flow, _ int) (*core.Report, error) {
+	producers, consumers := splitThreads(o.Threads)
+	return uppar.Run(uppar.Config{
+		Nodes:            nodes,
+		ProducersPerNode: producers,
+		ConsumersPerNode: consumers,
+		Fabric:           endToEndFabric(),
+	}, q, mkFlows(nodes, producers), nil)
+}
+
+// runFlink executes on the Flink-on-IPoIB baseline.
+func runFlink(o Options, nodes int, q *core.Query, mkFlows func(int, int) [][]core.Flow, _ int) (*core.Report, error) {
+	producers, consumers := splitThreads(o.Threads)
+	return flinksim.Run(flinksim.Config{
+		Nodes:            nodes,
+		ProducersPerNode: producers,
+		ConsumersPerNode: consumers,
+		RuntimeTaxLoops:  32,
+		IPoIB:            ipoib.Config{Bandwidth: endToEndLinkRate, BandwidthFraction: 0.4},
+	}, q, mkFlows(nodes, producers), nil)
+}
+
+var endToEndSUTs = []sut{
+	{"flink", runFlink},
+	{"uppar", runUpPar},
+	{"slash", runSlash},
+}
+
+// figWorkload couples a workload name to builders parameterized so that
+// every system sees the same total input volume and window layout.
+type figWorkload struct {
+	name    string
+	query   func(o Options) *core.Query
+	mkFlows func(o Options) func(nodes, threads int) [][]core.Flow
+}
+
+// perFlowBase volumes, scaled by Options.Scale. The paper streams 1 GB per
+// thread; these defaults size the same experiments for a laptop-class host.
+const (
+	aggPerFlowBase  = 100_000
+	joinPerFlowBase = 40_000
+)
+
+// flowsWithVolume fixes the per-node input volume: threads share
+// volumePerNode records regardless of how many source threads a system
+// uses, mirroring "each executor thread processes a partition" with the
+// producer half doing the ingestion.
+func flowsWithVolume(volumePerNode int, build func(perFlow int, nodes, threads int) [][]core.Flow) func(nodes, threads int) [][]core.Flow {
+	return func(nodes, threads int) [][]core.Flow {
+		perFlow := volumePerNode / threads
+		if perFlow < 1 {
+			perFlow = 1
+		}
+		return materialize(build(perFlow, nodes, threads))
+	}
+}
+
+// materialize pre-generates every flow into memory, following the paper's
+// methodology (§8.2.1): datasets are created before the measured run so
+// record-creation cost never sits on an SUT's critical path.
+func materialize(flows [][]core.Flow) [][]core.Flow {
+	out := make([][]core.Flow, len(flows))
+	for n := range flows {
+		out[n] = make([]core.Flow, len(flows[n]))
+		for t := range flows[n] {
+			var recs []stream.Record
+			var rec stream.Record
+			for flows[n][t].Next(&rec) {
+				recs = append(recs, rec)
+			}
+			out[n][t] = core.NewSliceFlow(recs)
+		}
+	}
+	return out
+}
+
+func ysbWorkload(o Options) figWorkload {
+	volume := o.scaled(aggPerFlowBase) * o.Threads
+	w := workload.YSB{Keys: 100_000, Seed: o.Seed, TimeStep: 10}
+	w.RecordsPerFlow = volume / o.Threads
+	base := w // window derives from the slash-shaped per-flow volume
+	return figWorkload{
+		name:  "ysb",
+		query: func(Options) *core.Query { return base.Query() },
+		mkFlows: func(Options) func(int, int) [][]core.Flow {
+			return flowsWithVolume(volume, func(perFlow, nodes, threads int) [][]core.Flow {
+				wf := base
+				wf.RecordsPerFlow = perFlow
+				return wf.Flows(nodes, threads)
+			})
+		},
+	}
+}
+
+func cmWorkload(o Options) figWorkload {
+	volume := o.scaled(aggPerFlowBase) * o.Threads
+	w := workload.CM{Jobs: 50_000, Seed: o.Seed, TimeStep: 10}
+	w.RecordsPerFlow = volume / o.Threads
+	base := w
+	return figWorkload{
+		name:  "cm",
+		query: func(Options) *core.Query { return base.Query() },
+		mkFlows: func(Options) func(int, int) [][]core.Flow {
+			return flowsWithVolume(volume, func(perFlow, nodes, threads int) [][]core.Flow {
+				wf := base
+				wf.RecordsPerFlow = perFlow
+				return wf.Flows(nodes, threads)
+			})
+		},
+	}
+}
+
+func nb7Workload(o Options) figWorkload {
+	volume := o.scaled(aggPerFlowBase) * o.Threads
+	w := workload.NB7{Keys: 100_000, Seed: o.Seed, TimeStep: 10}
+	w.RecordsPerFlow = volume / o.Threads
+	base := w
+	return figWorkload{
+		name:  "nb7",
+		query: func(Options) *core.Query { return base.Query() },
+		mkFlows: func(Options) func(int, int) [][]core.Flow {
+			return flowsWithVolume(volume, func(perFlow, nodes, threads int) [][]core.Flow {
+				wf := base
+				wf.RecordsPerFlow = perFlow
+				return wf.Flows(nodes, threads)
+			})
+		},
+	}
+}
+
+func nb8Workload(o Options) figWorkload {
+	volume := o.scaled(joinPerFlowBase) * o.Threads
+	w := workload.NB8{Sellers: 20_000, Seed: o.Seed, TimeStep: 10}
+	w.RecordsPerFlow = volume / o.Threads
+	base := w
+	return figWorkload{
+		name:  "nb8",
+		query: func(Options) *core.Query { return base.Query() },
+		mkFlows: func(Options) func(int, int) [][]core.Flow {
+			return flowsWithVolume(volume, func(perFlow, nodes, threads int) [][]core.Flow {
+				wf := base
+				wf.RecordsPerFlow = perFlow
+				return wf.Flows(nodes, threads)
+			})
+		},
+	}
+}
+
+func nb11Workload(o Options) figWorkload {
+	volume := o.scaled(joinPerFlowBase) * o.Threads
+	w := workload.NB11{Keys: 20_000, Seed: o.Seed, TimeStep: 10}
+	w.RecordsPerFlow = volume / o.Threads
+	base := w
+	return figWorkload{
+		name:  "nb11",
+		query: func(Options) *core.Query { return base.Query() },
+		mkFlows: func(Options) func(int, int) [][]core.Flow {
+			return flowsWithVolume(volume, func(perFlow, nodes, threads int) [][]core.Flow {
+				wf := base
+				wf.RecordsPerFlow = perFlow
+				return wf.Flows(nodes, threads)
+			})
+		},
+	}
+}
+
+// weakScaling runs one figure: every SUT across the node sweep.
+func weakScaling(exp string, o Options, fw figWorkload) ([]Row, error) {
+	o = o.fill()
+	var rows []Row
+	for _, s := range endToEndSUTs {
+		for _, nodes := range o.Nodes {
+			q := fw.query(o)
+			rep, err := s.run(o, nodes, q, fw.mkFlows(o), 0)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s nodes=%d: %w", exp, s.name, nodes, err)
+			}
+			o.logf("%s %-6s nodes=%-2d %12d recs  %8.3fs  %14.0f rec/s",
+				exp, s.name, nodes, rep.Records, rep.Elapsed.Seconds(), rep.RecordsPerSec)
+			rows = append(rows, Row{
+				Experiment: exp,
+				Workload:   fw.name,
+				System:     s.name,
+				Params:     fmt.Sprintf("nodes=%d", nodes),
+				Records:    rep.Records,
+				Elapsed:    rep.Elapsed,
+				RecsPerSec: rep.RecordsPerSec,
+				Metrics: map[string]float64{
+					"net_MB":       float64(rep.NetTxBytes) / 1e6,
+					"model_Mrec_s": modelThroughput(s.name, rep, nodes, o.Threads) / 1e6,
+				},
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig6a reproduces the YSB weak-scaling comparison.
+func Fig6a(o Options) ([]Row, error) { return weakScaling("fig6a", o, ysbWorkload(o.fill())) }
+
+// Fig6b reproduces the CM weak-scaling comparison.
+func Fig6b(o Options) ([]Row, error) { return weakScaling("fig6b", o, cmWorkload(o.fill())) }
+
+// Fig6c reproduces the NB7 weak-scaling comparison.
+func Fig6c(o Options) ([]Row, error) { return weakScaling("fig6c", o, nb7Workload(o.fill())) }
+
+// Fig6d reproduces the NB8 join weak-scaling comparison.
+func Fig6d(o Options) ([]Row, error) { return weakScaling("fig6d", o, nb8Workload(o.fill())) }
+
+// Fig6e reproduces the NB11 session-join weak-scaling comparison.
+func Fig6e(o Options) ([]Row, error) { return weakScaling("fig6e", o, nb11Workload(o.fill())) }
+
+// Fig7 reproduces the COST analysis: LightSaber on one node versus Slash on
+// the node sweep, for the aggregation workloads LightSaber supports.
+func Fig7(o Options) ([]Row, error) {
+	o = o.fill()
+	var rows []Row
+	for _, fw := range []figWorkload{ysbWorkload(o), cmWorkload(o), nb7Workload(o)} {
+		q := fw.query(o)
+		flows := fw.mkFlows(o)(1, o.Threads)
+		rep, err := lightsaber.Run(lightsaber.Config{Workers: o.Threads}, q, flows[0], nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig7/lightsaber %s: %w", fw.name, err)
+		}
+		o.logf("fig7 %-6s L       %12d recs  %8.3fs  %14.0f rec/s", fw.name, rep.Records, rep.Elapsed.Seconds(), rep.RecordsPerSec)
+		rows = append(rows, Row{
+			Experiment: "fig7", Workload: fw.name, System: "lightsaber", Params: "nodes=1",
+			Records: rep.Records, Elapsed: rep.Elapsed, RecsPerSec: rep.RecordsPerSec,
+			Metrics: map[string]float64{"model_Mrec_s": modelThroughput("lightsaber", rep, 1, o.Threads) / 1e6},
+		})
+		for _, nodes := range o.Nodes {
+			rep, err := runSlash(o, nodes, fw.query(o), fw.mkFlows(o), 0)
+			if err != nil {
+				return nil, fmt.Errorf("fig7/slash %s nodes=%d: %w", fw.name, nodes, err)
+			}
+			o.logf("fig7 %-6s slash   nodes=%-2d %12d recs  %8.3fs  %14.0f rec/s", fw.name, nodes, rep.Records, rep.Elapsed.Seconds(), rep.RecordsPerSec)
+			rows = append(rows, Row{
+				Experiment: "fig7", Workload: fw.name, System: "slash", Params: fmt.Sprintf("nodes=%d", nodes),
+				Records: rep.Records, Elapsed: rep.Elapsed, RecsPerSec: rep.RecordsPerSec,
+				Metrics: map[string]float64{"model_Mrec_s": modelThroughput("slash", rep, nodes, o.Threads) / 1e6},
+			})
+		}
+	}
+	return rows, nil
+}

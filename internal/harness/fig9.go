@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/slash-stream/slash/internal/core"
+	"github.com/slash-stream/slash/internal/perfmodel"
+	"github.com/slash-stream/slash/internal/uppar"
+	"github.com/slash-stream/slash/internal/workload"
+)
+
+// breakdownRow renders one top-down breakdown as a result row.
+func breakdownRow(exp, workloadName, system, params string, records int64, b perfmodel.Breakdown) Row {
+	return Row{
+		Experiment: exp,
+		Workload:   workloadName,
+		System:     system,
+		Params:     params,
+		Records:    records,
+		Metrics: map[string]float64{
+			"retiring":  b.Retiring,
+			"frontend":  b.FrontEnd,
+			"badspec":   b.BadSpec,
+			"membound":  b.MemBound,
+			"corebound": b.CoreBound,
+			"uops_rec":  b.UopsPerRecord,
+		},
+	}
+}
+
+// Fig9 reproduces the execution breakdown of the RO benchmark for Slash and
+// the sender/receiver halves of UpPar, at two and at "ten" (here: eight)
+// threads. Operation counts come from real runs of the micro-harness; the
+// per-class cycle costs are the calibrated model (see perfmodel).
+func Fig9(o Options) ([]Row, error) {
+	o = o.fill()
+	var rows []Row
+	for _, threads := range []int{2, 8} {
+		params := fmt.Sprintf("threads=%d", threads)
+		// Slash: no partitioning, direct channel streaming.
+		res, err := runRO(roConfig{
+			threads: threads, slotSize: 64 << 10, credits: 8,
+			perThread: o.scaled(100_000), keys: 1 << 20, seed: o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig9 slash: %w", err)
+		}
+		b, _ := perfmodel.Model(perfmodel.SlashCounts(
+			res.records, res.records, res.pollRound, 0, res.bytes, res.elapsed.Seconds()))
+		rows = append(rows, breakdownRow("fig9", "ro", "slash", params, res.records, b))
+
+		// UpPar: the partitioned variant; senders and receivers modelled
+		// separately as the paper reports them.
+		resU, err := runRO(roConfig{
+			threads: threads, slotSize: 64 << 10, credits: 8,
+			perThread: o.scaled(100_000), keys: 1 << 20, partition: true, seed: o.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig9 uppar: %w", err)
+		}
+		sb, _ := perfmodel.Model(perfmodel.UpParSenderCounts(resU.records, resU.bytes, resU.elapsed.Seconds()))
+		rows = append(rows, breakdownRow("fig9", "ro", "uppar-snd", params, resU.records, sb))
+		rb, _ := perfmodel.Model(perfmodel.UpParReceiverCounts(resU.records, resU.records, resU.pollRound, resU.elapsed.Seconds()))
+		rows = append(rows, breakdownRow("fig9", "ro", "uppar-rcv", params, resU.records, rb))
+		o.logf("fig9 threads=%d done", threads)
+	}
+	return rows, nil
+}
+
+// ysbRuns executes YSB on Slash and UpPar (two nodes, as in §8.3.4) and
+// returns the reports.
+func ysbRuns(o Options) (*core.Report, *core.Report, error) {
+	perFlow := o.scaled(aggPerFlowBase)
+	w := workload.YSB{Keys: 100_000, RecordsPerFlow: perFlow, Seed: o.Seed, TimeStep: 10}
+	q := w.Query()
+	slashRep, err := core.Run(core.Config{Nodes: 2, ThreadsPerNode: o.Threads}, q, w.Flows(2, o.Threads), nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ysb slash: %w", err)
+	}
+	producers, consumers := splitThreads(o.Threads)
+	wu := w
+	wu.RecordsPerFlow = perFlow * o.Threads / producers
+	upparRep, err := uppar.Run(uppar.Config{Nodes: 2, ProducersPerNode: producers, ConsumersPerNode: consumers},
+		q, wu.Flows(2, producers), nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ysb uppar: %w", err)
+	}
+	return slashRep, upparRep, nil
+}
+
+// Fig10 reproduces the execution breakdown of YSB (§8.3.4).
+func Fig10(o Options) ([]Row, error) {
+	o = o.fill()
+	slashRep, upparRep, err := ysbRuns(o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	b, _ := perfmodel.Model(perfmodel.SlashCounts(
+		slashRep.Records, slashRep.Updates, int64(slashRep.Sched.IdleRounds),
+		int64(slashRep.BytesMerged), slashRep.NetTxBytes, slashRep.Elapsed.Seconds()))
+	rows = append(rows, breakdownRow("fig10", "ysb", "slash", "nodes=2", slashRep.Records, b))
+	sb, _ := perfmodel.Model(perfmodel.UpParSenderCounts(upparRep.Records, upparRep.NetTxBytes, upparRep.Elapsed.Seconds()))
+	rows = append(rows, breakdownRow("fig10", "ysb", "uppar-snd", "nodes=2", upparRep.Records, sb))
+	// The receiver half sees the filtered stream (one third of YSB input).
+	rb, _ := perfmodel.Model(perfmodel.UpParReceiverCounts(upparRep.Updates, upparRep.Updates, upparRep.Records, upparRep.Elapsed.Seconds()))
+	rows = append(rows, breakdownRow("fig10", "ysb", "uppar-rcv", "nodes=2", upparRep.Updates, rb))
+	o.logf("fig10 done")
+	return rows, nil
+}
+
+// Table1 reproduces the resource-utilization table on YSB with two nodes.
+func Table1(o Options) ([]Row, error) {
+	o = o.fill()
+	slashRep, upparRep, err := ysbRuns(o)
+	if err != nil {
+		return nil, err
+	}
+	mkRow := func(system string, records int64, m perfmodel.Metrics) Row {
+		return Row{
+			Experiment: "table1",
+			Workload:   "ysb",
+			System:     system,
+			Params:     "nodes=2",
+			Records:    records,
+			Metrics: map[string]float64{
+				"IPC":       m.IPC,
+				"instr_rec": m.InstrPerRec,
+				"cyc_rec":   m.CyclesPerRec,
+				"l1_rec":    m.L1MissPerRec,
+				"l2_rec":    m.L2MissPerRec,
+				"llc_rec":   m.LLCMissPerRec,
+				"mem_GBs":   m.MemBandwidthGB,
+			},
+		}
+	}
+	var rows []Row
+	_, sm := perfmodel.Model(perfmodel.UpParSenderCounts(upparRep.Records, upparRep.NetTxBytes, upparRep.Elapsed.Seconds()))
+	rows = append(rows, mkRow("uppar-snd", upparRep.Records, sm))
+	_, rm := perfmodel.Model(perfmodel.UpParReceiverCounts(upparRep.Updates, upparRep.Updates, upparRep.Records, upparRep.Elapsed.Seconds()))
+	rows = append(rows, mkRow("uppar-rcv", upparRep.Updates, rm))
+	_, slm := perfmodel.Model(perfmodel.SlashCounts(
+		slashRep.Records, slashRep.Updates, int64(slashRep.Sched.IdleRounds),
+		int64(slashRep.BytesMerged), slashRep.NetTxBytes, slashRep.Elapsed.Seconds()))
+	rows = append(rows, mkRow("slash", slashRep.Records, slm))
+	o.logf("table1 done")
+	return rows, nil
+}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps every experiment at smoke-test volume.
+func tinyOptions() Options {
+	return Options{Scale: 0.011, Nodes: []int{2, 3}, Threads: 2, Seed: 7}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			rows, err := e.Run(tinyOptions())
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if len(rows) == 0 {
+				t.Fatalf("%s produced no rows", e.Name)
+			}
+			for _, r := range rows {
+				if r.Experiment == "" || r.System == "" {
+					t.Fatalf("%s: incomplete row %+v", e.Name, r)
+				}
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("fig6a"); !ok {
+		t.Fatal("fig6a not registered")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown experiment resolved")
+	}
+	if len(Experiments()) < 14 {
+		t.Fatalf("only %d experiments registered", len(Experiments()))
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	rows := []Row{
+		{Experiment: "figX", Workload: "ysb", System: "slash", Params: "nodes=2",
+			Records: 10, RecsPerSec: 5, Metrics: map[string]float64{"net_MB": 1.5}},
+		{Experiment: "figX", Workload: "ysb", System: "uppar", Params: "nodes=2",
+			Records: 10, RecsPerSec: 2},
+	}
+	out := FormatTable(rows)
+	for _, want := range []string{"== figX ==", "slash", "uppar", "net_MB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPaperOrderingInModelThroughput asserts the paper's headline result on
+// the projected (testbed-calibrated) throughput: Slash > UpPar > Flink on
+// both an aggregation (Fig. 6a) and a join (Fig. 6d) at the full 16-node
+// deployment, with factors in the paper's bands. Wall-clock numbers on a
+// shared-core host compress these gaps; EXPERIMENTS.md reports both.
+func TestPaperOrderingInModelThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ordering check needs volume")
+	}
+	o := Options{Scale: 0.25, Nodes: []int{16}, Threads: 2, Seed: 1}
+	for _, exp := range []struct {
+		name       string
+		fn         func(Options) ([]Row, error)
+		minVsUpPar float64
+		minVsFlink float64
+	}{
+		{"fig6a", Fig6a, 2.5, 10},
+		{"fig6d", Fig6d, 3, 10},
+	} {
+		rows, err := exp.fn(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tput := map[string]float64{}
+		for _, r := range rows {
+			tput[r.System] = r.Metrics["model_Mrec_s"]
+		}
+		if tput["slash"] < exp.minVsUpPar*tput["uppar"] {
+			t.Fatalf("%s: slash %.1f not >= %.1fx uppar %.1f", exp.name, tput["slash"], exp.minVsUpPar, tput["uppar"])
+		}
+		if tput["slash"] < exp.minVsFlink*tput["flink"] {
+			t.Fatalf("%s: slash %.1f not >= %.1fx flink %.1f", exp.name, tput["slash"], exp.minVsFlink, tput["flink"])
+		}
+	}
+}

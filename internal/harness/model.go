@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"github.com/slash-stream/slash/internal/core"
+	"github.com/slash-stream/slash/internal/perfmodel"
+	"github.com/slash-stream/slash/internal/rdma"
+)
+
+// Model-throughput projection.
+//
+// The harness reports two throughput numbers per end-to-end run:
+//
+//   - rec/s — wall-clock throughput of the Go implementation on this host.
+//     All executors of every simulated node share the host's cores, so a
+//     single-core machine serializes work that a 16-node cluster overlaps;
+//     wall-clock shapes are therefore compressed (EXPERIMENTS.md).
+//
+//   - model_Mrec_s — projected throughput on the paper's testbed: the
+//     operation counts measured in the run (records ingested, state
+//     updates, partition decisions, encode/decode steps, delta bytes
+//     merged, bytes on the wire) are priced with the per-operation cycle
+//     costs calibrated against the paper's Table 1, and divided over the
+//     paper's hardware budget (2.4 GHz cores, 11.8 GB/s NICs). The
+//     bottleneck resource — compute of the slowest role, or the NIC —
+//     determines the projected elapsed time.
+//
+// The projection is a documented substitution (DESIGN.md): it restores the
+// compute/network overlap that one host cannot exhibit, while every count
+// that feeds it is measured from the real protocol execution.
+
+// modelThroughput returns projected records/second.
+func modelThroughput(system string, rep *core.Report, nodes, threads int) float64 {
+	if rep.Records == 0 || rep.Elapsed <= 0 {
+		return 0
+	}
+	el := rep.Elapsed.Seconds()
+	perNodeNet := float64(rep.NetTxBytes) / float64(nodes)
+	var cpuTime float64
+	netRate := float64(rdma.EDRLinkBandwidth)
+	switch system {
+	case "slash":
+		// All threads ingest and update; the service worker's merge load
+		// is included via the merge-byte counts and overlaps on its own
+		// core.
+		c := perfmodel.SlashCounts(rep.Records, rep.Updates, 0, int64(rep.BytesMerged), rep.NetTxBytes, el)
+		cpuTime = perfmodel.TotalCycles(c) / (perfmodel.PaperCPUHz * float64(nodes*threads))
+	case "lightsaber":
+		c := perfmodel.SlashCounts(rep.Records, rep.Updates, 0, 0, 0, el)
+		c.LocalUpdates, c.StateUpdates = c.StateUpdates, 0
+		cpuTime = perfmodel.TotalCycles(c) / (perfmodel.PaperCPUHz * float64(threads))
+		netRate = 0
+	case "uppar", "flink":
+		producers, consumers := splitThreads(threads)
+		snd := perfmodel.UpParSenderCounts(rep.Records, rep.NetTxBytes, el)
+		snd.PartitionOps = rep.Updates // filter drops records before partitioning
+		snd.EncodeOps = rep.Updates
+		rcv := perfmodel.UpParReceiverCounts(rep.Updates, rep.Updates, 0, el)
+		if system == "flink" {
+			snd.RuntimeOps = rep.Records
+			rcv.RuntimeOps = rep.Updates
+			netRate *= 0.4 // IPoIB cannot saturate the link
+		}
+		sndTime := perfmodel.TotalCycles(snd) / (perfmodel.PaperCPUHz * float64(nodes*producers))
+		rcvTime := perfmodel.TotalCycles(rcv) / (perfmodel.PaperCPUHz * float64(nodes*consumers))
+		cpuTime = sndTime
+		if rcvTime > cpuTime {
+			cpuTime = rcvTime
+		}
+	default:
+		return 0
+	}
+	elapsed := cpuTime
+	if netRate > 0 {
+		if netTime := perNodeNet / netRate; netTime > elapsed {
+			elapsed = netTime
+		}
+	}
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(rep.Records) / elapsed
+}

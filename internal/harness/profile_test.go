@@ -1,0 +1,21 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/slash-stream/slash/internal/core"
+	"github.com/slash-stream/slash/internal/workload"
+)
+
+// BenchmarkProfileSlashYSB exists to profile the Slash hot path:
+// go test -run xx -bench ProfileSlashYSB -cpuprofile cpu.out ./internal/harness/
+func BenchmarkProfileSlashYSB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := workload.YSB{Keys: 100_000, RecordsPerFlow: 50_000, Seed: 1, TimeStep: 10}
+		rep, err := core.Run(core.Config{Nodes: 2, ThreadsPerNode: 2}, w.Query(), w.Flows(2, 2), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.RecordsPerSec, "rec/s")
+	}
+}

@@ -1,0 +1,247 @@
+// Package ipoib simulates socket-based networking over the RDMA fabric —
+// the "plug-and-play" integration path (§3.1). IP-over-InfiniBand runs the
+// kernel TCP stack on the IB link: every message crosses the kernel twice
+// (send and receive system calls), is copied between user and kernel space
+// on both sides, and achieves only a fraction of the link's native
+// bandwidth [Binnig et al., 2016].
+//
+// The simulation reproduces those structural costs: each Send performs the
+// user→kernel copy into a bounded socket buffer, each Recv performs the
+// kernel→user copy out of it, a per-message CPU cost models the system call
+// and interrupt path, and the effective bandwidth is capped at a fraction of
+// the native link rate. The Flink baseline (internal/flinksim) runs on these
+// streams.
+package ipoib
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config models the IPoIB stack's costs.
+type Config struct {
+	// SocketBuffer is the in-kernel buffer size per stream. Defaults to
+	// 256 KiB.
+	SocketBuffer int
+	// SyscallCost is the CPU time charged per send/recv call, modelling
+	// kernel crossings. Zero disables the charge. The default burns no
+	// time; throughput-shaped experiments set it from calibration.
+	SyscallCost time.Duration
+	// BandwidthFraction is the share of the native link bandwidth IPoIB
+	// achieves (the paper and [9] observe well under half). Defaults to
+	// 0.4; only meaningful together with Bandwidth.
+	BandwidthFraction float64
+	// Bandwidth, when positive, paces Send to BandwidthFraction × this
+	// many bytes per second (the underlying link rate), modelling IPoIB's
+	// inability to saturate the fabric.
+	Bandwidth int64
+}
+
+func (c *Config) fill() {
+	if c.SocketBuffer <= 0 {
+		c.SocketBuffer = 256 << 10
+	}
+	if c.BandwidthFraction <= 0 {
+		c.BandwidthFraction = 0.4
+	}
+}
+
+// Errors returned by streams.
+var (
+	ErrClosed = errors.New("ipoib: stream closed")
+)
+
+// Stream is one direction of a simulated TCP connection: a bounded byte
+// queue with kernel-copy semantics on both ends.
+type Stream struct {
+	cfg Config
+
+	// linkFree paces sends when Bandwidth is set.
+	linkMu   sync.Mutex
+	linkFree time.Time
+
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	buf      []byte // the "kernel" socket buffer
+	start    int
+	length   int
+	closed   bool
+
+	// counters
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+	copies    atomic.Int64
+}
+
+// NewStream creates a stream with the given cost model.
+func NewStream(cfg Config) *Stream {
+	cfg.fill()
+	s := &Stream{cfg: cfg, buf: make([]byte, cfg.SocketBuffer)}
+	s.notEmpty = sync.NewCond(&s.mu)
+	s.notFull = sync.NewCond(&s.mu)
+	return s
+}
+
+// spin models the per-message kernel-crossing CPU cost.
+func (s *Stream) spin() {
+	if s.cfg.SyscallCost <= 0 {
+		return
+	}
+	end := time.Now().Add(s.cfg.SyscallCost)
+	for time.Now().Before(end) {
+	}
+}
+
+// pace serializes n bytes onto the shaped IPoIB link.
+func (s *Stream) pace(n int) {
+	if s.cfg.Bandwidth <= 0 {
+		return
+	}
+	rate := float64(s.cfg.Bandwidth) * s.cfg.BandwidthFraction
+	d := time.Duration(float64(n) / rate * float64(time.Second))
+	s.linkMu.Lock()
+	now := time.Now()
+	start := s.linkFree
+	if start.Before(now) {
+		start = now
+	}
+	s.linkFree = start.Add(d)
+	wait := s.linkFree.Sub(now)
+	s.linkMu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// Send copies p into the socket buffer (the user→kernel copy), blocking
+// while the buffer is full — TCP back-pressure.
+func (s *Stream) Send(p []byte) error {
+	s.spin()
+	s.pace(len(p))
+	s.msgsSent.Add(1)
+	s.bytesSent.Add(int64(len(p)))
+	for len(p) > 0 {
+		s.mu.Lock()
+		for s.length == len(s.buf) && !s.closed {
+			s.notFull.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		n := s.copyIn(p)
+		s.copies.Add(1)
+		s.notEmpty.Signal()
+		s.mu.Unlock()
+		p = p[n:]
+	}
+	return nil
+}
+
+// Recv copies up to len(p) queued bytes out of the socket buffer (the
+// kernel→user copy), blocking until at least one byte is available. It
+// returns 0, ErrClosed once the stream is closed and drained.
+func (s *Stream) Recv(p []byte) (int, error) {
+	s.spin()
+	s.mu.Lock()
+	for s.length == 0 && !s.closed {
+		s.notEmpty.Wait()
+	}
+	if s.length == 0 && s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	n := s.copyOut(p)
+	s.copies.Add(1)
+	s.notFull.Signal()
+	s.mu.Unlock()
+	return n, nil
+}
+
+// RecvFull fills p completely or returns ErrClosed.
+func (s *Stream) RecvFull(p []byte) error {
+	got := 0
+	for got < len(p) {
+		n, err := s.Recv(p[got:])
+		if err != nil {
+			return err
+		}
+		got += n
+	}
+	return nil
+}
+
+func (s *Stream) copyIn(p []byte) int {
+	n := len(s.buf) - s.length
+	if n > len(p) {
+		n = len(p)
+	}
+	end := (s.start + s.length) % len(s.buf)
+	first := copy(s.buf[end:], p[:n])
+	if first < n {
+		copy(s.buf, p[first:n])
+	}
+	s.length += n
+	return n
+}
+
+func (s *Stream) copyOut(p []byte) int {
+	n := s.length
+	if n > len(p) {
+		n = len(p)
+	}
+	first := copy(p[:n], s.buf[s.start:])
+	if first < n {
+		copy(p[first:n], s.buf)
+	}
+	s.start = (s.start + n) % len(s.buf)
+	s.length -= n
+	return n
+}
+
+// Close wakes all waiters; pending bytes remain readable.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.notEmpty.Broadcast()
+	s.notFull.Broadcast()
+	s.mu.Unlock()
+}
+
+// Stats reports stream counters.
+type Stats struct {
+	BytesSent int64
+	MsgsSent  int64
+	// Copies counts user/kernel boundary copies — the cost RDMA's
+	// zero-copy path avoids.
+	Copies int64
+}
+
+// Stats snapshots the counters.
+func (s *Stream) Stats() Stats {
+	return Stats{
+		BytesSent: s.bytesSent.Load(),
+		MsgsSent:  s.msgsSent.Load(),
+		Copies:    s.copies.Load(),
+	}
+}
+
+// Conn is a bidirectional connection: a pair of streams.
+type Conn struct {
+	// AtoB carries data from endpoint A to endpoint B, BtoA the reverse.
+	AtoB, BtoA *Stream
+}
+
+// NewConn builds a connection with symmetric configuration.
+func NewConn(cfg Config) *Conn {
+	return &Conn{AtoB: NewStream(cfg), BtoA: NewStream(cfg)}
+}
+
+// Close closes both directions.
+func (c *Conn) Close() {
+	c.AtoB.Close()
+	c.BtoA.Close()
+}

@@ -1,0 +1,150 @@
+package ipoib
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	s := NewStream(Config{})
+	msg := []byte("hello over ipoib")
+	go func() {
+		if err := s.Send(msg); err != nil {
+			t.Error(err)
+		}
+	}()
+	buf := make([]byte, len(msg))
+	if err := s.RecvFull(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestBackpressureOnFullBuffer(t *testing.T) {
+	s := NewStream(Config{SocketBuffer: 64})
+	done := make(chan struct{})
+	payload := make([]byte, 256) // 4x the buffer
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	go func() {
+		defer close(done)
+		if err := s.Send(payload); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+		t.Fatal("send of 256B completed against a 64B buffer without a reader")
+	default:
+	}
+	got := make([]byte, 256)
+	if err := s.RecvFull(got); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted across wrap-around")
+	}
+}
+
+func TestByteStreamIntegrityRandomSizes(t *testing.T) {
+	s := NewStream(Config{SocketBuffer: 128})
+	rng := rand.New(rand.NewSource(1))
+	var sent []byte
+	const total = 10000
+	for len(sent) < total {
+		n := 1 + rng.Intn(300)
+		chunk := make([]byte, n)
+		rng.Read(chunk)
+		sent = append(sent, chunk...)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		off := 0
+		rng2 := rand.New(rand.NewSource(2))
+		for off < len(sent) {
+			n := 1 + rng2.Intn(200)
+			if off+n > len(sent) {
+				n = len(sent) - off
+			}
+			if err := s.Send(sent[off : off+n]); err != nil {
+				t.Error(err)
+				return
+			}
+			off += n
+		}
+		s.Close()
+	}()
+	var got []byte
+	buf := make([]byte, 177)
+	for {
+		n, err := s.Recv(buf)
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	wg.Wait()
+	if !bytes.Equal(got, sent) {
+		t.Fatalf("stream corrupted: %d/%d bytes", len(got), len(sent))
+	}
+}
+
+func TestCloseDrainsThenErrors(t *testing.T) {
+	s := NewStream(Config{})
+	if err := s.Send([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	buf := make([]byte, 4)
+	if err := s.RecvFull(buf); err != nil {
+		t.Fatalf("pending bytes lost on close: %v", err)
+	}
+	if _, err := s.Recv(buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := s.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close err = %v", err)
+	}
+}
+
+func TestStatsCountCopies(t *testing.T) {
+	s := NewStream(Config{})
+	go s.Send(make([]byte, 100))
+	buf := make([]byte, 100)
+	if err := s.RecvFull(buf); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.BytesSent != 100 || st.MsgsSent != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Copies < 2 {
+		t.Fatalf("expected at least user→kernel and kernel→user copies, got %d", st.Copies)
+	}
+}
+
+func TestConn(t *testing.T) {
+	c := NewConn(Config{})
+	go c.AtoB.Send([]byte("ping"))
+	go c.BtoA.Send([]byte("pong"))
+	buf := make([]byte, 4)
+	if err := c.AtoB.RecvFull(buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("AtoB: %q %v", buf, err)
+	}
+	if err := c.BtoA.RecvFull(buf); err != nil || string(buf) != "pong" {
+		t.Fatalf("BtoA: %q %v", buf, err)
+	}
+	c.Close()
+}

@@ -1,0 +1,121 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFractionsSumToOne(t *testing.T) {
+	prop := func(rec, upd, part, enc, dec, poll uint16) bool {
+		c := Counts{
+			Records:      int64(rec) + 1,
+			StateUpdates: int64(upd),
+			PartitionOps: int64(part),
+			EncodeOps:    int64(enc),
+			DecodeOps:    int64(dec),
+			PollRounds:   int64(poll),
+		}
+		b, _ := Model(c)
+		sum := b.Retiring + b.FrontEnd + b.BadSpec + b.MemBound + b.CoreBound
+		return math.Abs(sum-1.0) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShapesMatchPaperDiagnosis encodes the qualitative findings of §8.3.3
+// and §8.3.4 that the model must reproduce.
+func TestShapesMatchPaperDiagnosis(t *testing.T) {
+	const n = 1_000_000
+	// Slash on YSB: one state RMW per (kept) record, negligible polling on
+	// the hot path, modest merge traffic.
+	slashB, slashM := Model(SlashCounts(n, n, n/100, 8<<20, 16<<20, 1))
+	// UpPar sender: partition + encode per record.
+	sndB, sndM := Model(UpParSenderCounts(n, 64<<20, 1))
+	// UpPar receiver: decode + update per record, heavy polling.
+	rcvB, rcvM := Model(UpParReceiverCounts(n, n, 3*n, 1))
+
+	// Slash is primarily memory bound (Fig. 10).
+	if !(slashB.MemBound > slashB.FrontEnd && slashB.MemBound > slashB.BadSpec && slashB.MemBound > slashB.CoreBound) {
+		t.Fatalf("slash breakdown not memory-bound: %+v", slashB)
+	}
+	// Slash retires ~20% of its time, roughly twice the receiver's share.
+	if slashB.Retiring < 0.15 || slashB.Retiring > 0.30 {
+		t.Fatalf("slash retiring share %f outside paper's ~20%%", slashB.Retiring)
+	}
+	// The UpPar sender suffers front-end stalls (>= ~20% of cycles).
+	if sndB.FrontEnd < 0.18 {
+		t.Fatalf("sender front-end share %f, paper reports 22-33%%", sndB.FrontEnd)
+	}
+	// The UpPar receiver is core-bound from pause-loop polling.
+	if !(rcvB.CoreBound > rcvB.FrontEnd && rcvB.CoreBound > rcvB.MemBound) {
+		t.Fatalf("receiver breakdown not core-bound: %+v", rcvB)
+	}
+
+	// Table 1 orderings: Slash needs ~4x fewer instructions and ~5x fewer
+	// cycles per record; IPC ordering Slash > sender > receiver.
+	if !(sndM.InstrPerRec > 3*slashM.InstrPerRec) {
+		t.Fatalf("instr/rec: sender %f vs slash %f", sndM.InstrPerRec, slashM.InstrPerRec)
+	}
+	if !(sndM.CyclesPerRec > 4*slashM.CyclesPerRec) {
+		t.Fatalf("cycles/rec: sender %f vs slash %f", sndM.CyclesPerRec, slashM.CyclesPerRec)
+	}
+	if !(slashM.IPC > sndM.IPC && sndM.IPC > rcvM.IPC) {
+		t.Fatalf("IPC ordering violated: %f %f %f", slashM.IPC, sndM.IPC, rcvM.IPC)
+	}
+	if slashM.IPC < 0.7 || slashM.IPC > 1.2 {
+		t.Fatalf("slash IPC %f far from paper's 0.9", slashM.IPC)
+	}
+	// Slash's cache misses per record exceed the receiver's LLC misses
+	// (1.3 vs 0.4 in Table 1).
+	if !(slashM.LLCMissPerRec > rcvM.LLCMissPerRec) {
+		t.Fatalf("LLC misses: slash %f vs receiver %f", slashM.LLCMissPerRec, rcvM.LLCMissPerRec)
+	}
+}
+
+func TestTable1Magnitudes(t *testing.T) {
+	const n = 1_000_000
+	_, slash := Model(SlashCounts(n, n, 0, 0, 0, 1))
+	_, snd := Model(UpParSenderCounts(n, 0, 1))
+	_, rcv := Model(UpParReceiverCounts(n, n, 0, 1))
+	within := func(got, want, tol float64) bool {
+		return math.Abs(got-want)/want <= tol
+	}
+	// Paper Table 1: 42/53 (Slash), 166/274 (sender), 78/276 (receiver,
+	// including its share of polling measured separately here).
+	if !within(slash.InstrPerRec, 42, 0.3) {
+		t.Fatalf("slash instr/rec %f, want ~42", slash.InstrPerRec)
+	}
+	if !within(slash.CyclesPerRec, 53, 0.4) {
+		t.Fatalf("slash cycles/rec %f, want ~53", slash.CyclesPerRec)
+	}
+	if !within(snd.InstrPerRec, 166, 0.3) {
+		t.Fatalf("sender instr/rec %f, want ~166", snd.InstrPerRec)
+	}
+	if !within(snd.CyclesPerRec, 274, 0.4) {
+		t.Fatalf("sender cycles/rec %f, want ~274", snd.CyclesPerRec)
+	}
+	if !within(rcv.InstrPerRec, 78, 0.35) {
+		t.Fatalf("receiver instr/rec %f, want ~78", rcv.InstrPerRec)
+	}
+}
+
+func TestZeroRecordsSafe(t *testing.T) {
+	b, m := Model(Counts{})
+	if math.IsNaN(b.Retiring) || math.IsNaN(m.IPC) {
+		t.Fatal("NaN on empty counts")
+	}
+}
+
+func TestBandwidthEstimate(t *testing.T) {
+	_, m := Model(Counts{Records: 1000, StateUpdates: 1000, NetBytes: 1 << 30, ElapsedSec: 1})
+	if m.MemBandwidthGB < 1.0 {
+		t.Fatalf("bandwidth %f GB/s, want >= 1 (net bytes alone)", m.MemBandwidthGB)
+	}
+	_, m2 := Model(Counts{Records: 1000, NetBytes: 1 << 30}) // no elapsed
+	if m2.MemBandwidthGB != 0 {
+		t.Fatal("bandwidth without elapsed time should be zero")
+	}
+}

@@ -1,0 +1,97 @@
+package rdma
+
+// Opcode identifies the verb a completion refers to.
+type Opcode uint8
+
+// Verbs supported by the simulator.
+const (
+	OpWrite Opcode = iota + 1
+	OpRead
+	OpSend
+	OpRecv
+	OpCompareSwap
+	OpFetchAdd
+)
+
+// String implements fmt.Stringer.
+func (op Opcode) String() string {
+	switch op {
+	case OpWrite:
+		return "WRITE"
+	case OpRead:
+		return "READ"
+	case OpSend:
+		return "SEND"
+	case OpRecv:
+		return "RECV"
+	case OpCompareSwap:
+		return "CMP_SWAP"
+	case OpFetchAdd:
+		return "FETCH_ADD"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Completion reports the outcome of a work request.
+type Completion struct {
+	// WRID is the caller-chosen work request identifier.
+	WRID uint64
+	// Op is the verb that completed.
+	Op Opcode
+	// Bytes is the payload length transferred.
+	Bytes int
+	// Err is non-nil if the request failed (bad rkey, bounds, ...).
+	Err error
+	// Imm carries verb-specific immediate data: the original value for
+	// atomics, the sender-provided immediate for writes-with-imm.
+	Imm uint64
+}
+
+// CompletionQueue collects completions. It is safe for one consumer and many
+// producer queue pairs, matching the common one-CQ-per-thread deployment.
+type CompletionQueue struct {
+	ch chan Completion
+}
+
+// NewCompletionQueue creates a CQ with the given depth.
+func NewCompletionQueue(depth int) *CompletionQueue {
+	if depth <= 0 {
+		depth = DefaultSendQueueDepth
+	}
+	return &CompletionQueue{ch: make(chan Completion, depth)}
+}
+
+// TryPoll returns a completion without blocking.
+func (cq *CompletionQueue) TryPoll() (Completion, bool) {
+	select {
+	case c := <-cq.ch:
+		return c, true
+	default:
+		return Completion{}, false
+	}
+}
+
+// Wait blocks until a completion is available.
+func (cq *CompletionQueue) Wait() Completion {
+	return <-cq.ch
+}
+
+// Drain polls up to max completions without blocking and returns them.
+func (cq *CompletionQueue) Drain(max int) []Completion {
+	var out []Completion
+	for len(out) < max {
+		c, ok := cq.TryPoll()
+		if !ok {
+			break
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// push enqueues a completion, blocking if the CQ is full (hardware would
+// raise a CQ overrun; blocking keeps the simulation lossless).
+func (cq *CompletionQueue) push(c Completion) {
+	cq.ch <- c
+}

@@ -1,0 +1,384 @@
+package rdma
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QueuePair is one endpoint of a reliable RDMA connection. Work requests
+// posted to a QP are processed strictly in order by a per-QP engine, so
+// writes never overtake each other — the delivery property the Slash
+// channel protocol depends on (§6.2).
+//
+// As with hardware verbs, buffers handed to PostWrite/PostSend must stay
+// untouched until the corresponding completion is polled: the transfer is
+// zero-copy on the posting side.
+type QueuePair struct {
+	local  *NIC
+	remote *NIC
+	peer   *QueuePair
+
+	sendCQ *CompletionQueue
+	recvCQ *CompletionQueue
+
+	wq      chan workRequest
+	deliver chan delivery
+	recvs   chan postedRecv
+
+	closed atomic.Bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	posted   atomic.Uint64
+	executed atomic.Uint64
+
+	closeOnce sync.Once
+}
+
+type workRequest struct {
+	op        Opcode
+	wrID      uint64
+	signaled  bool
+	local     []byte
+	rkey      uint32
+	remoteOff int
+	expect    uint64
+	value     uint64
+}
+
+type delivery struct {
+	at time.Time
+	wr workRequest
+}
+
+type postedRecv struct {
+	wrID uint64
+	buf  []byte
+}
+
+// QPOptions configures one endpoint of a connection.
+type QPOptions struct {
+	// SendCQ receives completions for posted requests. Created if nil.
+	SendCQ *CompletionQueue
+	// RecvCQ receives completions for posted receives. Created if nil.
+	RecvCQ *CompletionQueue
+	// QueueDepth overrides the fabric's send queue depth if positive.
+	QueueDepth int
+}
+
+// Connect establishes a reliable connection between two NICs and returns the
+// two queue pair endpoints. This corresponds to the out-of-band QP exchange
+// of the setup phase (§6.2).
+func Connect(a, b *NIC, aOpt, bOpt QPOptions) (*QueuePair, *QueuePair, error) {
+	if a == b {
+		return nil, nil, ErrSameNIC
+	}
+	if a.fabric != b.fabric {
+		return nil, nil, ErrOtherFabric
+	}
+	qa := newQP(a, b, aOpt)
+	qb := newQP(b, a, bOpt)
+	qa.peer, qb.peer = qb, qa
+	qa.start()
+	qb.start()
+	return qa, qb, nil
+}
+
+func newQP(local, remote *NIC, opt QPOptions) *QueuePair {
+	depth := opt.QueueDepth
+	if depth <= 0 {
+		depth = local.fabric.cfg.SendQueueDepth
+	}
+	qp := &QueuePair{
+		local:   local,
+		remote:  remote,
+		sendCQ:  opt.SendCQ,
+		recvCQ:  opt.RecvCQ,
+		wq:      make(chan workRequest, depth),
+		deliver: make(chan delivery, depth),
+		recvs:   make(chan postedRecv, depth),
+		done:    make(chan struct{}),
+	}
+	if qp.sendCQ == nil {
+		qp.sendCQ = NewCompletionQueue(depth)
+	}
+	if qp.recvCQ == nil {
+		qp.recvCQ = NewCompletionQueue(depth)
+	}
+	return qp
+}
+
+func (qp *QueuePair) start() {
+	qp.wg.Add(2)
+	go qp.engine()
+	go qp.deliverer()
+}
+
+// SendCQ returns the completion queue for posted requests.
+func (qp *QueuePair) SendCQ() *CompletionQueue { return qp.sendCQ }
+
+// RecvCQ returns the completion queue for posted receives.
+func (qp *QueuePair) RecvCQ() *CompletionQueue { return qp.recvCQ }
+
+// LocalNIC returns the NIC this endpoint posts from.
+func (qp *QueuePair) LocalNIC() *NIC { return qp.local }
+
+// RemoteNIC returns the NIC on the passive side of this endpoint.
+func (qp *QueuePair) RemoteNIC() *NIC { return qp.remote }
+
+// Close tears the endpoint down. In-flight requests may be dropped.
+func (qp *QueuePair) Close() {
+	qp.closeOnce.Do(func() {
+		qp.closed.Store(true)
+		close(qp.done)
+	})
+	qp.wg.Wait()
+}
+
+func (qp *QueuePair) post(wr workRequest) error {
+	if qp.closed.Load() {
+		return ErrQPClosed
+	}
+	select {
+	case qp.wq <- wr:
+		qp.posted.Add(1)
+		return nil
+	case <-qp.done:
+		return ErrQPClosed
+	}
+}
+
+// Drain blocks until every posted work request has been executed. Use it
+// before Close for a graceful shutdown that delivers in-flight writes.
+func (qp *QueuePair) Drain() {
+	for qp.executed.Load() < qp.posted.Load() {
+		if qp.closed.Load() {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// PostWrite posts a one-sided RDMA WRITE of buf into the remote region
+// identified by rkey at remoteOff. The remote CPU is not involved. If
+// signaled is false, no completion is generated on success (selective
+// signaling, §2.1); failures always complete with an error.
+func (qp *QueuePair) PostWrite(wrID uint64, buf []byte, rkey uint32, remoteOff int, signaled bool) error {
+	if len(buf) == 0 {
+		return ErrZeroLength
+	}
+	return qp.post(workRequest{op: OpWrite, wrID: wrID, signaled: signaled, local: buf, rkey: rkey, remoteOff: remoteOff})
+}
+
+// PostRead posts a one-sided RDMA READ of len(buf) bytes from the remote
+// region at remoteOff into buf. Reads cost a full round trip (§6.3). The
+// data in buf is valid once the completion is polled.
+func (qp *QueuePair) PostRead(wrID uint64, buf []byte, rkey uint32, remoteOff int) error {
+	if len(buf) == 0 {
+		return ErrZeroLength
+	}
+	return qp.post(workRequest{op: OpRead, wrID: wrID, signaled: true, local: buf, rkey: rkey, remoteOff: remoteOff})
+}
+
+// PostSend posts a two-sided SEND. It is matched with a receive buffer
+// posted on the peer; the engine stalls (receiver-not-ready) until one is
+// available.
+func (qp *QueuePair) PostSend(wrID uint64, buf []byte, signaled bool) error {
+	if len(buf) == 0 {
+		return ErrZeroLength
+	}
+	return qp.post(workRequest{op: OpSend, wrID: wrID, signaled: signaled, local: buf})
+}
+
+// PostRecv posts a receive buffer for incoming SENDs. The completion on the
+// receive CQ reports the number of bytes written into buf.
+func (qp *QueuePair) PostRecv(wrID uint64, buf []byte) error {
+	if len(buf) == 0 {
+		return ErrZeroLength
+	}
+	if qp.closed.Load() {
+		return ErrQPClosed
+	}
+	select {
+	case qp.recvs <- postedRecv{wrID: wrID, buf: buf}:
+		return nil
+	case <-qp.done:
+		return ErrQPClosed
+	}
+}
+
+// PostCompareSwap posts a remote 8-byte compare-and-swap at remoteOff. The
+// completion's Imm field carries the original value.
+func (qp *QueuePair) PostCompareSwap(wrID uint64, rkey uint32, remoteOff int, expect, swap uint64) error {
+	return qp.post(workRequest{op: OpCompareSwap, wrID: wrID, signaled: true, rkey: rkey, remoteOff: remoteOff, expect: expect, value: swap})
+}
+
+// PostFetchAdd posts a remote 8-byte fetch-and-add at remoteOff. The
+// completion's Imm field carries the value before the add.
+func (qp *QueuePair) PostFetchAdd(wrID uint64, rkey uint32, remoteOff int, delta uint64) error {
+	return qp.post(workRequest{op: OpFetchAdd, wrID: wrID, signaled: true, rkey: rkey, remoteOff: remoteOff, value: delta})
+}
+
+// engine drains the send work queue in FIFO order, charging transfer costs
+// and handing requests to the deliverer for (possibly delayed) execution.
+func (qp *QueuePair) engine() {
+	defer qp.wg.Done()
+	defer close(qp.deliver)
+	cfg := qp.local.fabric.cfg
+	for {
+		select {
+		case wr := <-qp.wq:
+			size := len(wr.local)
+			if wr.op == OpCompareSwap || wr.op == OpFetchAdd {
+				size = 8
+			}
+			// Reads and atomics are responder-driven: the payload is
+			// serialized by the remote NIC and they pay a round trip.
+			lat := cfg.BaseLatency
+			switch wr.op {
+			case OpRead:
+				qp.remote.chargeTx(size)
+				lat *= 2
+			case OpCompareSwap, OpFetchAdd:
+				qp.local.chargeTx(size)
+				lat *= 2
+			default:
+				qp.local.chargeTx(size)
+			}
+			at := time.Time{}
+			if cfg.Throttle && lat > 0 {
+				at = time.Now().Add(lat)
+			}
+			select {
+			case qp.deliver <- delivery{at: at, wr: wr}:
+			case <-qp.done:
+				return
+			}
+		case <-qp.done:
+			return
+		}
+	}
+}
+
+// deliverer executes requests in order, optionally waiting for their
+// simulated arrival time. Keeping delivery separate from pacing preserves
+// pipelining: a message's propagation delay does not block the next
+// message's serialization.
+func (qp *QueuePair) deliverer() {
+	defer qp.wg.Done()
+	for d := range qp.deliver {
+		if !d.at.IsZero() {
+			if wait := time.Until(d.at); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		qp.execute(d.wr)
+	}
+}
+
+func (qp *QueuePair) execute(wr workRequest) {
+	var comp Completion
+	comp.WRID = wr.wrID
+	comp.Op = wr.op
+	switch wr.op {
+	case OpWrite:
+		comp.Bytes = len(wr.local)
+		comp.Err = qp.doWrite(wr)
+	case OpRead:
+		comp.Bytes = len(wr.local)
+		comp.Err = qp.doRead(wr)
+	case OpSend:
+		comp.Bytes = len(wr.local)
+		comp.Err = qp.doSend(wr)
+	case OpCompareSwap, OpFetchAdd:
+		comp.Bytes = 8
+		comp.Imm, comp.Err = qp.doAtomic(wr)
+	}
+	if wr.signaled || comp.Err != nil {
+		qp.sendCQ.push(comp)
+	}
+	qp.executed.Add(1)
+}
+
+func (qp *QueuePair) doWrite(wr workRequest) error {
+	mr, err := qp.remote.lookupRegion(wr.rkey)
+	if err != nil {
+		return err
+	}
+	if err := mr.checkRange(wr.remoteOff, len(wr.local)); err != nil {
+		return err
+	}
+	// Payload lands from lower to higher addresses, then the region's
+	// write version is published with release semantics. A poller that
+	// observes the new version observes every payload byte (§6.3).
+	copy(mr.buf[wr.remoteOff:], wr.local)
+	mr.publish()
+	qp.remote.chargeRx(len(wr.local))
+	return nil
+}
+
+func (qp *QueuePair) doRead(wr workRequest) error {
+	mr, err := qp.remote.lookupRegion(wr.rkey)
+	if err != nil {
+		return err
+	}
+	if err := mr.checkRange(wr.remoteOff, len(wr.local)); err != nil {
+		return err
+	}
+	// Reads serialize against the region's atomic lock so that a passive
+	// producer can publish local writes to remote readers through
+	// AtomicStore (the pull-transfer pattern of the §6.3 ablation).
+	mr.atomicMu.Lock()
+	copy(wr.local, mr.buf[wr.remoteOff:wr.remoteOff+len(wr.local)])
+	mr.atomicMu.Unlock()
+	qp.local.chargeRx(len(wr.local))
+	return nil
+}
+
+func (qp *QueuePair) doSend(wr workRequest) error {
+	var pr postedRecv
+	select {
+	case pr = <-qp.peer.recvs:
+	case <-qp.done:
+		return ErrQPClosed
+	case <-qp.peer.done:
+		return ErrQPClosed
+	}
+	if len(pr.buf) < len(wr.local) {
+		qp.peer.recvCQ.push(Completion{WRID: pr.wrID, Op: OpRecv, Err: ErrRecvTooSmall})
+		return ErrRecvTooSmall
+	}
+	copy(pr.buf, wr.local)
+	qp.remote.chargeRx(len(wr.local))
+	qp.peer.recvCQ.push(Completion{WRID: pr.wrID, Op: OpRecv, Bytes: len(wr.local)})
+	return nil
+}
+
+func (qp *QueuePair) doAtomic(wr workRequest) (uint64, error) {
+	mr, err := qp.remote.lookupRegion(wr.rkey)
+	if err != nil {
+		return 0, err
+	}
+	if err := mr.checkRange(wr.remoteOff, 8); err != nil {
+		return 0, err
+	}
+	if wr.remoteOff%8 != 0 {
+		return 0, ErrMisaligned
+	}
+	mr.atomicMu.Lock()
+	orig := leU64(mr.buf[wr.remoteOff:])
+	switch wr.op {
+	case OpCompareSwap:
+		if orig == wr.expect {
+			putLEU64(mr.buf[wr.remoteOff:], wr.value)
+		}
+	case OpFetchAdd:
+		putLEU64(mr.buf[wr.remoteOff:], orig+wr.value)
+	}
+	mr.atomicMu.Unlock()
+	mr.publish()
+	qp.remote.chargeRx(8)
+	return orig, nil
+}

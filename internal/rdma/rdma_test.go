@@ -1,0 +1,469 @@
+package rdma
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newPair(t *testing.T, cfg Config) (*NIC, *NIC, *QueuePair, *QueuePair) {
+	t.Helper()
+	f := NewFabric(cfg)
+	a := f.MustNIC("a")
+	b := f.MustNIC("b")
+	qa, qb, err := Connect(a, b, QPOptions{}, QPOptions{})
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	t.Cleanup(func() {
+		qa.Close()
+		qb.Close()
+	})
+	return a, b, qa, qb
+}
+
+func TestWriteDeliversPayload(t *testing.T) {
+	_, b, qa, _ := newPair(t, Config{})
+	dst := b.MustRegister(64)
+	payload := []byte("hello, remote memory")
+	if err := qa.PostWrite(7, payload, dst.RKey(), 4, true); err != nil {
+		t.Fatalf("PostWrite: %v", err)
+	}
+	c := qa.SendCQ().Wait()
+	if c.Err != nil {
+		t.Fatalf("completion error: %v", c.Err)
+	}
+	if c.WRID != 7 || c.Op != OpWrite || c.Bytes != len(payload) {
+		t.Fatalf("unexpected completion %+v", c)
+	}
+	if got := dst.Bytes()[4 : 4+len(payload)]; !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+	if dst.WriteVersion() != 1 {
+		t.Fatalf("write version = %d, want 1", dst.WriteVersion())
+	}
+}
+
+func TestWriteVersionPublishesBytes(t *testing.T) {
+	// A reader that spins on WriteVersion must observe the full payload of
+	// the write that advanced it. Hammer the pattern to catch ordering bugs.
+	_, b, qa, _ := newPair(t, Config{})
+	const slots = 8
+	const slotSize = 128
+	dst := b.MustRegister(slots * slotSize)
+	done := make(chan error, 1)
+	ack := make(chan struct{})
+	const rounds = 200
+	go func() {
+		seen := uint64(0)
+		for i := 0; i < rounds; i++ {
+			for dst.WriteVersion() == seen {
+				runtime.Gosched()
+			}
+			seen = dst.WriteVersion()
+			slot := i % slots
+			buf := dst.Bytes()[slot*slotSize : (slot+1)*slotSize]
+			want := byte(i)
+			for j := 0; j < slotSize; j++ {
+				if buf[j] != want {
+					done <- errors.New("torn write observed")
+					return
+				}
+			}
+			ack <- struct{}{}
+		}
+		done <- nil
+	}()
+	payload := make([]byte, slotSize)
+	for i := 0; i < rounds; i++ {
+		for j := range payload {
+			payload[j] = byte(i)
+		}
+		slot := i % slots
+		if err := qa.PostWrite(uint64(i), payload, dst.RKey(), slot*slotSize, true); err != nil {
+			t.Fatalf("PostWrite: %v", err)
+		}
+		if c := qa.SendCQ().Wait(); c.Err != nil {
+			t.Fatalf("completion: %v", c.Err)
+		}
+		select {
+		case <-ack:
+		case err := <-done:
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritesAreFIFO(t *testing.T) {
+	_, b, qa, _ := newPair(t, Config{})
+	dst := b.MustRegister(8)
+	const n = 1000
+	bufs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		bufs[i] = make([]byte, 8)
+		putLEU64(bufs[i], uint64(i))
+		sig := i == n-1
+		if err := qa.PostWrite(uint64(i), bufs[i], dst.RKey(), 0, sig); err != nil {
+			t.Fatalf("PostWrite: %v", err)
+		}
+	}
+	c := qa.SendCQ().Wait()
+	if c.Err != nil || c.WRID != n-1 {
+		t.Fatalf("unexpected completion %+v", c)
+	}
+	if got := leU64(dst.Bytes()); got != n-1 {
+		t.Fatalf("last write = %d, want %d (writes overtook each other)", got, n-1)
+	}
+	if dst.WriteVersion() != n {
+		t.Fatalf("write version = %d, want %d", dst.WriteVersion(), n)
+	}
+}
+
+func TestSelectiveSignaling(t *testing.T) {
+	_, b, qa, _ := newPair(t, Config{})
+	dst := b.MustRegister(8)
+	for i := 0; i < 10; i++ {
+		if err := qa.PostWrite(uint64(i), []byte{1}, dst.RKey(), 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := qa.PostWrite(99, []byte{1}, dst.RKey(), 0, true); err != nil {
+		t.Fatal(err)
+	}
+	c := qa.SendCQ().Wait()
+	if c.WRID != 99 {
+		t.Fatalf("got completion for %d, want only the signaled 99", c.WRID)
+	}
+	if _, ok := qa.SendCQ().TryPoll(); ok {
+		t.Fatal("unsignaled writes produced completions")
+	}
+}
+
+func TestRead(t *testing.T) {
+	_, b, qa, _ := newPair(t, Config{})
+	src := b.MustRegister(32)
+	copy(src.Bytes(), "remote data to pull")
+	buf := make([]byte, 19)
+	if err := qa.PostRead(3, buf, src.RKey(), 0); err != nil {
+		t.Fatal(err)
+	}
+	c := qa.SendCQ().Wait()
+	if c.Err != nil || c.Op != OpRead {
+		t.Fatalf("completion %+v", c)
+	}
+	if string(buf) != "remote data to pull" {
+		t.Fatalf("read %q", buf)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	_, _, qa, qb := newPair(t, Config{})
+	recvBuf := make([]byte, 64)
+	if err := qb.PostRecv(11, recvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSend(22, []byte("two-sided"), true); err != nil {
+		t.Fatal(err)
+	}
+	rc := qb.RecvCQ().Wait()
+	if rc.Err != nil || rc.WRID != 11 || rc.Bytes != 9 {
+		t.Fatalf("recv completion %+v", rc)
+	}
+	if string(recvBuf[:rc.Bytes]) != "two-sided" {
+		t.Fatalf("recv payload %q", recvBuf[:rc.Bytes])
+	}
+	sc := qa.SendCQ().Wait()
+	if sc.Err != nil || sc.WRID != 22 {
+		t.Fatalf("send completion %+v", sc)
+	}
+}
+
+func TestSendStallsUntilRecvPosted(t *testing.T) {
+	_, _, qa, qb := newPair(t, Config{})
+	if err := qa.PostSend(1, []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := qa.SendCQ().TryPoll(); ok {
+		t.Fatal("send completed with no posted receive")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, ok := qa.SendCQ().TryPoll(); ok {
+		t.Fatal("send completed with no posted receive after delay")
+	}
+	if err := qb.PostRecv(2, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if c := qa.SendCQ().Wait(); c.Err != nil {
+		t.Fatalf("send completion after recv posted: %+v", c)
+	}
+}
+
+func TestRecvTooSmall(t *testing.T) {
+	_, _, qa, qb := newPair(t, Config{})
+	if err := qb.PostRecv(1, make([]byte, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSend(2, []byte("bigger than two"), true); err != nil {
+		t.Fatal(err)
+	}
+	if c := qa.SendCQ().Wait(); !errors.Is(c.Err, ErrRecvTooSmall) {
+		t.Fatalf("send completion err = %v, want ErrRecvTooSmall", c.Err)
+	}
+	if c := qb.RecvCQ().Wait(); !errors.Is(c.Err, ErrRecvTooSmall) {
+		t.Fatalf("recv completion err = %v, want ErrRecvTooSmall", c.Err)
+	}
+}
+
+func TestBadRKeyFailsCompletion(t *testing.T) {
+	_, _, qa, _ := newPair(t, Config{})
+	if err := qa.PostWrite(1, []byte{1}, 0xdead, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// Errors complete even when unsignaled.
+	if c := qa.SendCQ().Wait(); !errors.Is(c.Err, ErrInvalidRKey) {
+		t.Fatalf("err = %v, want ErrInvalidRKey", c.Err)
+	}
+}
+
+func TestOutOfBounds(t *testing.T) {
+	_, b, qa, _ := newPair(t, Config{})
+	dst := b.MustRegister(16)
+	if err := qa.PostWrite(1, make([]byte, 17), dst.RKey(), 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if c := qa.SendCQ().Wait(); !errors.Is(c.Err, ErrOutOfBounds) {
+		t.Fatalf("err = %v, want ErrOutOfBounds", c.Err)
+	}
+	if err := qa.PostWrite(2, make([]byte, 8), dst.RKey(), 9, true); err != nil {
+		t.Fatal(err)
+	}
+	if c := qa.SendCQ().Wait(); !errors.Is(c.Err, ErrOutOfBounds) {
+		t.Fatalf("err = %v, want ErrOutOfBounds", c.Err)
+	}
+}
+
+func TestDeregisteredRegion(t *testing.T) {
+	_, b, qa, _ := newPair(t, Config{})
+	dst := b.MustRegister(16)
+	dst.Deregister()
+	if err := qa.PostWrite(1, []byte{1}, dst.RKey(), 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if c := qa.SendCQ().Wait(); !errors.Is(c.Err, ErrInvalidRKey) {
+		t.Fatalf("err = %v, want ErrInvalidRKey", c.Err)
+	}
+}
+
+func TestRemoteAtomics(t *testing.T) {
+	_, b, qa, _ := newPair(t, Config{})
+	mr := b.MustRegister(16)
+	if err := mr.AtomicStore(8, 41); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostFetchAdd(1, mr.RKey(), 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := qa.SendCQ().Wait()
+	if c.Err != nil || c.Imm != 41 {
+		t.Fatalf("fetch-add completion %+v", c)
+	}
+	v, err := mr.AtomicLoad(8)
+	if err != nil || v != 42 {
+		t.Fatalf("value = %d err = %v", v, err)
+	}
+
+	if err := qa.PostCompareSwap(2, mr.RKey(), 8, 42, 100); err != nil {
+		t.Fatal(err)
+	}
+	c = qa.SendCQ().Wait()
+	if c.Err != nil || c.Imm != 42 {
+		t.Fatalf("cas completion %+v", c)
+	}
+	if v, _ := mr.AtomicLoad(8); v != 100 {
+		t.Fatalf("cas did not apply, value = %d", v)
+	}
+
+	// Failed CAS leaves the value and reports the original.
+	if err := qa.PostCompareSwap(3, mr.RKey(), 8, 42, 7); err != nil {
+		t.Fatal(err)
+	}
+	c = qa.SendCQ().Wait()
+	if c.Err != nil || c.Imm != 100 {
+		t.Fatalf("failed cas completion %+v", c)
+	}
+	if v, _ := mr.AtomicLoad(8); v != 100 {
+		t.Fatalf("failed cas mutated value to %d", v)
+	}
+}
+
+func TestAtomicMisaligned(t *testing.T) {
+	_, b, qa, _ := newPair(t, Config{})
+	mr := b.MustRegister(16)
+	if err := qa.PostFetchAdd(1, mr.RKey(), 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c := qa.SendCQ().Wait(); !errors.Is(c.Err, ErrMisaligned) {
+		t.Fatalf("err = %v, want ErrMisaligned", c.Err)
+	}
+}
+
+func TestConcurrentFetchAddIsAtomic(t *testing.T) {
+	f := NewFabric(Config{})
+	hub := f.MustNIC("hub")
+	ctr := hub.MustRegister(8)
+	const peers = 4
+	const addsEach = 500
+	var wg sync.WaitGroup
+	for p := 0; p < peers; p++ {
+		nic := f.MustNIC(string(rune('p' + p)))
+		qp, _, err := Connect(nic, hub, QPOptions{}, QPOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(qp *QueuePair) {
+			defer wg.Done()
+			for i := 0; i < addsEach; i++ {
+				if err := qp.PostFetchAdd(uint64(i), ctr.RKey(), 0, 1); err != nil {
+					t.Error(err)
+					return
+				}
+				if c := qp.SendCQ().Wait(); c.Err != nil {
+					t.Error(c.Err)
+					return
+				}
+			}
+		}(qp)
+	}
+	wg.Wait()
+	if v, _ := ctr.AtomicLoad(0); v != peers*addsEach {
+		t.Fatalf("counter = %d, want %d", v, peers*addsEach)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	a, b, qa, _ := newPair(t, Config{LinkBandwidth: 1 << 30})
+	dst := b.MustRegister(1024)
+	if err := qa.PostWrite(1, make([]byte, 1024), dst.RKey(), 0, true); err != nil {
+		t.Fatal(err)
+	}
+	qa.SendCQ().Wait()
+	as, bs := a.Stats(), b.Stats()
+	if as.TxBytes != 1024 || as.TxMsgs != 1 {
+		t.Fatalf("sender stats %+v", as)
+	}
+	if bs.RxBytes != 1024 || bs.RxMsgs != 1 {
+		t.Fatalf("receiver stats %+v", bs)
+	}
+	if as.BusyTx <= 0 {
+		t.Fatal("no serialization time accounted")
+	}
+	a.ResetStats()
+	if s := a.Stats(); s.TxBytes != 0 || s.BusyTx != 0 {
+		t.Fatalf("reset failed: %+v", s)
+	}
+}
+
+func TestThrottleShapesBandwidth(t *testing.T) {
+	// 1 MB at 100 MB/s should take ~10ms of wall clock.
+	_, b, qa, _ := newPair(t, Config{LinkBandwidth: 100 << 20, Throttle: true})
+	dst := b.MustRegister(1 << 20)
+	payload := make([]byte, 1<<20)
+	start := time.Now()
+	if err := qa.PostWrite(1, payload, dst.RKey(), 0, true); err != nil {
+		t.Fatal(err)
+	}
+	qa.SendCQ().Wait()
+	if el := time.Since(start); el < 8*time.Millisecond {
+		t.Fatalf("transfer took %v, want >= ~10ms under throttling", el)
+	}
+}
+
+func TestClosePreventsPosting(t *testing.T) {
+	_, b, qa, _ := newPair(t, Config{})
+	dst := b.MustRegister(8)
+	qa.Close()
+	if err := qa.PostWrite(1, []byte{1}, dst.RKey(), 0, true); !errors.Is(err, ErrQPClosed) {
+		t.Fatalf("err = %v, want ErrQPClosed", err)
+	}
+	if err := qa.PostRecv(1, make([]byte, 8)); !errors.Is(err, ErrQPClosed) {
+		t.Fatalf("err = %v, want ErrQPClosed", err)
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	f := NewFabric(Config{})
+	a := f.MustNIC("a")
+	if _, _, err := Connect(a, a, QPOptions{}, QPOptions{}); !errors.Is(err, ErrSameNIC) {
+		t.Fatalf("err = %v, want ErrSameNIC", err)
+	}
+	g := NewFabric(Config{})
+	c := g.MustNIC("c")
+	if _, _, err := Connect(a, c, QPOptions{}, QPOptions{}); !errors.Is(err, ErrOtherFabric) {
+		t.Fatalf("err = %v, want ErrOtherFabric", err)
+	}
+	if _, err := f.NewNIC("a"); err == nil {
+		t.Fatal("duplicate NIC name accepted")
+	}
+}
+
+func TestZeroLengthRejected(t *testing.T) {
+	_, b, qa, _ := newPair(t, Config{})
+	dst := b.MustRegister(8)
+	if err := qa.PostWrite(1, nil, dst.RKey(), 0, true); !errors.Is(err, ErrZeroLength) {
+		t.Fatalf("err = %v, want ErrZeroLength", err)
+	}
+	if _, err := b.RegisterMemory(0); !errors.Is(err, ErrZeroLength) {
+		t.Fatalf("err = %v, want ErrZeroLength", err)
+	}
+}
+
+func TestQuickWriteReadRoundTrip(t *testing.T) {
+	_, b, qa, _ := newPair(t, Config{})
+	region := b.MustRegister(4096)
+	rng := rand.New(rand.NewSource(1))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		off := r.Intn(4000)
+		n := 1 + r.Intn(4096-off)
+		payload := make([]byte, n)
+		r.Read(payload)
+		if err := qa.PostWrite(1, payload, region.RKey(), off, true); err != nil {
+			return false
+		}
+		if c := qa.SendCQ().Wait(); c.Err != nil {
+			return false
+		}
+		back := make([]byte, n)
+		if err := qa.PostRead(2, back, region.RKey(), off); err != nil {
+			return false
+		}
+		if c := qa.SendCQ().Wait(); c.Err != nil {
+			return false
+		}
+		return bytes.Equal(payload, back)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLEHelpers(t *testing.T) {
+	prop := func(v uint64) bool {
+		var b [8]byte
+		putLEU64(b[:], v)
+		return leU64(b[:]) == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

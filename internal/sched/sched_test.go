@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSingleTaskRunsToCompletion(t *testing.T) {
+	p := NewPool(1)
+	var n int
+	p.Worker(0).Add(TaskFunc{TaskName: "count", Fn: func() Status {
+		n++
+		if n == 10 {
+			return Done
+		}
+		return Ready
+	}})
+	p.Run()
+	if n != 10 {
+		t.Fatalf("steps = %d, want 10", n)
+	}
+	st := p.Stats()
+	if st.Steps != 10 || st.ReadySteps != 9 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIdleTasksDoNotStallReadyTasks(t *testing.T) {
+	// An always-idle "RDMA poll" task must not prevent a compute task from
+	// making progress on the same worker (§5.3).
+	p := NewPool(1)
+	var computeSteps, pollSteps int
+	var stopPolling atomic.Bool
+	p.Worker(0).Add(TaskFunc{TaskName: "poll", Fn: func() Status {
+		pollSteps++
+		if stopPolling.Load() {
+			return Done
+		}
+		return Idle
+	}})
+	p.Worker(0).Add(TaskFunc{TaskName: "compute", Fn: func() Status {
+		computeSteps++
+		if computeSteps == 1000 {
+			stopPolling.Store(true)
+			return Done
+		}
+		return Ready
+	}})
+	p.Run()
+	if computeSteps != 1000 {
+		t.Fatalf("compute steps = %d", computeSteps)
+	}
+	if pollSteps == 0 {
+		t.Fatal("poll task never interleaved")
+	}
+}
+
+func TestMultiWorkerIsolation(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers)
+	counts := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		p.Worker(i).Add(TaskFunc{TaskName: "w", Fn: func() Status {
+			counts[i]++
+			if counts[i] == 100 {
+				return Done
+			}
+			return Ready
+		}})
+	}
+	p.Run()
+	for i, c := range counts {
+		if c != 100 {
+			t.Fatalf("worker %d ran %d steps", i, c)
+		}
+	}
+}
+
+func TestDynamicAdd(t *testing.T) {
+	p := NewPool(1)
+	var childRan bool
+	var parentSteps int
+	w := p.Worker(0)
+	w.Add(TaskFunc{TaskName: "parent", Fn: func() Status {
+		parentSteps++
+		if parentSteps == 5 {
+			w.Add(TaskFunc{TaskName: "child", Fn: func() Status {
+				childRan = true
+				return Done
+			}})
+			return Done
+		}
+		return Ready
+	}})
+	p.Run()
+	if !childRan {
+		t.Fatal("dynamically added task never ran")
+	}
+}
+
+func TestStop(t *testing.T) {
+	p := NewPool(2)
+	var spins atomic.Int64
+	for i := 0; i < 2; i++ {
+		p.Worker(i).Add(TaskFunc{TaskName: "spin", Fn: func() Status {
+			if spins.Add(1) == 100 {
+				p.Stop()
+			}
+			return Ready
+		}})
+	}
+	p.Run() // must return because of Stop even though tasks never finish
+	if spins.Load() < 100 {
+		t.Fatalf("spins = %d", spins.Load())
+	}
+}
+
+func TestInvalidStatusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid status")
+		}
+	}()
+	w := &Worker{}
+	w.Add(TaskFunc{TaskName: "bad", Fn: func() Status { return Status(42) }})
+	w.run()
+}
+
+func TestIdleRoundsCounted(t *testing.T) {
+	p := NewPool(1)
+	n := 0
+	p.Worker(0).Add(TaskFunc{TaskName: "mostly-idle", Fn: func() Status {
+		n++
+		if n >= 50 {
+			return Done
+		}
+		return Idle
+	}})
+	p.Run()
+	if st := p.Stats(); st.IdleRounds == 0 {
+		t.Fatalf("idle rounds not counted: %+v", st)
+	}
+}

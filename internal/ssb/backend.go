@@ -1,0 +1,569 @@
+package ssb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/stream"
+	"github.com/slash-stream/slash/internal/vclock"
+)
+
+// ChunkKind tags state-synchronization messages.
+type ChunkKind uint8
+
+// Chunk kinds: data chunks carry a raw log region of one (window, partition)
+// fragment; heartbeats carry only the sender's watermark so progress flows
+// even when a thread produced no state for a leader.
+const (
+	ChunkData ChunkKind = iota + 1
+	ChunkHeartbeat
+)
+
+// Chunk is one unit of the epoch-based coherence protocol (§7.2.2): a delta
+// of a helper fragment in flight from a helper thread to a partition leader,
+// with the vector-clock update piggybacked on it.
+type Chunk struct {
+	// Window identifies the window bucket whose state this chunk carries.
+	Window uint64
+	// Epoch is the sender's epoch counter at flush time; it versions the
+	// partition content and orders updates from the same sender.
+	Epoch uint64
+	// Watermark is the sender thread's event-time low watermark.
+	Watermark stream.Watermark
+	// Thread is the global id of the sending executor thread.
+	Thread int
+	// Partition is the destination key-space partition.
+	Partition int
+	// Kind distinguishes data chunks from heartbeats.
+	Kind ChunkKind
+	// Payload is a raw log region (ChunkData only).
+	Payload []byte
+}
+
+// ChunkHeaderSize is the wire size of an encoded chunk header:
+// window u64 | epoch u64 | watermark i64 | thread u32 | partition u32 |
+// kind u8 | reserved [3]u8 | paylen u32.
+const ChunkHeaderSize = 40
+
+// EncodedSize returns the wire size of the chunk.
+func (c *Chunk) EncodedSize() int { return ChunkHeaderSize + len(c.Payload) }
+
+// Encode writes the chunk into dst, returning the bytes used.
+func (c *Chunk) Encode(dst []byte) int {
+	putU64(dst[0:], c.Window)
+	putU64(dst[8:], c.Epoch)
+	putU64(dst[16:], uint64(c.Watermark))
+	putU32(dst[24:], uint32(c.Thread))
+	putU32(dst[28:], uint32(c.Partition))
+	dst[32] = byte(c.Kind)
+	dst[33], dst[34], dst[35] = 0, 0, 0
+	putU32(dst[36:], uint32(len(c.Payload)))
+	copy(dst[ChunkHeaderSize:], c.Payload)
+	return ChunkHeaderSize + len(c.Payload)
+}
+
+// DecodeChunk parses src. The payload aliases src; callers that retain the
+// chunk beyond the life of src must copy it.
+func DecodeChunk(src []byte) (Chunk, error) {
+	if len(src) < ChunkHeaderSize {
+		return Chunk{}, ErrChunkFormat
+	}
+	c := Chunk{
+		Window:    getU64(src[0:]),
+		Epoch:     getU64(src[8:]),
+		Watermark: stream.Watermark(getU64(src[16:])),
+		Thread:    int(getU32(src[24:])),
+		Partition: int(getU32(src[28:])),
+		Kind:      ChunkKind(src[32]),
+	}
+	if c.Kind != ChunkData && c.Kind != ChunkHeartbeat {
+		return Chunk{}, fmt.Errorf("%w: kind %d", ErrChunkFormat, c.Kind)
+	}
+	plen := int(getU32(src[36:]))
+	if ChunkHeaderSize+plen > len(src) {
+		return Chunk{}, fmt.Errorf("%w: payload overflows buffer", ErrChunkFormat)
+	}
+	c.Payload = src[ChunkHeaderSize : ChunkHeaderSize+plen]
+	return c, nil
+}
+
+// Sender ships encoded chunks to one destination executor. The Slash core
+// implements it over RDMA channels; tests use an in-memory loopback.
+type Sender interface {
+	Send(c *Chunk) error
+}
+
+// Config describes one executor's view of the SSB deployment.
+type Config struct {
+	// Node is this executor's id; it is the leader of partition Node.
+	Node int
+	// Nodes is the number of executors (= number of primary partitions).
+	Nodes int
+	// ThreadsPerNode is the worker thread count per executor; vector
+	// clocks carry one entry per thread cluster-wide.
+	ThreadsPerNode int
+	// Agg selects the CRDT: a commutative aggregate, or nil for holistic
+	// (bag) state.
+	Agg crdt.Aggregate
+	// ChunkSize caps one data chunk's payload. Defaults to 16 KiB.
+	ChunkSize int
+	// EpochBytes is the epoch length in ingested bytes per thread (§8.1.1
+	// configures 64 MB cluster-wide; scale per deployment). Defaults to
+	// 1 MiB.
+	EpochBytes int64
+	// WindowEnd maps a window id to its end timestamp, provided by the
+	// window assigner. A window triggers once the vector clock covers it.
+	WindowEnd func(win uint64) stream.Watermark
+}
+
+// DefaultChunkSize caps chunk payloads when Config.ChunkSize is zero.
+const DefaultChunkSize = 16 * 1024
+
+// DefaultEpochBytes is the per-thread epoch length when unset.
+const DefaultEpochBytes = 1 << 20
+
+// Errors surfaced by the protocol.
+var (
+	ErrStaleEpoch     = errors.New("ssb: chunk epoch regressed")
+	ErrLateChunk      = errors.New("ssb: data chunk for an already-triggered window")
+	ErrBadDestination = errors.New("ssb: chunk routed to wrong leader")
+)
+
+// Backend is one executor's state backend instance. It plays two roles:
+// helper threads (ThreadState) eagerly maintain fragments of every
+// partition, and the leader side merges inbound deltas of its own primary
+// partition and triggers windows.
+type Backend struct {
+	cfg     Config
+	senders []Sender
+
+	mu        sync.Mutex
+	primary   map[uint64]*Table
+	triggered map[uint64]bool
+	clock     *vclock.Clock
+	lastEpoch []uint64
+	tablePool []*Table
+
+	// statistics
+	chunksMerged  uint64
+	bytesMerged   uint64
+	windowsOutput uint64
+}
+
+// New creates a backend. senders[i] must ship chunks to executor i; the
+// entry for the own node may be nil (local flushes short-circuit).
+func New(cfg Config, senders []Sender) (*Backend, error) {
+	if cfg.Nodes < 1 || cfg.Node < 0 || cfg.Node >= cfg.Nodes {
+		return nil, fmt.Errorf("ssb: invalid node %d of %d", cfg.Node, cfg.Nodes)
+	}
+	if cfg.ThreadsPerNode < 1 {
+		return nil, fmt.Errorf("ssb: invalid threads per node %d", cfg.ThreadsPerNode)
+	}
+	if cfg.ChunkSize == 0 {
+		cfg.ChunkSize = DefaultChunkSize
+	}
+	if cfg.EpochBytes == 0 {
+		cfg.EpochBytes = DefaultEpochBytes
+	}
+	if cfg.WindowEnd == nil {
+		return nil, errors.New("ssb: WindowEnd is required")
+	}
+	if len(senders) != cfg.Nodes {
+		return nil, fmt.Errorf("ssb: %d senders for %d nodes", len(senders), cfg.Nodes)
+	}
+	return &Backend{
+		cfg:       cfg,
+		senders:   senders,
+		primary:   make(map[uint64]*Table),
+		triggered: make(map[uint64]bool),
+		clock:     vclock.New(cfg.Nodes * cfg.ThreadsPerNode),
+		lastEpoch: make([]uint64, cfg.Nodes*cfg.ThreadsPerNode),
+	}, nil
+}
+
+// Partition maps a key to its primary partition (and thus leader executor).
+func (b *Backend) Partition(key uint64) int {
+	return int(mix64(key) % uint64(b.cfg.Nodes))
+}
+
+// Clock exposes the leader's progress clock (for diagnostics and tests).
+func (b *Backend) Clock() *vclock.Clock { return b.clock }
+
+// newTable builds a fragment table matching the configured CRDT.
+func (b *Backend) newTable() *Table {
+	if b.cfg.Agg != nil {
+		return NewAggTable(b.cfg.Agg)
+	}
+	return NewBagTable()
+}
+
+// takeTable reuses a pooled, reset table if available. Pooling avoids
+// rebuilding hash-index bucket arrays and reallocating logs for every
+// window and epoch (the log "adaptively resizes" and keeps its capacity,
+// §7.2.1). Callers must hold b.mu.
+func (b *Backend) takeTable() *Table {
+	if n := len(b.tablePool); n > 0 {
+		t := b.tablePool[n-1]
+		b.tablePool = b.tablePool[:n-1]
+		return t
+	}
+	return b.newTable()
+}
+
+// putTable resets and pools a table. Callers must hold b.mu.
+func (b *Backend) putTable(t *Table) {
+	if len(b.tablePool) < 64 {
+		t.Reset()
+		b.tablePool = append(b.tablePool, t)
+	}
+}
+
+// HandleChunk is the leader half of the synchronization phase: it merges a
+// delta into the primary partition and folds the piggybacked watermark into
+// the vector clock. Chunks from one sender must arrive in FIFO order (the
+// RDMA channel guarantees this).
+func (b *Backend) HandleChunk(c *Chunk) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c.Thread < 0 || c.Thread >= b.cfg.Nodes*b.cfg.ThreadsPerNode {
+		return fmt.Errorf("%w: thread %d", ErrChunkFormat, c.Thread)
+	}
+	if c.Epoch < b.lastEpoch[c.Thread] {
+		return fmt.Errorf("%w: epoch %d after %d from thread %d", ErrStaleEpoch, c.Epoch, b.lastEpoch[c.Thread], c.Thread)
+	}
+	b.lastEpoch[c.Thread] = c.Epoch
+	if c.Kind == ChunkData {
+		if c.Partition != b.cfg.Node {
+			return fmt.Errorf("%w: partition %d at leader %d", ErrBadDestination, c.Partition, b.cfg.Node)
+		}
+		if b.triggered[c.Window] {
+			return fmt.Errorf("%w: window %d", ErrLateChunk, c.Window)
+		}
+		tbl := b.primary[c.Window]
+		if tbl == nil {
+			tbl = b.takeTable()
+			b.primary[c.Window] = tbl
+		}
+		if err := tbl.MergeDelta(c.Payload); err != nil {
+			return err
+		}
+		b.chunksMerged++
+		b.bytesMerged += uint64(len(c.Payload))
+	}
+	// Merging happens before the watermark becomes visible, so a trigger
+	// that observes the new clock entry also observes the merged state.
+	b.clock.Observe(c.Thread, c.Watermark)
+	return nil
+}
+
+// EmitAgg receives one aggregate group of a triggered window.
+type EmitAgg func(win uint64, key uint64, result int64)
+
+// EmitBag receives one key's merged bag of a triggered window.
+type EmitBag func(win uint64, key uint64, elems []crdt.BagElem)
+
+// TriggerReady fires every pending window whose end timestamp the vector
+// clock covers (property P1: no result at timestamp t may be computed from
+// records with timestamps greater than t — covered means every thread in
+// the cluster has moved past the window end). Triggered windows are
+// discarded; the number of windows fired is returned.
+func (b *Backend) TriggerReady(emitAgg EmitAgg, emitBag EmitBag) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var ready []uint64
+	for win := range b.primary {
+		if b.clock.Covers(b.cfg.WindowEnd(win)) {
+			ready = append(ready, win)
+		}
+	}
+	// Deterministic output order across runs.
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	for _, win := range ready {
+		tbl := b.primary[win]
+		if b.cfg.Agg != nil {
+			agg := b.cfg.Agg
+			tbl.ForEachAgg(func(key uint64, state []byte) {
+				if emitAgg != nil {
+					emitAgg(win, key, agg.Result(state))
+				}
+			})
+		} else if emitBag != nil {
+			tbl.ForEachBag(func(key uint64, elems []crdt.BagElem) {
+				emitBag(win, key, elems)
+			})
+		}
+		b.putTable(tbl)
+		delete(b.primary, win)
+		b.triggered[win] = true
+		b.windowsOutput++
+	}
+	return len(ready)
+}
+
+// PendingWindows returns the number of un-triggered windows with state.
+func (b *Backend) PendingWindows() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.primary)
+}
+
+// Stats reports merge-side counters.
+type Stats struct {
+	ChunksMerged  uint64
+	BytesMerged   uint64
+	WindowsOutput uint64
+}
+
+// Stats snapshots the leader-side counters.
+func (b *Backend) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{ChunksMerged: b.chunksMerged, BytesMerged: b.bytesMerged, WindowsOutput: b.windowsOutput}
+}
+
+// tableKey identifies one helper fragment: a window bucket of one partition.
+type tableKey struct {
+	win  uint64
+	part int
+}
+
+// ThreadState is the helper half of the SSB owned by a single executor
+// thread: eager, thread-local partial state for every partition (§7.1.2).
+// Per-record updates touch only thread-local memory — no queueing, no
+// skew-sensitive partitioning — and epochs lazily reconcile the fragments
+// with their leaders.
+type ThreadState struct {
+	be     *Backend
+	gtid   int
+	tables map[tableKey]*Table
+	pool   []*Table
+	// cache is a small direct-mapped (window → per-partition tables)
+	// cache that keeps the per-record fast path off the Go map for the
+	// common case of consecutive records hitting the same few windows.
+	cache [tableCacheSlots]struct {
+		win    uint64
+		valid  bool
+		tables []*Table
+	}
+	wm    stream.Watermark
+	epoch uint64
+	pend  int64 // bytes ingested since last flush
+
+	// statistics for the drill-down experiments
+	updates      uint64
+	flushes      uint64
+	chunksSent   uint64
+	bytesShipped uint64
+}
+
+// Thread creates the state handle for local thread index i.
+func (b *Backend) Thread(i int) *ThreadState {
+	if i < 0 || i >= b.cfg.ThreadsPerNode {
+		panic(fmt.Sprintf("ssb: thread %d out of range", i))
+	}
+	return &ThreadState{
+		be:     b,
+		gtid:   b.cfg.Node*b.cfg.ThreadsPerNode + i,
+		tables: make(map[tableKey]*Table),
+		wm:     stream.NoWatermark,
+	}
+}
+
+// GlobalThreadID returns the cluster-wide thread id (the vector clock slot).
+func (ts *ThreadState) GlobalThreadID() int { return ts.gtid }
+
+// Watermark returns the thread's current low watermark.
+func (ts *ThreadState) Watermark() stream.Watermark { return ts.wm }
+
+// tableCacheSlots sizes the direct-mapped window cache (enough for the
+// in-flight windows of tumbling and small sliding assigners).
+const tableCacheSlots = 4
+
+func (ts *ThreadState) table(win uint64, part int) *Table {
+	c := &ts.cache[win%tableCacheSlots]
+	if c.valid && c.win == win {
+		if t := c.tables[part]; t != nil {
+			return t
+		}
+	} else {
+		c.win = win
+		c.valid = true
+		if c.tables == nil {
+			c.tables = make([]*Table, ts.be.cfg.Nodes)
+		} else {
+			for i := range c.tables {
+				c.tables[i] = nil
+			}
+		}
+	}
+	k := tableKey{win: win, part: part}
+	t := ts.tables[k]
+	if t == nil {
+		if n := len(ts.pool); n > 0 {
+			t = ts.pool[n-1]
+			ts.pool = ts.pool[:n-1]
+		} else {
+			t = ts.be.newTable()
+		}
+		ts.tables[k] = t
+	}
+	c.tables[part] = t
+	return t
+}
+
+// invalidateCache drops the window cache (after Flush recycled tables).
+func (ts *ThreadState) invalidateCache() {
+	for i := range ts.cache {
+		ts.cache[i].valid = false
+	}
+}
+
+// UpdateAgg is the stateful fast path for aggregations: fold rec into the
+// thread-local fragment of rec.Key's partition.
+func (ts *ThreadState) UpdateAgg(win uint64, rec *stream.Record) error {
+	ts.updates++
+	if rec.Time > ts.wm {
+		ts.wm = rec.Time
+	}
+	return ts.table(win, ts.be.Partition(rec.Key)).UpdateAgg(rec)
+}
+
+// AppendBag is the stateful fast path for holistic state: append an element
+// to key's bag in the thread-local fragment.
+func (ts *ThreadState) AppendBag(win uint64, key uint64, e *crdt.BagElem) error {
+	ts.updates++
+	if e.Time > ts.wm {
+		ts.wm = e.Time
+	}
+	return ts.table(win, ts.be.Partition(key)).AppendBag(key, e)
+}
+
+// ObserveTime advances the thread watermark for records that did not update
+// state (e.g. filtered out), keeping progress flowing.
+func (ts *ThreadState) ObserveTime(t stream.Watermark) {
+	if t > ts.wm {
+		ts.wm = t
+	}
+}
+
+// Ingest accounts n ingested bytes and reports whether the epoch boundary
+// was reached, in which case the caller should Flush. Epoch length is a
+// data volume, matching the paper's 64 MB epochs (§8.1.1).
+func (ts *ThreadState) Ingest(n int) bool {
+	ts.pend += int64(n)
+	return ts.pend >= ts.be.cfg.EpochBytes
+}
+
+// StateBytes returns the total log bytes held by this thread's fragments.
+func (ts *ThreadState) StateBytes() int {
+	total := 0
+	for _, t := range ts.tables {
+		total += t.LogBytes()
+	}
+	return total
+}
+
+// Flush runs the helper side of the synchronization phase (§7.2.2):
+//
+//  1. increment the epoch counter,
+//  2. freeze each modified fragment (the executor thread owns the table, so
+//     freezing is implicit in the synchronous flush),
+//  3. transfer the delta — the raw log region — to each partition leader in
+//     chunks over the RDMA channels, piggybacking the thread watermark,
+//  4. invalidate the transferred fragments so later RMWs restart from the
+//     CRDT identity.
+//
+// A heartbeat chunk goes to every leader so the vector clock advances even
+// where no data flowed.
+func (ts *ThreadState) Flush() error {
+	ts.epoch++
+	ts.flushes++
+	ts.pend = 0
+	for key, tbl := range ts.tables {
+		if tbl.LogBytes() == 0 {
+			continue
+		}
+		// Data chunks deliberately carry no watermark promise: the flush's
+		// remaining chunks still hold records below ts.wm, so advancing the
+		// leader's clock here could trigger a window whose data is still in
+		// flight. The trailing heartbeat (sent last, FIFO behind all data)
+		// carries the real watermark.
+		c := Chunk{
+			Window:    key.win,
+			Epoch:     ts.epoch,
+			Watermark: stream.NoWatermark,
+			Thread:    ts.gtid,
+			Partition: key.part,
+			Kind:      ChunkData,
+		}
+		err := tbl.SerializeDelta(ts.be.cfg.ChunkSize, func(region []byte) error {
+			c.Payload = region
+			ts.chunksSent++
+			ts.bytesShipped += uint64(len(region))
+			return ts.deliver(&c, key.part)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Invalidate everything shipped (§7.2.2 step 4) and recycle the table
+	// capacity for the next epoch's fragments.
+	ts.invalidateCache()
+	for k, t := range ts.tables {
+		if len(ts.pool) < 64 {
+			t.Reset()
+			ts.pool = append(ts.pool, t)
+		}
+		delete(ts.tables, k)
+	}
+	// Heartbeats carry the watermark to every leader.
+	hb := Chunk{Epoch: ts.epoch, Watermark: ts.wm, Thread: ts.gtid, Kind: ChunkHeartbeat}
+	for part := 0; part < ts.be.cfg.Nodes; part++ {
+		hb.Partition = part
+		if err := ts.deliver(&hb, part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FinishStream flushes remaining state with a watermark of +infinity,
+// letting every pending window trigger.
+func (ts *ThreadState) FinishStream() error {
+	ts.wm = math.MaxInt64
+	return ts.Flush()
+}
+
+func (ts *ThreadState) deliver(c *Chunk, dest int) error {
+	if dest == ts.be.cfg.Node {
+		// Loopback: the local leader merges directly; no network transfer.
+		return ts.be.HandleChunk(c)
+	}
+	s := ts.be.senders[dest]
+	if s == nil {
+		return fmt.Errorf("ssb: no sender for node %d", dest)
+	}
+	return s.Send(c)
+}
+
+// ThreadStats reports helper-side counters.
+type ThreadStats struct {
+	Updates      uint64
+	Flushes      uint64
+	ChunksSent   uint64
+	BytesShipped uint64
+}
+
+// Stats snapshots the thread counters.
+func (ts *ThreadState) Stats() ThreadStats {
+	return ThreadStats{
+		Updates:      ts.updates,
+		Flushes:      ts.flushes,
+		ChunksSent:   ts.chunksSent,
+		BytesShipped: ts.bytesShipped,
+	}
+}

@@ -1,0 +1,106 @@
+package ssb
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/stream"
+)
+
+// Micro-benchmarks for the SSB hot paths: the per-record RMW update (the
+// engine's common case, §7.1.2), the bag append (join state), and the
+// leader-side delta merge (§7.2.2).
+
+func BenchmarkUpdateAgg(b *testing.B) {
+	for _, keys := range []int{1 << 10, 1 << 16} {
+		b.Run(benchName("keys", keys), func(b *testing.B) {
+			tbl := NewAggTable(crdt.Sum{})
+			rng := rand.New(rand.NewSource(1))
+			recs := make([]stream.Record, 1<<12)
+			for i := range recs {
+				recs[i] = stream.Record{Key: uint64(rng.Intn(keys)), V0: int64(i)}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tbl.UpdateAgg(&recs[i&(len(recs)-1)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAppendBag(b *testing.B) {
+	tbl := NewBagTable()
+	e := crdt.BagElem{Time: 1, Val: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tbl.AppendBag(uint64(i&1023), &e); err != nil {
+			b.Fatal(err)
+		}
+		if tbl.LogBytes() > 64<<20 {
+			b.StopTimer()
+			tbl.Reset()
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkMergeDelta(b *testing.B) {
+	// One pre-serialized 16 KiB delta region merged repeatedly: the
+	// leader-side cost per epoch chunk.
+	src := NewAggTable(crdt.Sum{})
+	rng := rand.New(rand.NewSource(2))
+	for src.LogBytes() < 16<<10 {
+		r := stream.Record{Key: uint64(rng.Intn(1 << 20)), V0: 1}
+		if err := src.UpdateAgg(&r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var region []byte
+	if err := src.SerializeDelta(1<<20, func(r []byte) error {
+		region = append([]byte(nil), r...)
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	dst := NewAggTable(crdt.Sum{})
+	b.SetBytes(int64(len(region)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dst.MergeDelta(region); err != nil {
+			b.Fatal(err)
+		}
+		if dst.LogBytes() > 64<<20 {
+			b.StopTimer()
+			dst.Reset()
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkIndexLookupOrReserve(b *testing.B) {
+	ix := newIndex()
+	for i := uint64(0); i < 1<<16; i++ {
+		ix.set(i, int32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.lookupOrReserve(uint64(i & (1<<16 - 1)))
+	}
+}
+
+func benchName(k string, v int) string {
+	switch {
+	case v >= 1<<20:
+		return k + "=1M"
+	case v >= 1<<16:
+		return k + "=64K"
+	default:
+		return k + "=1K"
+	}
+}

@@ -1,0 +1,181 @@
+// Package ssb implements the Slash State Backend (§7): a distributed,
+// concurrent key-value store for in-memory operator state. Each executor
+// thread eagerly updates thread-local, log-structured fragments; at epoch
+// boundaries fragments are shipped as raw delta chunks over RDMA channels to
+// the partition's leader executor, which merges them with CRDT semantics.
+// Vector-clock entries piggyback on the chunks so leaders can trigger
+// event-time windows consistently (properties P1 and P2 of §5.1).
+package ssb
+
+// index is a FASTER-style hash index (§7.2.1): an array of multi-slot
+// buckets chained through an overflow pool, mapping keys to offsets in the
+// log-structured storage. Decoupling the index from storage keeps updates
+// log-local (temporal locality) and lets delta detection avoid pointer
+// chasing — the delta is simply a log region.
+type index struct {
+	buckets  []bucket
+	overflow []bucket
+	count    int
+}
+
+// slotsPerBucket × 16 bytes + occupancy/chain metadata ≈ one cache line per
+// bucket, mirroring FASTER's 64-byte bucket design.
+const slotsPerBucket = 4
+
+type bucket struct {
+	keys     [slotsPerBucket]uint64
+	offs     [slotsPerBucket]int32
+	occupied uint8
+	next     int32 // 1-based index into overflow; 0 = end of chain
+}
+
+const minBuckets = 64
+
+func newIndex() *index {
+	return &index{buckets: make([]bucket, minBuckets)}
+}
+
+// mix64 is the splitmix64 finalizer, a strong cheap hash for 64-bit keys.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (ix *index) bucketFor(key uint64) int {
+	return int(mix64(key) & uint64(len(ix.buckets)-1))
+}
+
+// get returns the log offset for key.
+func (ix *index) get(key uint64) (int32, bool) {
+	b := &ix.buckets[ix.bucketFor(key)]
+	for {
+		for s := 0; s < slotsPerBucket; s++ {
+			if b.occupied&(1<<s) != 0 && b.keys[s] == key {
+				return b.offs[s], true
+			}
+		}
+		if b.next == 0 {
+			return 0, false
+		}
+		b = &ix.overflow[b.next-1]
+	}
+}
+
+// set inserts or updates the offset for key.
+func (ix *index) set(key uint64, off int32) {
+	if ix.count >= len(ix.buckets)*slotsPerBucket*3/4 {
+		ix.grow()
+	}
+	b := &ix.buckets[ix.bucketFor(key)]
+	var free *bucket
+	freeSlot := -1
+	for {
+		for s := 0; s < slotsPerBucket; s++ {
+			if b.occupied&(1<<s) != 0 {
+				if b.keys[s] == key {
+					b.offs[s] = off
+					return
+				}
+			} else if freeSlot < 0 {
+				free, freeSlot = b, s
+			}
+		}
+		if b.next == 0 {
+			break
+		}
+		b = &ix.overflow[b.next-1]
+	}
+	if freeSlot < 0 {
+		// Chain a fresh overflow bucket off the tail.
+		ix.overflow = append(ix.overflow, bucket{})
+		b.next = int32(len(ix.overflow))
+		free, freeSlot = &ix.overflow[len(ix.overflow)-1], 0
+	}
+	free.keys[freeSlot] = key
+	free.offs[freeSlot] = off
+	free.occupied |= 1 << freeSlot
+	ix.count++
+}
+
+// lookupOrReserve finds key's slot, or claims a free slot for it, in a
+// single chain walk — the upsert fast path of the per-record RMW. The
+// returned pointer stays valid until the next set/lookupOrReserve call
+// (growth rehashes in place before any slot is touched).
+func (ix *index) lookupOrReserve(key uint64) (off *int32, found bool) {
+	if ix.count >= len(ix.buckets)*slotsPerBucket*3/4 {
+		ix.grow()
+	}
+	b := &ix.buckets[ix.bucketFor(key)]
+	var free *bucket
+	freeSlot := -1
+	for {
+		for s := 0; s < slotsPerBucket; s++ {
+			if b.occupied&(1<<s) != 0 {
+				if b.keys[s] == key {
+					return &b.offs[s], true
+				}
+			} else if freeSlot < 0 {
+				free, freeSlot = b, s
+			}
+		}
+		if b.next == 0 {
+			break
+		}
+		b = &ix.overflow[b.next-1]
+	}
+	if freeSlot < 0 {
+		ix.overflow = append(ix.overflow, bucket{})
+		b.next = int32(len(ix.overflow))
+		free, freeSlot = &ix.overflow[len(ix.overflow)-1], 0
+	}
+	free.keys[freeSlot] = key
+	free.occupied |= 1 << freeSlot
+	ix.count++
+	return &free.offs[freeSlot], false
+}
+
+// forEach visits every (key, offset) pair.
+func (ix *index) forEach(fn func(key uint64, off int32)) {
+	visit := func(b *bucket) {
+		for s := 0; s < slotsPerBucket; s++ {
+			if b.occupied&(1<<s) != 0 {
+				fn(b.keys[s], b.offs[s])
+			}
+		}
+	}
+	for i := range ix.buckets {
+		b := &ix.buckets[i]
+		for {
+			visit(b)
+			if b.next == 0 {
+				break
+			}
+			b = &ix.overflow[b.next-1]
+		}
+	}
+}
+
+// grow doubles the bucket array and rehashes.
+func (ix *index) grow() {
+	old := *ix
+	ix.buckets = make([]bucket, len(old.buckets)*2)
+	ix.overflow = nil
+	ix.count = 0
+	old.forEach(func(key uint64, off int32) { ix.set(key, off) })
+}
+
+// reset clears the index, keeping the bucket array for reuse.
+func (ix *index) reset() {
+	for i := range ix.buckets {
+		ix.buckets[i] = bucket{}
+	}
+	ix.overflow = ix.overflow[:0]
+	ix.count = 0
+}
+
+// len returns the number of indexed keys.
+func (ix *index) len() int { return ix.count }

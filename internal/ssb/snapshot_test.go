@@ -1,0 +1,208 @@
+package ssb
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/stream"
+)
+
+// buildLoadedBackend drives a 2-node cluster partway through a stream and
+// returns one backend with pending leader state plus the threads to finish
+// the stream with.
+func buildLoadedBackend(t *testing.T, agg crdt.Aggregate) ([]*Backend, []*ThreadState) {
+	t.Helper()
+	bs := newCluster(t, 2, 1, agg, fixedWindowEnd)
+	threads := []*ThreadState{bs[0].Thread(0), bs[1].Thread(0)}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 600; i++ {
+		win := uint64(i / 200)
+		r := stream.Record{
+			Key:  uint64(rng.Intn(40)),
+			Time: int64(i) * 5,
+			V0:   rng.Int63n(50),
+		}
+		ts := threads[i%2]
+		var err error
+		if agg != nil {
+			err = ts.UpdateAgg(win, &r)
+		} else {
+			e := crdt.BagElem{Time: r.Time, Val: r.V0, Side: uint8(i % 2)}
+			err = ts.AppendBag(win, r.Key, &e)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%150 == 149 {
+			if err := ts.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, ts := range threads {
+		if err := ts.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return bs, threads
+}
+
+func collectAgg(b *Backend) map[[2]uint64]int64 {
+	out := map[[2]uint64]int64{}
+	b.TriggerReady(func(win, key uint64, res int64) {
+		out[[2]uint64{win, key}] = res
+	}, nil)
+	return out
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	bs, threads := buildLoadedBackend(t, crdt.Sum{})
+	leader := bs[0]
+
+	var buf bytes.Buffer
+	if err := leader.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	// A fresh backend (a recovered node) restores the checkpoint.
+	senders := make([]Sender, 2)
+	restored, err := New(Config{
+		Node: 0, Nodes: 2, ThreadsPerNode: 1,
+		Agg: crdt.Sum{}, WindowEnd: fixedWindowEnd,
+	}, senders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.PendingWindows() != leader.PendingWindows() {
+		t.Fatalf("pending windows %d, want %d", restored.PendingWindows(), leader.PendingWindows())
+	}
+
+	// Both the original and the restored leader finish the stream
+	// identically: feed the final heartbeats to both.
+	for _, ts := range threads {
+		_ = ts
+	}
+	final := &Chunk{Epoch: 99, Watermark: math.MaxInt64, Kind: ChunkHeartbeat}
+	for gtid := 0; gtid < 2; gtid++ {
+		final.Thread = gtid
+		if err := leader.HandleChunk(final); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.HandleChunk(final); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collectAgg(restored)
+	want := collectAgg(leader)
+	if len(want) == 0 {
+		t.Fatal("no rows from original leader")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("restored emitted %d rows, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("row %v: restored %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestSnapshotRestoreBags(t *testing.T) {
+	bs, _ := buildLoadedBackend(t, nil)
+	leader := bs[1]
+	var buf bytes.Buffer
+	if err := leader.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(Config{
+		Node: 1, Nodes: 2, ThreadsPerNode: 1,
+		WindowEnd: fixedWindowEnd,
+	}, make([]Sender, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	final := &Chunk{Epoch: 99, Watermark: math.MaxInt64, Kind: ChunkHeartbeat}
+	counts := func(b *Backend) map[[2]uint64][2]int {
+		for gtid := 0; gtid < 2; gtid++ {
+			final.Thread = gtid
+			if err := b.HandleChunk(final); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := map[[2]uint64][2]int{}
+		b.TriggerReady(nil, func(win, key uint64, elems []crdt.BagElem) {
+			l, r := 0, 0
+			for _, e := range elems {
+				if e.Side == 0 {
+					l++
+				} else {
+					r++
+				}
+			}
+			out[[2]uint64{win, key}] = [2]int{l, r}
+		})
+		return out
+	}
+	want := counts(leader)
+	got := counts(restored)
+	if len(want) == 0 || len(got) != len(want) {
+		t.Fatalf("rows: got %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("bag %v: got %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestRestoreRejectsMismatch(t *testing.T) {
+	bs, _ := buildLoadedBackend(t, crdt.Sum{})
+	var buf bytes.Buffer
+	if err := bs[0].Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong node id.
+	other, _ := New(Config{Node: 1, Nodes: 2, ThreadsPerNode: 1, Agg: crdt.Sum{}, WindowEnd: fixedWindowEnd}, make([]Sender, 2))
+	if err := other.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("node mismatch err = %v", err)
+	}
+	// Wrong CRDT kind.
+	holistic, _ := New(Config{Node: 0, Nodes: 2, ThreadsPerNode: 1, WindowEnd: fixedWindowEnd}, make([]Sender, 2))
+	if err := holistic.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("kind mismatch err = %v", err)
+	}
+	// Corrupt stream.
+	same, _ := New(Config{Node: 0, Nodes: 2, ThreadsPerNode: 1, Agg: crdt.Sum{}, WindowEnd: fixedWindowEnd}, make([]Sender, 2))
+	if err := same.Restore(bytes.NewReader(buf.Bytes()[:16])); !errors.Is(err, ErrSnapshotFormat) {
+		t.Fatalf("truncated err = %v", err)
+	}
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[0] = 'X'
+	if err := same.Restore(bytes.NewReader(bad)); !errors.Is(err, ErrSnapshotFormat) {
+		t.Fatalf("bad magic err = %v", err)
+	}
+}
+
+func TestSnapshotIsDeterministic(t *testing.T) {
+	bs, _ := buildLoadedBackend(t, crdt.Sum{})
+	var a, b bytes.Buffer
+	if err := bs[0].Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := bs[0].Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two snapshots of the same state differ")
+	}
+}

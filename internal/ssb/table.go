@@ -1,0 +1,338 @@
+package ssb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/stream"
+)
+
+// Table is one log-structured state fragment (§7.2.1): a hash index over a
+// hybrid log of dense key-value entries. Aggregate tables keep one entry per
+// key and update its value in place (RMW); bag tables append one entry per
+// element and chain entries per key through the prev field. The log doubles
+// as the wire format: an epoch delta is a raw log region, shipped without
+// pointer chasing, and the log grows adaptively as partitions shift in size.
+//
+// A Table has a single writer (the owning executor thread, or the leader's
+// merge task); that is the SSB's concurrency discipline, not a limitation —
+// cross-thread merging happens through the epoch protocol.
+type Table struct {
+	agg  crdt.Aggregate // nil for holistic (bag) tables
+	idx  *index
+	log  []byte
+	elem int // total entries appended (bag elements or agg groups)
+}
+
+// Log entry layout:
+//
+//	offset 0:  key   uint64
+//	offset 8:  prev  int32  (bag chain; -1 terminates; meaningless for agg)
+//	offset 12: vlen  uint32
+//	offset 16: value [vlen]byte
+const entryHeaderSize = 16
+
+const noPrev = int32(-1)
+
+// maxLogSize bounds a single table's log so int32 offsets stay valid.
+const maxLogSize = math.MaxInt32 - 1
+
+// Errors returned by table operations.
+var (
+	ErrTableKind   = errors.New("ssb: operation does not match table kind")
+	ErrChunkFormat = errors.New("ssb: malformed delta chunk")
+	ErrLogOverflow = errors.New("ssb: table log exceeds 2 GiB")
+)
+
+// NewAggTable creates a table holding fixed-width aggregate state.
+func NewAggTable(agg crdt.Aggregate) *Table {
+	if agg == nil {
+		panic("ssb: NewAggTable requires an aggregate")
+	}
+	return &Table{agg: agg, idx: newIndex()}
+}
+
+// NewBagTable creates a table holding grow-only bags of elements.
+func NewBagTable() *Table {
+	return &Table{idx: newIndex()}
+}
+
+// Holistic reports whether the table stores bags.
+func (t *Table) Holistic() bool { return t.agg == nil }
+
+// Keys returns the number of distinct keys.
+func (t *Table) Keys() int { return t.idx.len() }
+
+// Entries returns the number of log entries (for bags: total elements).
+func (t *Table) Entries() int { return t.elem }
+
+// LogBytes returns the size of the log, which is also the delta size the
+// next epoch flush will ship.
+func (t *Table) LogBytes() int { return len(t.log) }
+
+// appendEntry writes a new log entry and returns its offset.
+func (t *Table) appendEntry(key uint64, prev int32, value []byte) (int32, error) {
+	off, dst, err := t.appendBlank(key, prev, len(value))
+	if err != nil {
+		return 0, err
+	}
+	copy(dst, value)
+	return off, nil
+}
+
+// appendBlank reserves a new log entry and returns its offset and the
+// in-place value slice, avoiding a staging allocation on the hot path.
+func (t *Table) appendBlank(key uint64, prev int32, vlen int) (int32, []byte, error) {
+	need := entryHeaderSize + vlen
+	if len(t.log)+need > maxLogSize {
+		return 0, nil, ErrLogOverflow
+	}
+	off := int32(len(t.log))
+	t.log = append(t.log, make([]byte, need)...)
+	e := t.log[off:]
+	putU64(e[0:], key)
+	putU32(e[8:], uint32(prev))
+	putU32(e[12:], uint32(vlen))
+	t.elem++
+	return off, e[entryHeaderSize : entryHeaderSize+vlen], nil
+}
+
+// UpdateAgg folds rec into the aggregate state of rec.Key, creating the
+// group on first touch. This is the per-record fast path (read-modify-write
+// on the hybrid log).
+func (t *Table) UpdateAgg(rec *stream.Record) error {
+	if t.agg == nil {
+		return ErrTableKind
+	}
+	slot, found := t.idx.lookupOrReserve(rec.Key)
+	if found {
+		t.agg.Update(t.valueAt(*slot), rec)
+		return nil
+	}
+	off, value, err := t.appendBlank(rec.Key, noPrev, t.agg.Size())
+	if err != nil {
+		return err
+	}
+	t.agg.Init(value)
+	t.agg.Update(value, rec)
+	*slot = off
+	return nil
+}
+
+// MergeAggValue merges an encoded partial aggregate into key's state (the
+// CRDT join used when a leader absorbs helper deltas).
+func (t *Table) MergeAggValue(key uint64, value []byte) error {
+	if t.agg == nil {
+		return ErrTableKind
+	}
+	if len(value) != t.agg.Size() {
+		return fmt.Errorf("%w: value size %d for aggregate %s", ErrChunkFormat, len(value), t.agg.Name())
+	}
+	slot, found := t.idx.lookupOrReserve(key)
+	if found {
+		t.agg.Merge(t.valueAt(*slot), value)
+		return nil
+	}
+	off, err := t.appendEntry(key, noPrev, value)
+	if err != nil {
+		return err
+	}
+	*slot = off
+	return nil
+}
+
+// GetAgg returns the encoded aggregate state for key.
+func (t *Table) GetAgg(key uint64) ([]byte, bool) {
+	if t.agg == nil {
+		return nil, false
+	}
+	off, ok := t.idx.get(key)
+	if !ok {
+		return nil, false
+	}
+	return t.valueAt(off), true
+}
+
+// AppendBag appends one element to key's bag (the holistic-window delta
+// update: state only ever grows, §5.1).
+func (t *Table) AppendBag(key uint64, e *crdt.BagElem) error {
+	if t.agg != nil {
+		return ErrTableKind
+	}
+	slot, found := t.idx.lookupOrReserve(key)
+	prev := noPrev
+	if found {
+		prev = *slot
+	}
+	off, value, err := t.appendBlank(key, prev, crdt.BagElemSize)
+	if err != nil {
+		return err
+	}
+	crdt.EncodeBagElem(value, e)
+	*slot = off
+	return nil
+}
+
+// BagLen returns the number of elements in key's bag.
+func (t *Table) BagLen(key uint64) int {
+	n := 0
+	off, ok := t.idx.get(key)
+	for ok && off != noPrev {
+		n++
+		off = t.prevAt(off)
+	}
+	return n
+}
+
+// valueAt returns the value bytes of the entry at off.
+func (t *Table) valueAt(off int32) []byte {
+	vlen := getU32(t.log[off+12:])
+	start := int(off) + entryHeaderSize
+	return t.log[start : start+int(vlen)]
+}
+
+func (t *Table) prevAt(off int32) int32 {
+	return int32(getU32(t.log[off+8:]))
+}
+
+// ForEachAgg visits every (key, state) pair of an aggregate table.
+func (t *Table) ForEachAgg(fn func(key uint64, state []byte)) {
+	t.idx.forEach(func(key uint64, off int32) {
+		fn(key, t.valueAt(off))
+	})
+}
+
+// ForEachBag visits every key with its collected bag elements. Elements are
+// produced in reverse insertion order (the chain is walked from its head).
+func (t *Table) ForEachBag(fn func(key uint64, elems []crdt.BagElem)) {
+	var scratch []crdt.BagElem
+	t.idx.forEach(func(key uint64, off int32) {
+		scratch = scratch[:0]
+		for off != noPrev {
+			var e crdt.BagElem
+			crdt.DecodeBagElem(t.valueAt(off), &e)
+			scratch = append(scratch, e)
+			off = t.prevAt(off)
+		}
+		fn(key, scratch)
+	})
+}
+
+// Reset invalidates the table content (§7.2.2 step 4): after its delta has
+// been transferred, a helper fragment restarts empty so RMW operations
+// resume from the CRDT identity.
+func (t *Table) Reset() {
+	t.idx.reset()
+	t.log = t.log[:0]
+	t.elem = 0
+}
+
+// SerializeDelta walks the log and emits raw entry regions of at most
+// maxChunk bytes, split only at entry boundaries. Because helper fragments
+// reset every epoch, the whole log is exactly the epoch's delta — no scan or
+// pointer chasing is needed to find the changes (§7.2.1).
+func (t *Table) SerializeDelta(maxChunk int, emit func(region []byte) error) error {
+	if maxChunk < entryHeaderSize {
+		return fmt.Errorf("ssb: chunk size %d below entry header", maxChunk)
+	}
+	start, off := 0, 0
+	for off < len(t.log) {
+		size, err := t.entrySizeAt(off)
+		if err != nil {
+			return err
+		}
+		if size > maxChunk {
+			return fmt.Errorf("ssb: entry of %d bytes exceeds chunk size %d", size, maxChunk)
+		}
+		if off+size-start > maxChunk {
+			if err := emit(t.log[start:off]); err != nil {
+				return err
+			}
+			start = off
+		}
+		off += size
+	}
+	if off > start {
+		return emit(t.log[start:off])
+	}
+	return nil
+}
+
+func (t *Table) entrySizeAt(off int) (int, error) {
+	if off+entryHeaderSize > len(t.log) {
+		return 0, ErrChunkFormat
+	}
+	vlen := int(getU32(t.log[off+12:]))
+	if off+entryHeaderSize+vlen > len(t.log) {
+		return 0, ErrChunkFormat
+	}
+	return entryHeaderSize + vlen, nil
+}
+
+// MergeDelta folds a raw entry region (produced by SerializeDelta, possibly
+// on another node) into this table. Aggregate entries merge with CRDT
+// semantics; bag entries append, re-chained locally. Incoming prev fields
+// are ignored: they are only meaningful in the sender's log.
+func (t *Table) MergeDelta(region []byte) error {
+	off := 0
+	for off < len(region) {
+		if off+entryHeaderSize > len(region) {
+			return ErrChunkFormat
+		}
+		key := getU64(region[off:])
+		vlen := int(getU32(region[off+12:]))
+		if off+entryHeaderSize+vlen > len(region) {
+			return ErrChunkFormat
+		}
+		value := region[off+entryHeaderSize : off+entryHeaderSize+vlen]
+		if t.agg != nil {
+			if err := t.MergeAggValue(key, value); err != nil {
+				return err
+			}
+		} else {
+			if vlen != crdt.BagElemSize {
+				return fmt.Errorf("%w: bag element of %d bytes", ErrChunkFormat, vlen)
+			}
+			var e crdt.BagElem
+			crdt.DecodeBagElem(value, &e)
+			if err := t.AppendBag(key, &e); err != nil {
+				return err
+			}
+		}
+		off += entryHeaderSize + vlen
+	}
+	return nil
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putU32(b []byte, v uint32) {
+	_ = b[3]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,187 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BatchKind tags the content of a framed buffer.
+type BatchKind uint8
+
+// Batch kinds. Punctuations are the in-band system tokens of §7.2.2: they
+// carry the producer's epoch counter and low watermark and force stateful
+// operators to act (synchronize state, evaluate triggers).
+const (
+	KindData BatchKind = iota + 1
+	KindPunctuation
+	KindEnd
+)
+
+// String implements fmt.Stringer.
+func (k BatchKind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindPunctuation:
+		return "punct"
+	case KindEnd:
+		return "end"
+	default:
+		return "invalid"
+	}
+}
+
+// Batch framing layout inside a channel slot's data region:
+//
+//	offset 0:  kind      uint8
+//	offset 1:  reserved  [3]byte
+//	offset 4:  count     uint32  (number of records)
+//	offset 8:  epoch     uint64  (punctuation only)
+//	offset 16: watermark int64   (punctuation and data)
+//	offset 24: records   count × Codec.Size()
+//
+// Every batch carries the producer's current watermark so progress flows
+// with the data (in-band progress tracking).
+const BatchHeaderSize = 24
+
+// Errors returned by batch framing.
+var (
+	ErrBatchFull      = errors.New("stream: batch buffer full")
+	ErrBatchCorrupt   = errors.New("stream: corrupt batch header")
+	ErrBatchTooShort  = errors.New("stream: buffer shorter than batch header")
+	ErrBatchOverflows = errors.New("stream: record count overflows buffer")
+)
+
+// BatchWriter packs records into a fixed buffer using a codec. It is the
+// zero-copy staging API producers use to fill channel slots.
+type BatchWriter struct {
+	codec Codec
+	buf   []byte
+	count int
+}
+
+// NewBatchWriter wraps buf for writing. The buffer must hold the header and
+// at least one record.
+func NewBatchWriter(buf []byte, codec Codec) (*BatchWriter, error) {
+	if len(buf) < BatchHeaderSize+codec.Size() {
+		return nil, fmt.Errorf("stream: buffer of %d bytes cannot hold one %d-byte record: %w",
+			len(buf), codec.Size(), ErrBatchTooShort)
+	}
+	return &BatchWriter{codec: codec, buf: buf}, nil
+}
+
+// Capacity returns how many records fit in the buffer.
+func (w *BatchWriter) Capacity() int {
+	return (len(w.buf) - BatchHeaderSize) / w.codec.Size()
+}
+
+// Len returns the number of records appended so far.
+func (w *BatchWriter) Len() int { return w.count }
+
+// Append encodes r into the next record slot. It returns ErrBatchFull when
+// the buffer has no room left.
+func (w *BatchWriter) Append(r *Record) error {
+	off := BatchHeaderSize + w.count*w.codec.Size()
+	if off+w.codec.Size() > len(w.buf) {
+		return ErrBatchFull
+	}
+	w.codec.Encode(w.buf[off:], r)
+	w.count++
+	return nil
+}
+
+// Reset clears the writer for reuse on the same buffer.
+func (w *BatchWriter) Reset() { w.count = 0 }
+
+// FinishData seals the buffer as a data batch carrying the producer's
+// current watermark and returns the number of meaningful bytes.
+func (w *BatchWriter) FinishData(watermark Watermark) int {
+	return w.finish(KindData, 0, watermark)
+}
+
+// FinishPunctuation seals the buffer as a punctuation token for the given
+// epoch and watermark. Any appended records are discarded.
+func (w *BatchWriter) FinishPunctuation(epoch uint64, watermark Watermark) int {
+	w.count = 0
+	return w.finish(KindPunctuation, epoch, watermark)
+}
+
+// FinishEnd seals the buffer as an end-of-stream token.
+func (w *BatchWriter) FinishEnd(watermark Watermark) int {
+	w.count = 0
+	return w.finish(KindEnd, 0, watermark)
+}
+
+func (w *BatchWriter) finish(kind BatchKind, epoch uint64, wm Watermark) int {
+	w.buf[0] = byte(kind)
+	w.buf[1], w.buf[2], w.buf[3] = 0, 0, 0
+	w.buf[4] = byte(w.count)
+	w.buf[5] = byte(w.count >> 8)
+	w.buf[6] = byte(w.count >> 16)
+	w.buf[7] = byte(w.count >> 24)
+	putU64(w.buf[8:], epoch)
+	putU64(w.buf[16:], uint64(wm))
+	used := BatchHeaderSize + w.count*w.codec.Size()
+	w.count = 0
+	return used
+}
+
+// BatchReader decodes a framed buffer.
+type BatchReader struct {
+	codec Codec
+	buf   []byte
+
+	kind      BatchKind
+	count     int
+	epoch     uint64
+	watermark Watermark
+	next      int
+}
+
+// NewBatchReader parses the header of buf and prepares iteration.
+func NewBatchReader(buf []byte, codec Codec) (*BatchReader, error) {
+	if len(buf) < BatchHeaderSize {
+		return nil, ErrBatchTooShort
+	}
+	r := &BatchReader{codec: codec, buf: buf}
+	r.kind = BatchKind(buf[0])
+	if r.kind < KindData || r.kind > KindEnd {
+		return nil, ErrBatchCorrupt
+	}
+	r.count = int(uint32(buf[4]) | uint32(buf[5])<<8 | uint32(buf[6])<<16 | uint32(buf[7])<<24)
+	r.epoch = getU64(buf[8:])
+	r.watermark = Watermark(getU64(buf[16:]))
+	if BatchHeaderSize+r.count*codec.Size() > len(buf) {
+		return nil, ErrBatchOverflows
+	}
+	return r, nil
+}
+
+// Kind returns the batch kind.
+func (r *BatchReader) Kind() BatchKind { return r.kind }
+
+// Count returns the number of records in the batch.
+func (r *BatchReader) Count() int { return r.count }
+
+// Epoch returns the epoch counter of a punctuation batch.
+func (r *BatchReader) Epoch() uint64 { return r.epoch }
+
+// Watermark returns the producer watermark carried by the batch.
+func (r *BatchReader) Watermark() Watermark { return r.watermark }
+
+// Next decodes the next record into rec, returning false when exhausted.
+func (r *BatchReader) Next(rec *Record) bool {
+	if r.next >= r.count {
+		return false
+	}
+	off := BatchHeaderSize + r.next*r.codec.Size()
+	r.codec.Decode(r.buf[off:], rec)
+	r.next++
+	return true
+}
+
+// RecordBytes returns the raw encoded bytes of record i without decoding.
+func (r *BatchReader) RecordBytes(i int) []byte {
+	off := BatchHeaderSize + i*r.codec.Size()
+	return r.buf[off : off+r.codec.Size()]
+}

@@ -1,0 +1,204 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecSizes(t *testing.T) {
+	if _, err := NewCodec(15); err == nil {
+		t.Fatal("codec below minimum accepted")
+	}
+	for _, size := range []int{16, 24, 32, 64, 78, 206, 269} {
+		c, err := NewCodec(size)
+		if err != nil {
+			t.Fatalf("NewCodec(%d): %v", size, err)
+		}
+		if c.Size() != size {
+			t.Fatalf("Size() = %d, want %d", c.Size(), size)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, size := range []int{16, 24, 32, 78} {
+		c := MustCodec(size)
+		prop := func(key uint64, tm, v0, v1 int64) bool {
+			in := Record{Key: key, Time: tm, V0: v0, V1: v1}
+			buf := make([]byte, size)
+			c.Encode(buf, &in)
+			var out Record
+			c.Decode(buf, &out)
+			want := in
+			if size < 24 {
+				want.V0 = 0
+			}
+			if size < 32 {
+				want.V1 = 0
+			}
+			return out == want
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestBatchWriterCapacity(t *testing.T) {
+	c := MustCodec(32)
+	buf := make([]byte, BatchHeaderSize+5*32)
+	w, err := NewBatchWriter(buf, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Capacity() != 5 {
+		t.Fatalf("Capacity() = %d, want 5", w.Capacity())
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append(&Record{Key: uint64(i)}); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := w.Append(&Record{}); !errors.Is(err, ErrBatchFull) {
+		t.Fatalf("err = %v, want ErrBatchFull", err)
+	}
+}
+
+func TestBatchWriterTooSmall(t *testing.T) {
+	c := MustCodec(64)
+	if _, err := NewBatchWriter(make([]byte, BatchHeaderSize+63), c); err == nil {
+		t.Fatal("undersized buffer accepted")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	c := MustCodec(24)
+	buf := make([]byte, 4096)
+	w, _ := NewBatchWriter(buf, c)
+	recs := []Record{
+		{Key: 1, Time: 100, V0: -7},
+		{Key: 2, Time: 200, V0: 42},
+		{Key: 3, Time: 300, V0: 0},
+	}
+	for i := range recs {
+		if err := w.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := w.FinishData(250)
+	if used != BatchHeaderSize+3*24 {
+		t.Fatalf("used = %d", used)
+	}
+	r, err := NewBatchReader(buf[:used], c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != KindData || r.Count() != 3 || r.Watermark() != 250 {
+		t.Fatalf("header: kind=%v count=%d wm=%d", r.Kind(), r.Count(), r.Watermark())
+	}
+	var got Record
+	for i := range recs {
+		if !r.Next(&got) {
+			t.Fatalf("Next exhausted at %d", i)
+		}
+		want := recs[i]
+		want.V1 = 0
+		if got != want {
+			t.Fatalf("record %d = %v, want %v", i, got, want)
+		}
+	}
+	if r.Next(&got) {
+		t.Fatal("reader returned record past count")
+	}
+}
+
+func TestPunctuationBatch(t *testing.T) {
+	c := MustCodec(16)
+	buf := make([]byte, 256)
+	w, _ := NewBatchWriter(buf, c)
+	// Records appended before a punctuation are discarded.
+	_ = w.Append(&Record{Key: 9})
+	used := w.FinishPunctuation(17, 12345)
+	if used != BatchHeaderSize {
+		t.Fatalf("punctuation used %d bytes, want header only", used)
+	}
+	r, err := NewBatchReader(buf[:used], c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != KindPunctuation || r.Epoch() != 17 || r.Watermark() != 12345 || r.Count() != 0 {
+		t.Fatalf("punctuation header: %v %d %d %d", r.Kind(), r.Epoch(), r.Watermark(), r.Count())
+	}
+}
+
+func TestEndBatch(t *testing.T) {
+	c := MustCodec(16)
+	buf := make([]byte, 256)
+	w, _ := NewBatchWriter(buf, c)
+	used := w.FinishEnd(999)
+	r, err := NewBatchReader(buf[:used], c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != KindEnd || r.Watermark() != 999 {
+		t.Fatalf("end header: %v %d", r.Kind(), r.Watermark())
+	}
+}
+
+func TestBatchReaderValidation(t *testing.T) {
+	c := MustCodec(16)
+	if _, err := NewBatchReader(make([]byte, 3), c); !errors.Is(err, ErrBatchTooShort) {
+		t.Fatalf("err = %v, want ErrBatchTooShort", err)
+	}
+	bad := make([]byte, BatchHeaderSize)
+	bad[0] = 0xff
+	if _, err := NewBatchReader(bad, c); !errors.Is(err, ErrBatchCorrupt) {
+		t.Fatalf("err = %v, want ErrBatchCorrupt", err)
+	}
+	// Count larger than the buffer can hold.
+	overflow := make([]byte, BatchHeaderSize+16)
+	overflow[0] = byte(KindData)
+	overflow[4] = 200
+	if _, err := NewBatchReader(overflow, c); !errors.Is(err, ErrBatchOverflows) {
+		t.Fatalf("err = %v, want ErrBatchOverflows", err)
+	}
+}
+
+func TestBatchWriterReuse(t *testing.T) {
+	c := MustCodec(16)
+	buf := make([]byte, 256)
+	w, _ := NewBatchWriter(buf, c)
+	for round := 0; round < 3; round++ {
+		if err := w.Append(&Record{Key: uint64(round)}); err != nil {
+			t.Fatal(err)
+		}
+		used := w.FinishData(int64(round))
+		r, err := NewBatchReader(buf[:used], c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec Record
+		if !r.Next(&rec) || rec.Key != uint64(round) {
+			t.Fatalf("round %d: got %v", round, rec)
+		}
+	}
+}
+
+func TestRecordBytes(t *testing.T) {
+	c := MustCodec(16)
+	buf := make([]byte, 256)
+	w, _ := NewBatchWriter(buf, c)
+	_ = w.Append(&Record{Key: 0xAABBCCDD, Time: 1})
+	used := w.FinishData(0)
+	r, _ := NewBatchReader(buf[:used], c)
+	raw := r.RecordBytes(0)
+	if len(raw) != 16 {
+		t.Fatalf("raw len = %d", len(raw))
+	}
+	var rec Record
+	c.Decode(raw, &rec)
+	if rec.Key != 0xAABBCCDD {
+		t.Fatalf("key = %x", rec.Key)
+	}
+}

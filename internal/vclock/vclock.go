@@ -1,0 +1,135 @@
+// Package vclock implements the vector clocks Slash uses for distributed
+// progress tracking (§5.1). Every executor tracks its low watermark; the
+// clock aggregates one entry per executor so that window triggers can prove
+// that no record with a smaller event-time timestamp is still in flight
+// anywhere in the cluster (property P1).
+package vclock
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/slash-stream/slash/internal/stream"
+)
+
+// Clock is a vector of per-executor low watermarks. It is safe for
+// concurrent use: executors observe their own progress while merge tasks
+// fold in remote entries piggybacked on state updates (§7.2.2).
+type Clock struct {
+	mu      sync.RWMutex
+	entries []stream.Watermark
+}
+
+// New creates a clock for n executors with all entries at NoWatermark.
+func New(n int) *Clock {
+	c := &Clock{entries: make([]stream.Watermark, n)}
+	for i := range c.entries {
+		c.entries[i] = stream.NoWatermark
+	}
+	return c
+}
+
+// Size returns the number of executor entries.
+func (c *Clock) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Observe advances executor e's entry to wm if it is greater. Watermarks
+// never regress: stale observations are ignored.
+func (c *Clock) Observe(e int, wm stream.Watermark) {
+	c.mu.Lock()
+	if wm > c.entries[e] {
+		c.entries[e] = wm
+	}
+	c.mu.Unlock()
+}
+
+// Entry returns executor e's current watermark.
+func (c *Clock) Entry(e int) stream.Watermark {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.entries[e]
+}
+
+// Min returns the cluster-wide low watermark: the minimum over all entries.
+// A window with end timestamp <= Min()+1 can safely trigger.
+func (c *Clock) Min() stream.Watermark {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	min := c.entries[0]
+	for _, v := range c.entries[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Merge folds every entry of other into c, taking pairwise maxima. Clocks
+// must have equal size.
+func (c *Clock) Merge(other *Clock) {
+	other.mu.RLock()
+	snap := make([]stream.Watermark, len(other.entries))
+	copy(snap, other.entries)
+	other.mu.RUnlock()
+	c.MergeSnapshot(snap)
+}
+
+// MergeSnapshot folds a raw entry vector into c.
+func (c *Clock) MergeSnapshot(entries []stream.Watermark) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(entries) != len(c.entries) {
+		panic(fmt.Sprintf("vclock: merging clock of size %d into %d", len(entries), len(c.entries)))
+	}
+	for i, v := range entries {
+		if v > c.entries[i] {
+			c.entries[i] = v
+		}
+	}
+}
+
+// Snapshot returns a copy of the entries.
+func (c *Clock) Snapshot() []stream.Watermark {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]stream.Watermark, len(c.entries))
+	copy(out, c.entries)
+	return out
+}
+
+// Covers reports whether every entry is strictly greater than or equal to
+// wm, i.e. the whole cluster has progressed past wm.
+func (c *Clock) Covers(wm stream.Watermark) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, v := range c.entries {
+		if v < wm {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (c *Clock) String() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range c.entries {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if v == stream.NoWatermark {
+			b.WriteByte('-')
+		} else {
+			fmt.Fprintf(&b, "%d", v)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

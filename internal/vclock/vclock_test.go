@@ -1,0 +1,152 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/slash-stream/slash/internal/stream"
+)
+
+func TestNewStartsUnknown(t *testing.T) {
+	c := New(3)
+	if c.Size() != 3 {
+		t.Fatalf("Size() = %d", c.Size())
+	}
+	for i := 0; i < 3; i++ {
+		if c.Entry(i) != stream.NoWatermark {
+			t.Fatalf("entry %d = %d", i, c.Entry(i))
+		}
+	}
+	if c.Min() != stream.NoWatermark {
+		t.Fatalf("Min() = %d", c.Min())
+	}
+}
+
+func TestObserveMonotonic(t *testing.T) {
+	c := New(2)
+	c.Observe(0, 100)
+	c.Observe(0, 50) // stale, ignored
+	if got := c.Entry(0); got != 100 {
+		t.Fatalf("entry = %d, want 100", got)
+	}
+	c.Observe(0, 150)
+	if got := c.Entry(0); got != 150 {
+		t.Fatalf("entry = %d, want 150", got)
+	}
+}
+
+func TestMinIsGlobalLowWatermark(t *testing.T) {
+	c := New(3)
+	c.Observe(0, 300)
+	c.Observe(1, 100)
+	c.Observe(2, 200)
+	if got := c.Min(); got != 100 {
+		t.Fatalf("Min() = %d, want 100", got)
+	}
+	if !c.Covers(100) {
+		t.Fatal("Covers(100) = false")
+	}
+	if c.Covers(101) {
+		t.Fatal("Covers(101) = true with entry at 100")
+	}
+}
+
+func TestMergeTakesMaxima(t *testing.T) {
+	a := New(3)
+	b := New(3)
+	a.Observe(0, 10)
+	a.Observe(1, 20)
+	b.Observe(1, 5)
+	b.Observe(2, 30)
+	a.Merge(b)
+	want := []stream.Watermark{10, 20, 30}
+	for i, w := range want {
+		if a.Entry(i) != w {
+			t.Fatalf("entry %d = %d, want %d", i, a.Entry(i), w)
+		}
+	}
+}
+
+func TestMergeSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on size mismatch")
+		}
+	}()
+	New(2).Merge(New(3))
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	c := New(4)
+	var wg sync.WaitGroup
+	for e := 0; e < 4; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Observe(e, stream.Watermark(i))
+			}
+		}(e)
+	}
+	wg.Wait()
+	if !c.Covers(999) {
+		t.Fatalf("clock %v does not cover 999", c)
+	}
+}
+
+func TestMergeCommutative(t *testing.T) {
+	prop := func(xs, ys [4]int32) bool {
+		a1, b1 := New(4), New(4)
+		a2, b2 := New(4), New(4)
+		for i := 0; i < 4; i++ {
+			a1.Observe(i, int64(xs[i]))
+			a2.Observe(i, int64(xs[i]))
+			b1.Observe(i, int64(ys[i]))
+			b2.Observe(i, int64(ys[i]))
+		}
+		a1.Merge(b1) // a ∨ b
+		b2.Merge(a2) // b ∨ a
+		for i := 0; i < 4; i++ {
+			if a1.Entry(i) != b2.Entry(i) {
+				return false
+			}
+		}
+		return a1.Min() == b2.Min()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	prop := func(xs [4]int32) bool {
+		a, b := New(4), New(4)
+		for i := 0; i < 4; i++ {
+			a.Observe(i, int64(xs[i]))
+			b.Observe(i, int64(xs[i]))
+		}
+		a.Merge(b)
+		a.Merge(b)
+		for i := 0; i < 4; i++ {
+			if a.Entry(i) != int64(xs[i]) && int64(xs[i]) > stream.NoWatermark {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := New(2)
+	if got := c.String(); got != "[- -]" {
+		t.Fatalf("String() = %q", got)
+	}
+	c.Observe(0, 5)
+	if got := c.String(); got != "[5 -]" {
+		t.Fatalf("String() = %q", got)
+	}
+}

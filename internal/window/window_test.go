@@ -1,0 +1,135 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTumblingValidation(t *testing.T) {
+	if _, err := NewTumbling(0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := NewTumbling(-5); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestTumblingAssign(t *testing.T) {
+	w, _ := NewTumbling(100)
+	cases := []struct {
+		ts  int64
+		win uint64
+	}{
+		{0, 0}, {99, 0}, {100, 1}, {250, 2}, {-5, 0},
+	}
+	for _, c := range cases {
+		got := w.Assign(c.ts, nil)
+		if len(got) != 1 || got[0] != c.win {
+			t.Fatalf("Assign(%d) = %v, want [%d]", c.ts, got, c.win)
+		}
+	}
+	if w.End(2) != 300 {
+		t.Fatalf("End(2) = %d", w.End(2))
+	}
+}
+
+func TestTumblingContainment(t *testing.T) {
+	w, _ := NewTumbling(777)
+	prop := func(ts int64) bool {
+		if ts < 0 {
+			ts = -ts
+		}
+		wins := w.Assign(ts, nil)
+		if len(wins) != 1 {
+			return false
+		}
+		end := w.End(wins[0])
+		start := end - w.Size
+		return ts >= start && ts < end
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlidingValidation(t *testing.T) {
+	if _, err := NewSliding(0, 1); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := NewSliding(10, 0); err == nil {
+		t.Fatal("zero slide accepted")
+	}
+	if _, err := NewSliding(10, 20); err == nil {
+		t.Fatal("slide > size accepted")
+	}
+}
+
+func TestSlidingAssign(t *testing.T) {
+	w, _ := NewSliding(100, 25) // 4 overlapping windows per record
+	wins := w.Assign(110, nil)
+	if len(wins) != 4 {
+		t.Fatalf("Assign(110) = %v", wins)
+	}
+	for _, win := range wins {
+		end := w.End(win)
+		start := end - w.Size
+		if 110 < start || 110 >= end {
+			t.Fatalf("window %d [%d,%d) does not contain 110", win, start, end)
+		}
+	}
+	// Early timestamps produce fewer windows (no negative ids).
+	if got := w.Assign(10, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Assign(10) = %v", got)
+	}
+}
+
+func TestSlidingCoverageProperty(t *testing.T) {
+	w, _ := NewSliding(90, 30)
+	prop := func(ts uint32) bool {
+		wins := w.Assign(int64(ts), nil)
+		if len(wins) == 0 || len(wins) > 3 {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for _, win := range wins {
+			if seen[win] {
+				return false
+			}
+			seen[win] = true
+			end := w.End(win)
+			if int64(ts) < end-w.Size || int64(ts) >= end {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionSlices(t *testing.T) {
+	if _, err := NewSession(0); err == nil {
+		t.Fatal("zero gap accepted")
+	}
+	w, _ := NewSession(50)
+	wins := w.Assign(120, nil)
+	if len(wins) != 1 || wins[0] != 2 {
+		t.Fatalf("Assign(120) = %v", wins)
+	}
+	// Trigger only after the adjacent slice is covered.
+	if w.End(2) != 200 {
+		t.Fatalf("End(2) = %d", w.End(2))
+	}
+}
+
+func TestNames(t *testing.T) {
+	tw, _ := NewTumbling(10)
+	sw, _ := NewSliding(10, 5)
+	se, _ := NewSession(7)
+	for _, a := range []Assigner{tw, sw, se} {
+		if a.Name() == "" {
+			t.Fatal("empty name")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package workload implements the benchmark workloads of the paper's
+// evaluation (§8.1.2): the Yahoo! Streaming Benchmark (YSB), the NEXMark
+// suite (queries 7, 8, 11), the Cluster Monitoring benchmark (CM) over a
+// synthetic Google-trace-shaped stream, and the self-developed Read-Only
+// (RO) benchmark, plus the key distributions they draw from (uniform,
+// Zipfian with arbitrary exponent, Pareto with heavy hitters).
+//
+// Generators are deterministic functions of their seed and flow index, and
+// produce records on the fly with non-decreasing timestamps, matching the
+// paper's methodology of streaming pre-generated data from memory without
+// record-creation overhead on the measured path.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// KeyDist draws keys for a workload.
+type KeyDist interface {
+	// Draw returns the next key using rng.
+	Draw(rng *rand.Rand) uint64
+	// Name describes the distribution.
+	Name() string
+}
+
+// Uniform draws keys uniformly from [0, N).
+type Uniform struct {
+	// N is the key range (the paper uses 10M for YSB, 100M for RO).
+	N uint64
+}
+
+// Draw implements KeyDist.
+func (u Uniform) Draw(rng *rand.Rand) uint64 { return uint64(rng.Int63n(int64(u.N))) }
+
+// Name implements KeyDist.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(%d)", u.N) }
+
+// Zipf draws keys from a Zipfian distribution with arbitrary exponent s ≥ 0
+// over [0, N). Unlike math/rand's Zipf (which requires s > 1), this sampler
+// supports the paper's full sweep z = 0.2…2.0 (Fig. 8d) by inverting a
+// precomputed CDF.
+type Zipf struct {
+	n   uint64
+	s   float64
+	cdf []float64
+}
+
+// NewZipf builds the sampler. n is capped at 1<<20 table entries; larger key
+// spaces reuse the table scaled, preserving the rank-frequency shape.
+func NewZipf(n uint64, s float64) (*Zipf, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("workload: zipf over empty key range")
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("workload: zipf exponent %f < 0", s)
+	}
+	tab := n
+	if tab > 1<<20 {
+		tab = 1 << 20
+	}
+	cdf := make([]float64, tab)
+	sum := 0.0
+	for i := uint64(0); i < tab; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{n: n, s: s, cdf: cdf}, nil
+}
+
+// Draw implements KeyDist.
+func (z *Zipf) Draw(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	rank := uint64(sort.SearchFloat64s(z.cdf, u))
+	if rank >= uint64(len(z.cdf)) {
+		rank = uint64(len(z.cdf)) - 1
+	}
+	if z.n > uint64(len(z.cdf)) {
+		// Spread each rank bucket over the larger key space while keeping
+		// rank order (hot keys stay hot).
+		width := z.n / uint64(len(z.cdf))
+		return rank*width + uint64(rng.Int63n(int64(width)))
+	}
+	return rank
+}
+
+// Name implements KeyDist.
+func (z *Zipf) Name() string { return fmt.Sprintf("zipf(%d,%.2f)", z.n, z.s) }
+
+// Pareto draws keys whose frequency follows a Pareto (power-law) shape with
+// a long tail of heavy hitters — the distribution of NB7's bid keys
+// (§8.2.2).
+type Pareto struct {
+	// N is the key range.
+	N uint64
+	// Alpha is the tail index; smaller values mean heavier hitters.
+	// The classic 80/20 shape is alpha ≈ 1.16.
+	Alpha float64
+}
+
+// Draw implements KeyDist.
+func (p Pareto) Draw(rng *rand.Rand) uint64 {
+	a := p.Alpha
+	if a <= 0 {
+		a = 1.16
+	}
+	// Inverse-CDF sampling of a shifted Pareto(xm=1, alpha): the integer
+	// part of the sample is the key rank, so rank 0 carries ~55% of the
+	// mass at alpha=1.16 and the tail is power-law (heavy hitters).
+	x := math.Pow(1.0-rng.Float64(), -1.0/a) - 1.0
+	k := uint64(x)
+	if k >= p.N {
+		k %= p.N
+	}
+	return k
+}
+
+// Name implements KeyDist.
+func (p Pareto) Name() string { return fmt.Sprintf("pareto(%d,%.2f)", p.N, p.Alpha) }

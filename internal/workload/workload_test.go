@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/slash-stream/slash/internal/core"
+	"github.com/slash-stream/slash/internal/stream"
+)
+
+func drain(t *testing.T, f core.Flow) []stream.Record {
+	t.Helper()
+	var out []stream.Record
+	var rec stream.Record
+	for f.Next(&rec) {
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := Uniform{N: 100}
+	for i := 0; i < 10000; i++ {
+		if k := u.Draw(rng); k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Fatal("negative exponent accepted")
+	}
+}
+
+func TestZipfSkewIncreasesHeadMass(t *testing.T) {
+	// Higher exponents must concentrate probability on low ranks.
+	const n = 1000
+	const draws = 50000
+	headShare := func(s float64) float64 {
+		z, err := NewZipf(n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		head := 0
+		for i := 0; i < draws; i++ {
+			if z.Draw(rng) < n/100 {
+				head++
+			}
+		}
+		return float64(head) / draws
+	}
+	low, mid, high := headShare(0.2), headShare(1.0), headShare(2.0)
+	if !(low < mid && mid < high) {
+		t.Fatalf("head shares not monotone in skew: %f %f %f", low, mid, high)
+	}
+	if high < 0.5 {
+		t.Fatalf("z=2.0 head share %f suspiciously low", high)
+	}
+}
+
+func TestZipfLargeKeySpaceScales(t *testing.T) {
+	z, err := NewZipf(1<<24, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if k := z.Draw(rng); k >= 1<<24 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestParetoHeavyHitters(t *testing.T) {
+	p := Pareto{N: 100000, Alpha: 1.16}
+	rng := rand.New(rand.NewSource(2))
+	counts := map[uint64]int{}
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		k := p.Draw(rng)
+		if k >= p.N {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/draws < 0.01 {
+		t.Fatalf("no heavy hitter: max share %f", float64(max)/draws)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	w := YSB{Keys: 1000, RecordsPerFlow: 500, Seed: 9}
+	a := drain(t, w.Flows(2, 2)[1][0])
+	b := drain(t, w.Flows(2, 2)[1][0])
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow not deterministic at %d", i)
+		}
+	}
+	// Different flows differ.
+	c := drain(t, w.Flows(2, 2)[0][1])
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("independent flows produced identical data")
+	}
+}
+
+func TestTimestampsNonDecreasing(t *testing.T) {
+	workloads := map[string]core.Flow{
+		"ysb":  YSB{RecordsPerFlow: 1000}.Flows(1, 1)[0][0],
+		"nb7":  NB7{RecordsPerFlow: 1000}.Flows(1, 1)[0][0],
+		"nb8":  NB8{RecordsPerFlow: 1000}.Flows(1, 1)[0][0],
+		"nb11": NB11{RecordsPerFlow: 1000}.Flows(1, 1)[0][0],
+		"cm":   CM{RecordsPerFlow: 1000}.Flows(1, 1)[0][0],
+		"ro":   RO{RecordsPerFlow: 1000}.Flows(1, 1)[0][0],
+	}
+	for name, f := range workloads {
+		var prev int64 = -1
+		var rec stream.Record
+		n := 0
+		for f.Next(&rec) {
+			if rec.Time < prev {
+				t.Fatalf("%s: timestamp regressed %d -> %d", name, prev, rec.Time)
+			}
+			prev = rec.Time
+			n++
+		}
+		if n != 1000 {
+			t.Fatalf("%s: generated %d records", name, n)
+		}
+	}
+}
+
+func TestQueriesValidateAndMatchPaperSizes(t *testing.T) {
+	cases := []struct {
+		q    *core.Query
+		size int
+	}{
+		{YSB{RecordsPerFlow: 10}.Query(), YSBRecordSize},
+		{NB7{RecordsPerFlow: 10}.Query(), BidRecordSize},
+		{NB8{RecordsPerFlow: 10}.Query(), AuctionRecordSize},
+		{NB11{RecordsPerFlow: 10}.Query(), BidRecordSize},
+		{CM{RecordsPerFlow: 10}.Query(), CMRecordSize},
+		{RO{RecordsPerFlow: 10}.Query(), RORecordSize},
+	}
+	for _, c := range cases {
+		if c.q.Codec.Size() != c.size {
+			t.Fatalf("%s: codec %d, want %d", c.q.Name, c.q.Codec.Size(), c.size)
+		}
+		if c.q.Window == nil {
+			t.Fatalf("%s: no window", c.q.Name)
+		}
+	}
+}
+
+func TestYSBFilterSelectivity(t *testing.T) {
+	w := YSB{Keys: 100, RecordsPerFlow: 30000, Seed: 5}
+	q := w.Query()
+	recs := drain(t, w.Flows(1, 1)[0][0])
+	kept := 0
+	for i := range recs {
+		if q.Filter(&recs[i]) {
+			kept++
+		}
+	}
+	share := float64(kept) / float64(len(recs))
+	if math.Abs(share-1.0/3.0) > 0.02 {
+		t.Fatalf("filter keeps %.3f of records, want ~1/3", share)
+	}
+}
+
+func TestNB8SideRatio(t *testing.T) {
+	w := NB8{RecordsPerFlow: 50000, Seed: 2}
+	q := w.Query()
+	recs := drain(t, w.Flows(1, 1)[0][0])
+	sides := [2]int{}
+	for i := range recs {
+		sides[q.JoinSide(&recs[i])]++
+	}
+	ratio := float64(sides[0]) / float64(sides[1])
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("auction:person ratio %.2f, want ~4", ratio)
+	}
+}
+
+func TestROSingleWindow(t *testing.T) {
+	w := RO{Keys: 1000, RecordsPerFlow: 5000, Seed: 1}
+	q := w.Query()
+	recs := drain(t, w.Flows(1, 1)[0][0])
+	wins := map[uint64]bool{}
+	var ids []uint64
+	for i := range recs {
+		ids = q.Window.Assign(recs[i].Time, ids[:0])
+		for _, id := range ids {
+			wins[id] = true
+		}
+	}
+	if len(wins) != 1 {
+		t.Fatalf("RO spread across %d windows, want 1", len(wins))
+	}
+}

@@ -1,0 +1,468 @@
+package workload
+
+import (
+	"math/rand"
+
+	"github.com/slash-stream/slash/internal/core"
+	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/stream"
+	"github.com/slash-stream/slash/internal/window"
+)
+
+// Record sizes on the wire, as documented in §8.1.2.
+const (
+	YSBRecordSize     = 78  // 8 B key + 8 B timestamp + ad metadata
+	BidRecordSize     = 32  // NEXMark bid
+	AuctionRecordSize = 269 // NEXMark auction
+	PersonRecordSize  = 206 // NEXMark person/seller
+	CMRecordSize      = 64  // Google cluster trace sample
+	RORecordSize      = 16  // key + timestamp only
+)
+
+// gen is the common deterministic record generator: keys from a
+// distribution, non-decreasing timestamps at a fixed event-time step, and a
+// workload-specific finisher for the attribute slots.
+type gen struct {
+	rng    *rand.Rand
+	dist   KeyDist
+	limit  int
+	count  int
+	ts     int64
+	step   int64
+	finish func(rng *rand.Rand, rec *stream.Record)
+}
+
+// Next implements the engines' Flow contract.
+func (g *gen) Next(rec *stream.Record) bool {
+	if g.count >= g.limit {
+		return false
+	}
+	g.count++
+	g.ts += g.step
+	rec.Key = g.dist.Draw(g.rng)
+	rec.Time = g.ts
+	rec.V0 = 0
+	rec.V1 = 0
+	if g.finish != nil {
+		g.finish(g.rng, rec)
+	}
+	return true
+}
+
+// flowSeed derives a per-flow seed so flows are independent but the whole
+// dataset is a pure function of the workload seed.
+func flowSeed(seed int64, node, thread int) int64 {
+	return seed*1_000_003 + int64(node)*131 + int64(thread) + 1
+}
+
+// buildFlows lays out [nodes][threads] generators.
+func buildFlows(nodes, threads int, mk func(node, thread int) core.Flow) [][]core.Flow {
+	flows := make([][]core.Flow, nodes)
+	for n := range flows {
+		flows[n] = make([]core.Flow, threads)
+		for t := range flows[n] {
+			flows[n][t] = mk(n, t)
+		}
+	}
+	return flows
+}
+
+// YSB is the Yahoo! Streaming Benchmark: filter → projection → 10-minute
+// event-time tumbling count window per campaign key (§8.1.2). Event types
+// are uniform over {view, click, purchase}; the filter keeps views, so a
+// third of the input reaches the window operator.
+type YSB struct {
+	// Keys is the campaign-id range (paper: 10M), drawn uniformly.
+	Keys uint64
+	// RecordsPerFlow is the input volume per executor thread.
+	RecordsPerFlow int
+	// WindowSize is the tumbling window length in event-time µs.
+	// Defaults to the benchmark's 10 minutes scaled so that roughly
+	// 8 windows fit the generated stream.
+	WindowSize int64
+	// TimeStep is the event-time distance between records of one flow.
+	TimeStep int64
+	// Seed makes the dataset reproducible.
+	Seed int64
+	// ZipfS > 0 switches campaign keys to a Zipfian distribution with
+	// that exponent (the Fig. 8d skew sweep).
+	ZipfS float64
+}
+
+func (w YSB) fill() YSB {
+	if w.Keys == 0 {
+		w.Keys = 10_000_000
+	}
+	if w.RecordsPerFlow == 0 {
+		w.RecordsPerFlow = 1 << 20
+	}
+	if w.TimeStep == 0 {
+		w.TimeStep = 10
+	}
+	if w.WindowSize == 0 {
+		w.WindowSize = int64(w.RecordsPerFlow) * w.TimeStep / 8
+	}
+	return w
+}
+
+// Flows implements the workload.
+func (w YSB) Flows(nodes, threads int) [][]core.Flow {
+	w = w.fill()
+	var dist KeyDist = Uniform{N: w.Keys}
+	if w.ZipfS > 0 {
+		z, err := NewZipf(w.Keys, w.ZipfS)
+		if err != nil {
+			panic(err)
+		}
+		dist = z
+	}
+	return buildFlows(nodes, threads, func(n, t int) core.Flow {
+		return &gen{
+			rng:   rand.New(rand.NewSource(flowSeed(w.Seed, n, t))),
+			dist:  dist,
+			limit: w.RecordsPerFlow,
+			step:  w.TimeStep,
+			finish: func(rng *rand.Rand, rec *stream.Record) {
+				rec.V0 = int64(rng.Intn(3)) // event type: 0 view, 1 click, 2 purchase
+			},
+		}
+	})
+}
+
+// Query builds the YSB pipeline.
+func (w YSB) Query() *core.Query {
+	w = w.fill()
+	win, err := window.NewTumbling(w.WindowSize)
+	if err != nil {
+		panic(err)
+	}
+	return &core.Query{
+		Name:   "ysb",
+		Codec:  stream.MustCodec(YSBRecordSize),
+		Filter: func(r *stream.Record) bool { return r.V0 == 0 },
+		Map:    func(r *stream.Record) { r.V0 = 1 }, // projection to (campaign, 1)
+		Window: win,
+		Agg:    crdt.Count{},
+	}
+}
+
+// NB7 is NEXMark query 7 over the bid stream: a 60-second windowed maximum
+// of the bid price per auction. Bid keys follow a Pareto distribution with
+// heavy hitters; state is small and updated with an RMW pattern (§8.1.2).
+type NB7 struct {
+	Keys           uint64
+	RecordsPerFlow int
+	WindowSize     int64
+	TimeStep       int64
+	Alpha          float64
+	Seed           int64
+}
+
+func (w NB7) fill() NB7 {
+	if w.Keys == 0 {
+		w.Keys = 1_000_000
+	}
+	if w.RecordsPerFlow == 0 {
+		w.RecordsPerFlow = 1 << 20
+	}
+	if w.TimeStep == 0 {
+		w.TimeStep = 10
+	}
+	if w.WindowSize == 0 {
+		w.WindowSize = int64(w.RecordsPerFlow) * w.TimeStep / 8
+	}
+	if w.Alpha == 0 {
+		w.Alpha = 1.16
+	}
+	return w
+}
+
+// Flows implements the workload.
+func (w NB7) Flows(nodes, threads int) [][]core.Flow {
+	w = w.fill()
+	return buildFlows(nodes, threads, func(n, t int) core.Flow {
+		return &gen{
+			rng:   rand.New(rand.NewSource(flowSeed(w.Seed, n, t))),
+			dist:  Pareto{N: w.Keys, Alpha: w.Alpha},
+			limit: w.RecordsPerFlow,
+			step:  w.TimeStep,
+			finish: func(rng *rand.Rand, rec *stream.Record) {
+				rec.V0 = rng.Int63n(10_000) // bid price
+			},
+		}
+	})
+}
+
+// Query builds the NB7 pipeline.
+func (w NB7) Query() *core.Query {
+	w = w.fill()
+	win, err := window.NewTumbling(w.WindowSize)
+	if err != nil {
+		panic(err)
+	}
+	return &core.Query{
+		Name:   "nb7",
+		Codec:  stream.MustCodec(BidRecordSize),
+		Window: win,
+		Agg:    crdt.Max{},
+	}
+}
+
+// NB8 is NEXMark query 8: a wide tumbling window join of the auction and
+// person (seller) streams on the seller id. The auction:person ratio is
+// 4:1 and every auction has a valid seller (§8.2.3); record sizes are the
+// documented 269 B and 206 B, so the state grows large with an append-only
+// pattern.
+type NB8 struct {
+	Sellers        uint64
+	RecordsPerFlow int
+	WindowSize     int64
+	TimeStep       int64
+	Seed           int64
+}
+
+func (w NB8) fill() NB8 {
+	if w.Sellers == 0 {
+		w.Sellers = 100_000
+	}
+	if w.RecordsPerFlow == 0 {
+		w.RecordsPerFlow = 1 << 18
+	}
+	if w.TimeStep == 0 {
+		w.TimeStep = 10
+	}
+	if w.WindowSize == 0 {
+		// One wide window over most of the stream (the paper uses 12 h).
+		w.WindowSize = int64(w.RecordsPerFlow) * w.TimeStep / 2
+	}
+	return w
+}
+
+// Flows implements the workload: a mixed stream of auctions (side 0) and
+// persons (side 1) in a 4:1 ratio.
+func (w NB8) Flows(nodes, threads int) [][]core.Flow {
+	w = w.fill()
+	return buildFlows(nodes, threads, func(n, t int) core.Flow {
+		return &gen{
+			rng:   rand.New(rand.NewSource(flowSeed(w.Seed, n, t))),
+			dist:  Uniform{N: w.Sellers},
+			limit: w.RecordsPerFlow,
+			step:  w.TimeStep,
+			finish: func(rng *rand.Rand, rec *stream.Record) {
+				if rng.Intn(5) == 0 {
+					rec.V1 = 1 // person/seller record
+					rec.V0 = rec.Time
+				} else {
+					rec.V1 = 0                // auction record
+					rec.V0 = rng.Int63n(1000) // opening price
+				}
+			},
+		}
+	})
+}
+
+// Query builds the NB8 join.
+func (w NB8) Query() *core.Query {
+	w = w.fill()
+	win, err := window.NewTumbling(w.WindowSize)
+	if err != nil {
+		panic(err)
+	}
+	return &core.Query{
+		Name:     "nb8",
+		Codec:    stream.MustCodec(AuctionRecordSize),
+		Window:   win,
+		JoinSide: func(r *stream.Record) uint8 { return uint8(r.V1) },
+	}
+}
+
+// NB11 is NEXMark query 11: a session-window join of the bid and person
+// streams in event time, with the benchmark's small 32 B bid tuples
+// (§8.2.3). Sessions are approximated by gap-width slices (see
+// window.Session).
+type NB11 struct {
+	Keys           uint64
+	RecordsPerFlow int
+	Gap            int64
+	TimeStep       int64
+	Seed           int64
+}
+
+func (w NB11) fill() NB11 {
+	if w.Keys == 0 {
+		w.Keys = 100_000
+	}
+	if w.RecordsPerFlow == 0 {
+		w.RecordsPerFlow = 1 << 19
+	}
+	if w.TimeStep == 0 {
+		w.TimeStep = 10
+	}
+	if w.Gap == 0 {
+		w.Gap = int64(w.RecordsPerFlow) * w.TimeStep / 16
+	}
+	return w
+}
+
+// Flows implements the workload: bids (side 0) and persons (side 1) 4:1.
+func (w NB11) Flows(nodes, threads int) [][]core.Flow {
+	w = w.fill()
+	return buildFlows(nodes, threads, func(n, t int) core.Flow {
+		return &gen{
+			rng:   rand.New(rand.NewSource(flowSeed(w.Seed, n, t))),
+			dist:  Uniform{N: w.Keys},
+			limit: w.RecordsPerFlow,
+			step:  w.TimeStep,
+			finish: func(rng *rand.Rand, rec *stream.Record) {
+				if rng.Intn(5) == 0 {
+					rec.V1 = 1
+				} else {
+					rec.V1 = 0
+					rec.V0 = rng.Int63n(10_000) // bid price
+				}
+			},
+		}
+	})
+}
+
+// Query builds the NB11 session join.
+func (w NB11) Query() *core.Query {
+	w = w.fill()
+	win, err := window.NewSession(w.Gap)
+	if err != nil {
+		panic(err)
+	}
+	return &core.Query{
+		Name:     "nb11",
+		Codec:    stream.MustCodec(BidRecordSize),
+		Window:   win,
+		JoinSide: func(r *stream.Record) uint8 { return uint8(r.V1) },
+	}
+}
+
+// CM is the Cluster Monitoring benchmark: a 2-second tumbling window
+// computing the mean CPU utilization per job over a stream shaped like the
+// Google cluster trace (64 B records, 8 B job key, 8 B timestamp; §8.1.2).
+// Job popularity is skewed: a few large jobs emit most task samples.
+type CM struct {
+	Jobs           uint64
+	RecordsPerFlow int
+	WindowSize     int64
+	TimeStep       int64
+	Seed           int64
+}
+
+func (w CM) fill() CM {
+	if w.Jobs == 0 {
+		w.Jobs = 125_000 // paper: traces from a 12.5K-node cluster
+	}
+	if w.RecordsPerFlow == 0 {
+		w.RecordsPerFlow = 1 << 20
+	}
+	if w.TimeStep == 0 {
+		w.TimeStep = 10
+	}
+	if w.WindowSize == 0 {
+		w.WindowSize = int64(w.RecordsPerFlow) * w.TimeStep / 8
+	}
+	return w
+}
+
+// Flows implements the workload.
+func (w CM) Flows(nodes, threads int) [][]core.Flow {
+	w = w.fill()
+	zipf, err := NewZipf(w.Jobs, 1.1)
+	if err != nil {
+		panic(err)
+	}
+	return buildFlows(nodes, threads, func(n, t int) core.Flow {
+		return &gen{
+			rng:   rand.New(rand.NewSource(flowSeed(w.Seed, n, t))),
+			dist:  zipf,
+			limit: w.RecordsPerFlow,
+			step:  w.TimeStep,
+			finish: func(rng *rand.Rand, rec *stream.Record) {
+				rec.V0 = rng.Int63n(101) // CPU utilization sample 0..100
+			},
+		}
+	})
+}
+
+// Query builds the CM pipeline.
+func (w CM) Query() *core.Query {
+	w = w.fill()
+	win, err := window.NewTumbling(w.WindowSize)
+	if err != nil {
+		panic(err)
+	}
+	return &core.Query{
+		Name:   "cm",
+		Codec:  stream.MustCodec(CMRecordSize),
+		Window: win,
+		Agg:    crdt.Avg{},
+	}
+}
+
+// RO is the Read-Only drill-down benchmark (§8.1.2): a stateful query that
+// counts occurrences of each key, with no other computation, to expose I/O
+// bottlenecks. Keys default to uniform over 100M; the skew experiments
+// substitute a Zipfian distribution.
+type RO struct {
+	Keys           uint64
+	RecordsPerFlow int
+	TimeStep       int64
+	Seed           int64
+	// ZipfS > 0 switches the key distribution to Zipf with that exponent
+	// (Fig. 8d sweeps z = 0.2…2.0).
+	ZipfS float64
+}
+
+func (w RO) fill() RO {
+	if w.Keys == 0 {
+		w.Keys = 100_000_000
+	}
+	if w.RecordsPerFlow == 0 {
+		w.RecordsPerFlow = 1 << 20
+	}
+	if w.TimeStep == 0 {
+		w.TimeStep = 10
+	}
+	return w
+}
+
+// Flows implements the workload.
+func (w RO) Flows(nodes, threads int) [][]core.Flow {
+	w = w.fill()
+	var dist KeyDist = Uniform{N: w.Keys}
+	if w.ZipfS > 0 {
+		z, err := NewZipf(w.Keys, w.ZipfS)
+		if err != nil {
+			panic(err)
+		}
+		dist = z
+	}
+	return buildFlows(nodes, threads, func(n, t int) core.Flow {
+		return &gen{
+			rng:   rand.New(rand.NewSource(flowSeed(w.Seed, n, t))),
+			dist:  dist,
+			limit: w.RecordsPerFlow,
+			step:  w.TimeStep,
+		}
+	})
+}
+
+// Query builds the RO pipeline: one window spanning the whole stream, so
+// the measurement isolates ingestion and state-update cost.
+func (w RO) Query() *core.Query {
+	w = w.fill()
+	win, err := window.NewTumbling(int64(w.RecordsPerFlow+1) * w.TimeStep * 4)
+	if err != nil {
+		panic(err)
+	}
+	return &core.Query{
+		Name:   "ro",
+		Codec:  stream.MustCodec(RORecordSize),
+		Window: win,
+		Agg:    crdt.Count{},
+	}
+}

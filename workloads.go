@@ -1,0 +1,36 @@
+package slash
+
+import "github.com/slash-stream/slash/internal/workload"
+
+// The benchmark workloads of the paper's evaluation (§8.1.2), re-exported
+// so downstream users can regenerate the datasets without reaching into
+// internal packages. Each workload provides Flows(nodes, threads) and a
+// matching Query; adapt the engine query through the builder if needed.
+type (
+	// YSBWorkload is the Yahoo! Streaming Benchmark.
+	YSBWorkload = workload.YSB
+	// NB7Workload is NEXMark query 7 (windowed max over bids).
+	NB7Workload = workload.NB7
+	// NB8Workload is NEXMark query 8 (tumbling join auction ⋈ person).
+	NB8Workload = workload.NB8
+	// NB11Workload is NEXMark query 11 (session join bid ⋈ person).
+	NB11Workload = workload.NB11
+	// CMWorkload is the Cluster Monitoring benchmark.
+	CMWorkload = workload.CM
+	// ROWorkload is the Read-Only drill-down benchmark.
+	ROWorkload = workload.RO
+)
+
+// Key distributions for custom workloads.
+type (
+	// UniformKeys draws keys uniformly from [0, N).
+	UniformKeys = workload.Uniform
+	// ZipfKeys draws keys from a Zipfian distribution with arbitrary
+	// exponent (supports the full z = 0.2…2.0 sweep of Fig. 8d).
+	ZipfKeys = workload.Zipf
+	// ParetoKeys draws keys with a Pareto heavy-hitter shape.
+	ParetoKeys = workload.Pareto
+)
+
+// NewZipfKeys builds a ZipfKeys sampler over [0, n) with exponent s.
+func NewZipfKeys(n uint64, s float64) (*ZipfKeys, error) { return workload.NewZipf(n, s) }
