@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"github.com/slash-stream/slash/internal/harness"
+	"github.com/slash-stream/slash/internal/metrics"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "workload seed")
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 		out        = flag.String("out", "", "also write the result table to this file")
+		withMx     = flag.Bool("metrics", false, "collect fabric/channel/engine metrics and print a snapshot per experiment")
 	)
 	flag.Parse()
 
@@ -73,11 +75,21 @@ func main() {
 	var rows []harness.Row
 	for _, e := range selected {
 		fmt.Fprintf(os.Stderr, "# %s — %s\n", e.Name, e.Title)
+		if *withMx {
+			// A fresh registry per experiment keeps the dump attributable:
+			// counters aggregate over every run within one experiment.
+			opts.Metrics = metrics.NewRegistry()
+		}
 		rs, err := e.Run(opts)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.Name, err))
 		}
 		rows = append(rows, rs...)
+		if *withMx {
+			fmt.Printf("## metrics — %s\n", e.Name)
+			opts.Metrics.WriteText(os.Stdout)
+			fmt.Println()
+		}
 	}
 	table := harness.FormatTable(rows)
 	fmt.Print(table)

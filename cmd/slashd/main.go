@@ -13,10 +13,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"time"
 
 	"github.com/slash-stream/slash/internal/core"
+	"github.com/slash-stream/slash/internal/metrics"
 	"github.com/slash-stream/slash/internal/rdma"
 	"github.com/slash-stream/slash/internal/workload"
 )
@@ -32,6 +36,8 @@ func main() {
 		throttle = flag.Bool("throttle", false, "pace the simulated fabric at a scaled EDR line rate")
 		results  = flag.Int("results", 5, "sample result rows to print")
 		seed     = flag.Int64("seed", 42, "workload seed")
+		withMx   = flag.Bool("metrics", false, "print a metrics snapshot after the report")
+		mxAddr   = flag.String("metrics-addr", "", "serve /metrics (plaintext) and /metrics.json on this address, e.g. :9090")
 	)
 	flag.Parse()
 
@@ -52,6 +58,24 @@ func main() {
 			BaseLatency:   2 * time.Microsecond,
 			Throttle:      true,
 		}
+	}
+
+	var reg *metrics.Registry
+	if *withMx || *mxAddr != "" {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
+	if *mxAddr != "" {
+		ln, err := net.Listen("tcp", *mxAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "slashd: serving metrics on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, metrics.Handler(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "slashd: metrics server:", err)
+			}
+		}()
 	}
 
 	col := &core.Collector{}
@@ -88,6 +112,17 @@ func main() {
 			r := joins[i]
 			fmt.Printf("  window %-6d key %-12d left %d right %d pairs %d\n", r.Win, r.Key, r.Left, r.Right, r.Pairs)
 		}
+	}
+
+	if *withMx {
+		fmt.Printf("\nmetrics:\n")
+		reg.WriteText(os.Stdout)
+	}
+	if *mxAddr != "" {
+		fmt.Fprintln(os.Stderr, "slashd: run finished; metrics still served (interrupt to exit)")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
 	}
 }
 

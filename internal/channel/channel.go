@@ -27,7 +27,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
+	"github.com/slash-stream/slash/internal/metrics"
 	"github.com/slash-stream/slash/internal/rdma"
 )
 
@@ -118,6 +120,18 @@ func New(prodNIC, consNIC *rdma.NIC, cfg Config) (*Producer, *Consumer, error) {
 		creditRKey: creditMR.RKey(),
 		creditByte: []byte{1},
 	}
+	if reg := prodNIC.Fabric().Metrics(); reg != nil {
+		// The producer QP id is fabric-unique, so it doubles as the
+		// channel label even when several channels share a NIC pair.
+		ch := fmt.Sprintf("{ch=%q}", qpProd.ID())
+		p.mStallNs = reg.Counter("channel_credit_stall_ns_total" + ch)
+		p.mStalls = reg.Counter("channel_credit_stalls_total" + ch)
+		p.mSpins = reg.Counter("channel_acquire_spins_total" + ch)
+		p.mPosted = reg.Counter("channel_slots_posted_total" + ch)
+		c.mReleased = reg.Counter("channel_slots_released_total" + ch)
+		c.mPollMisses = reg.Counter("channel_poll_misses_total" + ch)
+		c.mBacklogMax = reg.Gauge("channel_backlog_slots_max" + ch)
+	}
 	return p, c, nil
 }
 
@@ -136,6 +150,13 @@ type Producer struct {
 	// lastErr records an asynchronous completion error surfaced on a later
 	// Post call.
 	lastErr error
+
+	// Credit-stall instrumentation (§6.2 step 3: wait for credit); all nil
+	// without a fabric metrics registry.
+	mStallNs *metrics.Counter
+	mStalls  *metrics.Counter
+	mSpins   *metrics.Counter
+	mPosted  *metrics.Counter
 }
 
 // SendBuffer is a slot acquired from the producer's staging ring. Data is
@@ -170,15 +191,33 @@ func (p *Producer) TryAcquire() (*SendBuffer, bool) {
 }
 
 // Acquire spins until a credit is available (step 3 of the transfer phase:
-// wait for credit). It returns nil once the channel is closed.
+// wait for credit). It returns nil once the channel is closed or a fatal
+// asynchronous error — including a send-CQ overrun — is observed; Err
+// reports which.
 func (p *Producer) Acquire() *SendBuffer {
+	var stallStart int64
 	for {
+		// Drain completions before handing out a slot: a credit that never
+		// comes back often means the data write failed or the CQ overran,
+		// and only the CQ knows. Checking up front also keeps a broken
+		// channel from handing out buffers while credits remain.
+		if err := p.drainErrors(); err != nil {
+			return nil
+		}
 		if b, ok := p.TryAcquire(); ok {
+			if stallStart != 0 {
+				p.mStallNs.Add(uint64(time.Now().UnixNano() - stallStart))
+				p.mStalls.Inc()
+			}
 			return b
 		}
 		if p.closed.Load() {
 			return nil
 		}
+		if stallStart == 0 && p.mStallNs != nil {
+			stallStart = time.Now().UnixNano()
+		}
+		p.mSpins.Inc()
 		runtime.Gosched()
 	}
 }
@@ -216,12 +255,18 @@ func (p *Producer) Post(b *SendBuffer, used int) error {
 	}
 	p.sent.Add(1)
 	p.acquired = false
+	p.mPosted.Inc()
 	return nil
 }
 
-// drainErrors surfaces asynchronous completion errors (bad rkey, bounds).
+// drainErrors surfaces asynchronous completion errors (bad rkey, bounds,
+// CQ overrun).
 func (p *Producer) drainErrors() error {
 	if p.lastErr != nil {
+		return p.lastErr
+	}
+	if p.qp.SendCQ().Overrun() {
+		p.lastErr = fmt.Errorf("channel: send %w", rdma.ErrCQOverrun)
 		return p.lastErr
 	}
 	for {
@@ -235,6 +280,9 @@ func (p *Producer) drainErrors() error {
 		}
 	}
 }
+
+// Err returns any asynchronous protocol error observed so far.
+func (p *Producer) Err() error { return p.lastErr }
 
 // Sent returns the number of buffers posted.
 func (p *Producer) Sent() uint64 { return p.sent.Load() }
@@ -261,6 +309,11 @@ type Consumer struct {
 	released atomic.Uint64 // credits returned
 	closed   atomic.Bool
 	lastErr  error
+
+	// Poll instrumentation; all nil without a fabric metrics registry.
+	mReleased   *metrics.Counter
+	mPollMisses *metrics.Counter
+	mBacklogMax *metrics.Gauge
 }
 
 // RecvBuffer is a received slot. Data aliases the ring slot's payload; it is
@@ -282,9 +335,16 @@ func (c *Consumer) TryPoll() (*RecvBuffer, bool) {
 	// Back-pressure the producer: do not run more than Credits buffers
 	// ahead of releases, mirroring hardware where un-released slots are
 	// simply not rewritten yet.
-	if c.ring.WriteVersion() <= c.received.Load() {
+	backlog := int64(c.ring.WriteVersion() - c.received.Load())
+	if backlog <= 0 {
+		// Footer-poll miss: the write version has not advanced. Drain the
+		// send CQ while spinning so a credit-write failure or CQ overrun
+		// surfaces through Err instead of stalling the poll loop forever.
+		c.mPollMisses.Inc()
+		c.drainErrors()
 		return nil, false
 	}
+	c.mBacklogMax.SetMax(backlog)
 	slot := int(c.received.Load() % uint64(c.cfg.Credits))
 	base := slot * c.cfg.SlotSize
 	buf := c.ring.Bytes()[base : base+c.cfg.SlotSize]
@@ -328,11 +388,16 @@ func (c *Consumer) Release(b *RecvBuffer) error {
 	}
 	b.done = true
 	c.released.Add(1)
+	c.mReleased.Inc()
 	return nil
 }
 
 func (c *Consumer) drainErrors() error {
 	if c.lastErr != nil {
+		return c.lastErr
+	}
+	if c.qp.SendCQ().Overrun() {
+		c.lastErr = fmt.Errorf("channel: credit %w", rdma.ErrCQOverrun)
 		return c.lastErr
 	}
 	for {
@@ -345,6 +410,12 @@ func (c *Consumer) drainErrors() error {
 			return c.lastErr
 		}
 	}
+}
+
+// Backlog returns the number of buffers that have landed in the ring but
+// have not been polled yet — the channel's inbound queue depth.
+func (c *Consumer) Backlog() int {
+	return int(c.ring.WriteVersion() - c.received.Load())
 }
 
 // Err returns any asynchronous protocol error observed so far.

@@ -1,0 +1,177 @@
+package channel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/slash-stream/slash/internal/metrics"
+	"github.com/slash-stream/slash/internal/rdma"
+)
+
+// metricValue finds the single counter/gauge whose name starts with prefix
+// and returns its value, failing the test on zero or multiple matches.
+func metricValue(t *testing.T, snap metrics.Snapshot, prefix string) uint64 {
+	t.Helper()
+	var found []uint64
+	for _, c := range snap.Counters {
+		if strings.HasPrefix(c.Name, prefix) {
+			found = append(found, c.Value)
+		}
+	}
+	for _, g := range snap.Gauges {
+		if strings.HasPrefix(g.Name, prefix) {
+			found = append(found, uint64(g.Value))
+		}
+	}
+	if len(found) != 1 {
+		t.Fatalf("metric %q: %d matches in snapshot", prefix, len(found))
+	}
+	return found[0]
+}
+
+func newMeteredChannel(t *testing.T, credits int) (*Producer, *Consumer, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	f := rdma.NewFabric(rdma.Config{Metrics: reg})
+	p, c, err := New(f.MustNIC("prod"), f.MustNIC("cons"), Config{Credits: credits, SlotSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		p.Close()
+		c.Close()
+	})
+	return p, c, reg
+}
+
+// TestCreditStallMetricsSlowConsumer asserts that a producer blocked on
+// credits accounts nonzero stall time, and that the consumer-side slot and
+// poll counters advance.
+func TestCreditStallMetricsSlowConsumer(t *testing.T) {
+	const credits = 2
+	const total = credits + 3
+	p, c, reg := newMeteredChannel(t, credits)
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			sb := p.Acquire()
+			if sb == nil {
+				done <- p.Err()
+				return
+			}
+			sb.Data[0] = byte(i)
+			if err := p.Post(sb, 1); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	// Let the producer exhaust its credits and spin before releasing
+	// anything: every buffer past the first `credits` must stall.
+	time.Sleep(20 * time.Millisecond)
+	for n := 0; n < total; {
+		rb, ok := c.TryPoll()
+		if !ok {
+			if err := c.Err(); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := c.Release(rb); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := metricValue(t, snap, "channel_credit_stall_ns_total"); got == 0 {
+		t.Fatal("credit-stall time is zero with a slow consumer")
+	}
+	if got := metricValue(t, snap, "channel_credit_stalls_total"); got == 0 {
+		t.Fatal("no stalled acquires counted")
+	}
+	if got := metricValue(t, snap, "channel_acquire_spins_total"); got == 0 {
+		t.Fatal("no acquire spins counted")
+	}
+	if got := metricValue(t, snap, "channel_slots_posted_total"); got != total {
+		t.Fatalf("slots posted = %d, want %d", got, total)
+	}
+	if got := metricValue(t, snap, "channel_slots_released_total"); got != total {
+		t.Fatalf("slots released = %d, want %d", got, total)
+	}
+	if got := metricValue(t, snap, "channel_backlog_slots_max"); got == 0 || got > credits {
+		t.Fatalf("backlog high-water = %d, want within (0, %d]", got, credits)
+	}
+}
+
+// TestCreditStallZeroWhenConsumerKeepsUp asserts the converse: a producer
+// that never runs out of credits records no stall time.
+func TestCreditStallZeroWhenConsumerKeepsUp(t *testing.T) {
+	const credits = 4
+	p, c, reg := newMeteredChannel(t, credits)
+
+	// Send exactly `credits` buffers: every Acquire succeeds on the first
+	// attempt, so no stall may be recorded.
+	for i := 0; i < credits; i++ {
+		sb := p.Acquire()
+		if sb == nil {
+			t.Fatalf("Acquire returned nil: %v", p.Err())
+		}
+		sb.Data[0] = byte(i)
+		if err := p.Post(sb, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.qp.Drain()
+	for n := 0; n < credits; {
+		rb, ok := c.TryPoll()
+		if !ok {
+			continue
+		}
+		if err := c.Release(rb); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+
+	snap := reg.Snapshot()
+	if got := metricValue(t, snap, "channel_credit_stall_ns_total"); got != 0 {
+		t.Fatalf("credit-stall time = %d with a consumer that keeps up, want 0", got)
+	}
+	if got := metricValue(t, snap, "channel_credit_stalls_total"); got != 0 {
+		t.Fatalf("stalled acquires = %d, want 0", got)
+	}
+	if got := metricValue(t, snap, "channel_slots_posted_total"); got != credits {
+		t.Fatalf("slots posted = %d, want %d", got, credits)
+	}
+}
+
+// TestProducerSurfacesCQOverrun asserts that a producer spinning in Acquire
+// observes a send-CQ overrun instead of spinning forever.
+func TestProducerSurfacesCQOverrun(t *testing.T) {
+	p, _, _ := newMeteredChannel(t, 2)
+	// Overrun the send CQ with error completions: posts to an invalid rkey
+	// always complete, even unsignaled, and nobody polls the CQ here.
+	for i := 0; i < rdma.DefaultSendQueueDepth+8; i++ {
+		if err := p.qp.PostWrite(uint64(i), []byte{1}, 0xdead, 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.qp.Drain()
+	if !p.qp.SendCQ().Overrun() {
+		t.Fatal("send CQ did not overrun")
+	}
+	if sb := p.Acquire(); sb != nil {
+		t.Fatal("Acquire handed out a buffer on an overrun channel")
+	}
+	if err := p.Err(); err == nil {
+		t.Fatal("producer error not surfaced after CQ overrun")
+	}
+}

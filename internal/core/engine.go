@@ -8,6 +8,7 @@ import (
 
 	"github.com/slash-stream/slash/internal/channel"
 	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/metrics"
 	"github.com/slash-stream/slash/internal/rdma"
 	"github.com/slash-stream/slash/internal/sched"
 	"github.com/slash-stream/slash/internal/ssb"
@@ -35,6 +36,10 @@ type Config struct {
 	// BatchRecords is the number of records a source task processes per
 	// scheduler step. Defaults to 256.
 	BatchRecords int
+	// Metrics, when non-nil, collects engine- and fabric-level metrics for
+	// the run: per-task step latency, merge backlog high-water marks, and —
+	// unless Fabric.Metrics is set separately — all verbs/channel counters.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fill() error {
@@ -110,6 +115,14 @@ func Run(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Report, error) {
 	}
 	if sink == nil {
 		sink = &CountingSink{}
+	}
+
+	if cfg.Metrics != nil && cfg.Fabric.Metrics == nil {
+		cfg.Fabric.Metrics = cfg.Metrics
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = cfg.Fabric.Metrics
 	}
 
 	fabric := rdma.NewFabric(cfg.Fabric)
@@ -201,6 +214,13 @@ func Run(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Report, error) {
 	}
 
 	var records, updates atomic.Int64
+	// One histogram per task kind, shared across nodes: step latency is a
+	// property of the operator pipeline, not of any one node.
+	var mSourceStep, mMergeStep *metrics.Histogram
+	if reg != nil {
+		mSourceStep = reg.Histogram(`core_step_ns{task="source"}`)
+		mMergeStep = reg.Histogram(`core_step_ns{task="merge"}`)
+	}
 	for node := 0; node < cfg.Nodes; node++ {
 		for th := 0; th < cfg.ThreadsPerNode; th++ {
 			st := &sourceTask{
@@ -212,15 +232,20 @@ func Run(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Report, error) {
 				recSize: q.Codec.Size(),
 				records: &records,
 				updates: &updates,
+				mStep:   mSourceStep,
 			}
 			pool.Worker(node*workersPerNode + th).Add(st)
 		}
 		mt := &mergeTask{
-			run:  run,
-			node: node,
-			be:   backends[node],
-			cons: consumers[node],
-			q:    q,
+			run:   run,
+			node:  node,
+			be:    backends[node],
+			cons:  consumers[node],
+			q:     q,
+			mStep: mMergeStep,
+		}
+		if reg != nil {
+			mt.mBacklog = reg.Gauge(fmt.Sprintf(`core_merge_backlog_slots_max{node="%d"}`, node))
 		}
 		pool.Worker(node*workersPerNode + cfg.ThreadsPerNode).Add(mt)
 	}

@@ -5,9 +5,11 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/slash-stream/slash/internal/channel"
 	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/metrics"
 	"github.com/slash-stream/slash/internal/sched"
 	"github.com/slash-stream/slash/internal/ssb"
 	"github.com/slash-stream/slash/internal/stream"
@@ -29,6 +31,11 @@ func (s *chanSender) Send(c *ssb.Chunk) error {
 	defer s.mu.Unlock()
 	sb := s.prod.Acquire()
 	if sb == nil {
+		// Acquire returns nil both on a graceful close and on asynchronous
+		// transfer failures (bad rkey, CQ overrun); prefer the real cause.
+		if err := s.prod.Err(); err != nil {
+			return err
+		}
 		return channel.ErrClosed
 	}
 	if c.EncodedSize() > len(sb.Data) {
@@ -53,6 +60,7 @@ type sourceTask struct {
 	wins    []uint64
 	records *atomic.Int64
 	updates *atomic.Int64
+	mStep   *metrics.Histogram
 
 	localRecords int64
 	localUpdates int64
@@ -66,6 +74,10 @@ func (t *sourceTask) Name() string {
 // Step implements sched.Task: process one batch of records, flushing state
 // at epoch boundaries.
 func (t *sourceTask) Step() sched.Status {
+	if t.mStep != nil {
+		start := time.Now()
+		defer func() { t.mStep.Observe(time.Since(start).Nanoseconds()) }()
+	}
 	var rec stream.Record
 	for i := 0; i < t.batch; i++ {
 		if !t.flow.Next(&rec) {
@@ -116,11 +128,13 @@ func (t *sourceTask) Step() sched.Status {
 // evaluates window triggers. It terminates once every thread in the cluster
 // has finished its stream and all pending windows have fired.
 type mergeTask struct {
-	run  *runState
-	node int
-	be   *ssb.Backend
-	cons []*channel.Consumer
-	q    *Query
+	run      *runState
+	node     int
+	be       *ssb.Backend
+	cons     []*channel.Consumer
+	q        *Query
+	mStep    *metrics.Histogram
+	mBacklog *metrics.Gauge
 }
 
 // chunksPerChannelStep bounds work per scheduler step to keep the task
@@ -132,8 +146,15 @@ func (t *mergeTask) Name() string { return fmt.Sprintf("merge(node=%d)", t.node)
 
 // Step implements sched.Task.
 func (t *mergeTask) Step() sched.Status {
+	if t.mStep != nil {
+		start := time.Now()
+		defer func() { t.mStep.Observe(time.Since(start).Nanoseconds()) }()
+	}
 	progress := false
 	for _, cons := range t.cons {
+		if t.mBacklog != nil {
+			t.mBacklog.SetMax(int64(cons.Backlog()))
+		}
 		for k := 0; k < chunksPerChannelStep; k++ {
 			rb, ok := cons.TryPoll()
 			if !ok {

@@ -38,6 +38,7 @@ func runSlash(o Options, nodes int, q *core.Query, mkFlows func(int, int) [][]co
 		Nodes:          nodes,
 		ThreadsPerNode: o.Threads,
 		Fabric:         endToEndFabric(),
+		Metrics:        o.Metrics,
 	}, q, mkFlows(nodes, o.Threads), nil)
 }
 
@@ -59,11 +60,13 @@ func splitThreads(threads int) (producers, consumers int) {
 // producer half ingests the data the full thread set would in Slash.
 func runUpPar(o Options, nodes int, q *core.Query, mkFlows func(int, int) [][]core.Flow, _ int) (*core.Report, error) {
 	producers, consumers := splitThreads(o.Threads)
+	fab := endToEndFabric()
+	fab.Metrics = o.Metrics
 	return uppar.Run(uppar.Config{
 		Nodes:            nodes,
 		ProducersPerNode: producers,
 		ConsumersPerNode: consumers,
-		Fabric:           endToEndFabric(),
+		Fabric:           fab,
 	}, q, mkFlows(nodes, producers), nil)
 }
 
@@ -75,7 +78,7 @@ func runFlink(o Options, nodes int, q *core.Query, mkFlows func(int, int) [][]co
 		ProducersPerNode: producers,
 		ConsumersPerNode: consumers,
 		RuntimeTaxLoops:  32,
-		IPoIB:            ipoib.Config{Bandwidth: endToEndLinkRate, BandwidthFraction: 0.4},
+		IPoIB:            ipoib.Config{Bandwidth: endToEndLinkRate, BandwidthFraction: 0.4, Metrics: o.Metrics},
 	}, q, mkFlows(nodes, producers), nil)
 }
 

@@ -339,6 +339,14 @@ func throttledFabric() rdma.Config {
 	return rdma.Config{LinkBandwidth: scaledEDR, BaseLatency: 2 * time.Microsecond, Throttle: true}
 }
 
+// throttled is throttledFabric with the experiment's metrics registry
+// attached.
+func (o Options) throttled() rdma.Config {
+	cfg := throttledFabric()
+	cfg.Metrics = o.Metrics
+	return cfg
+}
+
 // Fig8a sweeps the channel buffer size and reports RO throughput for Slash
 // (point-to-point) and UpPar (partitioned fan-out).
 func Fig8a(o Options) ([]Row, error) {
@@ -353,7 +361,7 @@ func Fig8a(o Options) ([]Row, error) {
 				perThread: o.scaled(150_000),
 				keys:      1 << 20,
 				partition: part,
-				fabric:    throttledFabric(),
+				fabric:    o.throttled(),
 				seed:      o.Seed,
 			}
 			res, err := runRO(cfg)
@@ -384,7 +392,7 @@ func Fig8b(o Options) ([]Row, error) {
 				perThread: o.scaled(40_000),
 				keys:      1 << 20,
 				partition: part,
-				fabric:    throttledFabric(),
+				fabric:    o.throttled(),
 				sampleLat: true,
 				seed:      o.Seed,
 			}
@@ -418,7 +426,7 @@ func Fig8c(o Options) ([]Row, error) {
 				perThread: o.scaled(100_000),
 				keys:      1 << 20,
 				partition: part,
-				fabric:    throttledFabric(),
+				fabric:    o.throttled(),
 				seed:      o.Seed,
 			}
 			res, err := runRO(cfg)
@@ -454,6 +462,7 @@ func Fig8d(o Options) ([]Row, error) {
 				keys:      1 << 20,
 				zipfS:     z,
 				partition: part,
+				fabric:    rdma.Config{Metrics: o.Metrics},
 				seed:      o.Seed,
 			}
 			res, err := runRO(cfg)
@@ -473,7 +482,7 @@ func Fig8d(o Options) ([]Row, error) {
 	for _, z := range zs {
 		w := workload.YSB{Keys: 100_000, RecordsPerFlow: perFlow, Seed: o.Seed, ZipfS: z, TimeStep: 10}
 		q := w.Query()
-		rep, err := core.Run(core.Config{Nodes: 2, ThreadsPerNode: o.Threads}, q, w.Flows(2, o.Threads), nil)
+		rep, err := core.Run(core.Config{Nodes: 2, ThreadsPerNode: o.Threads, Metrics: o.Metrics}, q, w.Flows(2, o.Threads), nil)
 		if err != nil {
 			return nil, fmt.Errorf("fig8d ysb slash z=%.1f: %w", z, err)
 		}
@@ -485,7 +494,8 @@ func Fig8d(o Options) ([]Row, error) {
 		producers, consumers := splitThreads(o.Threads)
 		wu := w
 		wu.RecordsPerFlow = perFlow * o.Threads / producers
-		repU, err := uppar.Run(uppar.Config{Nodes: 2, ProducersPerNode: producers, ConsumersPerNode: consumers},
+		repU, err := uppar.Run(uppar.Config{Nodes: 2, ProducersPerNode: producers, ConsumersPerNode: consumers,
+			Fabric: rdma.Config{Metrics: o.Metrics}},
 			q, wu.Flows(2, producers), nil)
 		if err != nil {
 			return nil, fmt.Errorf("fig8d ysb uppar z=%.1f: %w", z, err)
@@ -511,7 +521,7 @@ func CreditSweep(o Options) ([]Row, error) {
 			credits:   c,
 			perThread: o.scaled(150_000),
 			keys:      1 << 20,
-			fabric:    throttledFabric(),
+			fabric:    o.throttled(),
 			seed:      o.Seed,
 		}
 		res, err := runRO(cfg)

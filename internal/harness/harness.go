@@ -16,6 +16,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"github.com/slash-stream/slash/internal/metrics"
 )
 
 // Row is one reported measurement.
@@ -55,6 +57,9 @@ type Options struct {
 	Seed int64
 	// Progress, when non-nil, receives one line per finished run.
 	Progress io.Writer
+	// Metrics, when non-nil, collects fabric, channel, and engine counters
+	// across every run of the experiment (cmd/slash-bench --metrics).
+	Metrics *metrics.Registry
 }
 
 func (o Options) fill() Options {

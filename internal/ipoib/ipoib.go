@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/slash-stream/slash/internal/metrics"
 )
 
 // Config models the IPoIB stack's costs.
@@ -37,6 +39,10 @@ type Config struct {
 	// many bytes per second (the underlying link rate), modelling IPoIB's
 	// inability to saturate the fabric.
 	Bandwidth int64
+	// Metrics, when non-nil, collects kernel-crossing and copy-cost
+	// counters. Streams created with the same registry share the counters,
+	// giving a stack-wide view of the costs RDMA's kernel-bypass avoids.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fill() {
@@ -74,6 +80,14 @@ type Stream struct {
 	bytesSent atomic.Int64
 	msgsSent  atomic.Int64
 	copies    atomic.Int64
+
+	// registry-backed counters, shared by every stream on the same
+	// registry; all are nil-safe no-ops when Config.Metrics is unset.
+	mCrossings *metrics.Counter
+	mCopies    *metrics.Counter
+	mCopyBytes *metrics.Counter
+	mTxBytes   *metrics.Counter
+	mTxMsgs    *metrics.Counter
 }
 
 // NewStream creates a stream with the given cost model.
@@ -82,6 +96,13 @@ func NewStream(cfg Config) *Stream {
 	s := &Stream{cfg: cfg, buf: make([]byte, cfg.SocketBuffer)}
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull = sync.NewCond(&s.mu)
+	if reg := cfg.Metrics; reg != nil {
+		s.mCrossings = reg.Counter("ipoib_kernel_crossings_total")
+		s.mCopies = reg.Counter("ipoib_copies_total")
+		s.mCopyBytes = reg.Counter("ipoib_copy_bytes_total")
+		s.mTxBytes = reg.Counter("ipoib_tx_bytes_total")
+		s.mTxMsgs = reg.Counter("ipoib_tx_msgs_total")
+	}
 	return s
 }
 
@@ -120,9 +141,12 @@ func (s *Stream) pace(n int) {
 // while the buffer is full — TCP back-pressure.
 func (s *Stream) Send(p []byte) error {
 	s.spin()
+	s.mCrossings.Inc()
 	s.pace(len(p))
 	s.msgsSent.Add(1)
 	s.bytesSent.Add(int64(len(p)))
+	s.mTxMsgs.Inc()
+	s.mTxBytes.Add(uint64(len(p)))
 	for len(p) > 0 {
 		s.mu.Lock()
 		for s.length == len(s.buf) && !s.closed {
@@ -134,6 +158,8 @@ func (s *Stream) Send(p []byte) error {
 		}
 		n := s.copyIn(p)
 		s.copies.Add(1)
+		s.mCopies.Inc()
+		s.mCopyBytes.Add(uint64(n))
 		s.notEmpty.Signal()
 		s.mu.Unlock()
 		p = p[n:]
@@ -146,6 +172,7 @@ func (s *Stream) Send(p []byte) error {
 // returns 0, ErrClosed once the stream is closed and drained.
 func (s *Stream) Recv(p []byte) (int, error) {
 	s.spin()
+	s.mCrossings.Inc()
 	s.mu.Lock()
 	for s.length == 0 && !s.closed {
 		s.notEmpty.Wait()
@@ -156,6 +183,8 @@ func (s *Stream) Recv(p []byte) (int, error) {
 	}
 	n := s.copyOut(p)
 	s.copies.Add(1)
+	s.mCopies.Inc()
+	s.mCopyBytes.Add(uint64(n))
 	s.notFull.Signal()
 	s.mu.Unlock()
 	return n, nil

@@ -1,0 +1,27 @@
+package metrics
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	GET /metrics       plaintext dump (also the fallback for any path)
+//	GET /metrics.json  JSON snapshot
+//
+// A request with "Accept: application/json" gets JSON on any path. The
+// handler is safe to serve while the instrumented system is running.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		wantJSON := strings.HasSuffix(req.URL.Path, ".json") ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

@@ -1,0 +1,450 @@
+// Package metrics is a dependency-free, allocation-free observability layer
+// for the Slash hot paths. It provides three metric kinds — monotonic
+// Counters, Gauges (with a high-water helper), and log-bucketed Histograms —
+// registered by name in a Registry that can be snapshotted at any time into
+// a plaintext dump or a JSON document.
+//
+// Design constraints, in order:
+//
+//  1. The record path must be branch-plus-atomic only: handles are plain
+//     pointers obtained once at setup time; Add/Inc/Set/Observe never
+//     allocate, never lock, and are safe for any number of goroutines.
+//  2. A nil handle is a valid no-op, so instrumented code needs no
+//     "metrics enabled?" plumbing: a nil *Registry hands out nil handles
+//     and every method on a nil metric returns immediately.
+//  3. Snapshots are wait-free for writers: readers sum atomics; a snapshot
+//     taken during concurrent updates is approximately consistent (each
+//     individual value is atomic, cross-metric skew is bounded by the scan).
+//
+// Naming convention: metric names carry their labels inline in Prometheus
+// style, e.g. "rdma_qp_writes_total{qp=\"node0->node1#1\"}". Histogram
+// derived series (count, sum, percentiles) splice their suffix before the
+// label block so dumps stay machine-parseable.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one. A nil Counter is a no-op.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add increments by delta. A nil Counter is a no-op.
+func (c *Counter) Add(delta uint64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// AddDuration accumulates a duration in nanoseconds; negative durations are
+// dropped. A nil Counter is a no-op.
+func (c *Counter) AddDuration(d time.Duration) {
+	if c != nil && d > 0 {
+		c.v.Add(uint64(d))
+	}
+}
+
+// Load returns the current value; zero on a nil Counter.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// reset zeroes the counter.
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an instantaneous int64 value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. A nil Gauge is a no-op.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta. A nil Gauge is a no-op.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// high-water-mark update used for queue depths. A nil Gauge is a no-op.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value; zero on a nil Gauge.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// reset zeroes the gauge.
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// histBuckets is the bucket count of a Histogram: bucket 0 holds the value
+// zero, bucket i (1..64) holds values whose bit length is i, i.e. the range
+// [2^(i-1), 2^i-1]. Log bucketing bounds the relative quantile error at 2×
+// while keeping Observe a single shift-free atomic add.
+const histBuckets = 65
+
+// Histogram is a log-bucketed distribution of non-negative int64 samples
+// (latencies in nanoseconds, sizes in bytes). Quantile estimates report the
+// upper bound of the containing bucket.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one sample; negative samples are clamped to zero. A nil
+// Histogram is a no-op.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	h.count.Add(1)
+	h.sum.Add(u)
+	for {
+		cur := h.max.Load()
+		if u <= cur || h.max.CompareAndSwap(cur, u) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(u)].Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds. A nil Histogram is a
+// no-op.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations; zero on a nil Histogram.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sample total; zero on a nil Histogram.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket containing it. It returns 0 when the histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// bucketUpper is the largest value bucket i can hold.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// reset zeroes every bucket and aggregate.
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use; metric lookup takes a lock, so callers obtain handles once
+// at setup and use them lock-free afterwards. A nil *Registry is valid and
+// hands out nil (no-op) handles.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil on a nil Registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Returns nil on a nil Registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Returns nil on a nil Registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered metric in place; handles held by
+// instrumented code remain valid. A nil Registry is a no-op.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.reset()
+	}
+	for _, g := range r.gauges {
+		g.reset()
+	}
+	for _, h := range r.histograms {
+		h.reset()
+	}
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramValue is one histogram in a snapshot, with pre-computed
+// percentile estimates.
+type HistogramValue struct {
+	Name  string `json:"name"`
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Max   uint64 `json:"max"`
+	P50   uint64 `json:"p50"`
+	P95   uint64 `json:"p95"`
+	P99   uint64 `json:"p99"`
+}
+
+// Mean returns the average sample, or 0 when empty.
+func (h HistogramValue) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot is a point-in-time view of a registry, sorted by name within
+// each kind.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot captures every registered metric. An empty snapshot is returned
+// on a nil Registry.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Load()})
+	}
+	for name, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Load()})
+	}
+	for name, h := range histograms {
+		s.Histograms = append(s.Histograms, HistogramValue{
+			Name:  name,
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Max:   h.max.Load(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Suffixed splices suffix into name before any inline label block:
+// Suffixed(`h{x="y"}`, "_p50") == `h_p50{x="y"}`.
+func Suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// WriteText renders the snapshot as a /metrics-style plaintext dump: one
+// "name value" line per series, histograms expanded into _count, _sum,
+// _max, _p50, _p95, _p99 series.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "%s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "%s %d\n%s %d\n%s %d\n%s %d\n%s %d\n%s %d\n",
+			Suffixed(h.Name, "_count"), h.Count,
+			Suffixed(h.Name, "_sum"), h.Sum,
+			Suffixed(h.Name, "_max"), h.Max,
+			Suffixed(h.Name, "_p50"), h.P50,
+			Suffixed(h.Name, "_p95"), h.P95,
+			Suffixed(h.Name, "_p99"), h.P99,
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as an indented JSON document.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText snapshots the registry and renders the plaintext dump.
+func (r *Registry) WriteText(w io.Writer) error { return r.Snapshot().WriteText(w) }
+
+// WriteJSON snapshots the registry and renders the JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error { return r.Snapshot().WriteJSON(w) }

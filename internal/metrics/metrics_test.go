@@ -1,0 +1,243 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("get-or-create returned a different counter for the same name")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.SetMax(3)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Load(); got != 9 {
+		t.Fatalf("SetMax did not raise the gauge: %d", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil handles")
+	}
+	// Every method must be a no-op, not a panic.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(5)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil metrics returned non-zero values")
+	}
+	r.Reset()
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Values land in the bucket of their bit length: bucket 0 = {0},
+	// bucket i = [2^(i-1), 2^i - 1]. Quantiles report the bucket upper
+	// bound.
+	cases := []struct {
+		value int64
+		upper uint64 // quantile estimate when this is the only sample
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 3},
+		{3, 3},
+		{4, 7},
+		{7, 7},
+		{8, 15},
+		{1023, 1023},
+		{1024, 2047},
+		{-5, 0}, // clamped to zero
+	}
+	for _, tc := range cases {
+		h := &Histogram{}
+		h.Observe(tc.value)
+		for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+			if got := h.Quantile(q); got != tc.upper {
+				t.Errorf("Observe(%d).Quantile(%g) = %d, want %d", tc.value, q, got, tc.upper)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 100 samples: 50× value 1, 45× value 100, 5× value 5000.
+	for i := 0; i < 50; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 45; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(5000)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if got := h.Sum(); got != 50+45*100+5*5000 {
+		t.Fatalf("sum = %d", got)
+	}
+	if got := h.Quantile(0.50); got != 1 {
+		t.Fatalf("p50 = %d, want 1", got)
+	}
+	// value 100 lives in bucket [64,127].
+	if got := h.Quantile(0.95); got != 127 {
+		t.Fatalf("p95 = %d, want 127", got)
+	}
+	// value 5000 lives in bucket [4096,8191].
+	if got := h.Quantile(0.99); got != 8191 {
+		t.Fatalf("p99 = %d, want 8191", got)
+	}
+	if got := h.max.Load(); got != 5000 {
+		t.Fatalf("max = %d, want 5000", got)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			g := r.Gauge("hw")
+			h := r.Histogram("lat_ns")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.SetMax(int64(w*perWorker + i))
+				h.Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Load(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("hw").Load(); got != (workers-1)*perWorker+perWorker-1 {
+		t.Fatalf("high water = %d", got)
+	}
+	if got := r.Histogram("lat_ns").Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d", got)
+	}
+}
+
+func TestSnapshotAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`rdma_qp_writes_total{qp="a->b#1"}`).Add(3)
+	r.Gauge("depth").Set(4)
+	r.Histogram(`lat_ns{qp="a->b#1"}`).Observe(100)
+
+	s := r.Snapshot()
+	if len(s.Counters) != 1 || s.Counters[0].Value != 3 {
+		t.Fatalf("snapshot counters %+v", s.Counters)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].Count != 1 {
+		t.Fatalf("snapshot histograms %+v", s.Histograms)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"rdma_qp_writes_total{qp=\"a->b#1\"} 3\n",
+		"depth 4\n",
+		"lat_ns_count{qp=\"a->b#1\"} 1\n",
+		"lat_ns_p99{qp=\"a->b#1\"} 127\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text dump missing %q; got:\n%s", want, text)
+		}
+	}
+
+	r.Reset()
+	if got := r.Counter(`rdma_qp_writes_total{qp="a->b#1"}`).Load(); got != 0 {
+		t.Fatalf("counter after reset = %d", got)
+	}
+	if got := r.Histogram(`lat_ns{qp="a->b#1"}`).Count(); got != 0 {
+		t.Fatalf("histogram count after reset = %d", got)
+	}
+}
+
+func TestSuffixed(t *testing.T) {
+	if got := Suffixed(`h{x="y"}`, "_p50"); got != `h_p50{x="y"}` {
+		t.Fatalf("Suffixed = %q", got)
+	}
+	if got := Suffixed("plain", "_sum"); got != "plain_sum" {
+		t.Fatalf("Suffixed = %q", got)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Add(12)
+	r.Histogram("lat_ns").Observe(1000)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), "hits_total 12") {
+		t.Fatalf("plaintext endpoint missing counter; got:\n%s", buf.String())
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Counters) != 1 || s.Counters[0].Value != 12 {
+		t.Fatalf("JSON snapshot %+v", s)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].P50 != 1023 {
+		t.Fatalf("JSON histogram %+v", s.Histograms)
+	}
+}

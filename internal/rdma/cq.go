@@ -1,5 +1,11 @@
 package rdma
 
+import (
+	"sync/atomic"
+
+	"github.com/slash-stream/slash/internal/metrics"
+)
+
 // Opcode identifies the verb a completion refers to.
 type Opcode uint8
 
@@ -50,8 +56,20 @@ type Completion struct {
 
 // CompletionQueue collects completions. It is safe for one consumer and many
 // producer queue pairs, matching the common one-CQ-per-thread deployment.
+//
+// As on hardware, a CQ that is not polled fast enough overruns: completions
+// beyond the queue depth are dropped and the sticky Overrun flag is raised.
+// Protocols that rely on completions (selective signaling surfaces errors
+// this way) must poll regularly and check Overrun in their spin loops.
 type CompletionQueue struct {
-	ch chan Completion
+	ch      chan Completion
+	overrun atomic.Bool
+
+	// Optional instrumentation, attached by the owning queue pair. Atomic
+	// pointers because a caller-provided CQ can be shared by QPs connecting
+	// concurrently.
+	depthHW atomic.Pointer[metrics.Gauge]
+	dropped atomic.Pointer[metrics.Counter]
 }
 
 // NewCompletionQueue creates a CQ with the given depth.
@@ -90,8 +108,34 @@ func (cq *CompletionQueue) Drain(max int) []Completion {
 	return out
 }
 
-// push enqueues a completion, blocking if the CQ is full (hardware would
-// raise a CQ overrun; blocking keeps the simulation lossless).
+// Overrun reports whether any completion was ever dropped because the queue
+// was full. The flag is sticky: once raised, the completion stream has a
+// gap and polling-based protocols must treat the queue pair as failed.
+func (cq *CompletionQueue) Overrun() bool { return cq.overrun.Load() }
+
+// push enqueues a completion. It never blocks: when the CQ is full the
+// completion is dropped and the sticky overrun flag is raised, mirroring the
+// IBV_EVENT_CQ_ERR overrun semantics of real hardware. Blocking here would
+// let a full CQ wedge the QP's deliverer goroutine — and with up to 2×depth
+// requests in flight against a CQ of depth, a producer that only drains its
+// CQ inside Post could deadlock the whole channel.
 func (cq *CompletionQueue) push(c Completion) {
-	cq.ch <- c
+	select {
+	case cq.ch <- c:
+		if g := cq.depthHW.Load(); g != nil {
+			g.SetMax(int64(len(cq.ch)))
+		}
+	default:
+		cq.overrun.Store(true)
+		if ctr := cq.dropped.Load(); ctr != nil {
+			ctr.Inc()
+		}
+	}
+}
+
+// attachMetrics wires the CQ's depth high-water gauge and dropped-completion
+// counter. The first attachment wins when a CQ is shared across queue pairs.
+func (cq *CompletionQueue) attachMetrics(depthHW *metrics.Gauge, dropped *metrics.Counter) {
+	cq.depthHW.CompareAndSwap(nil, depthHW)
+	cq.dropped.CompareAndSwap(nil, dropped)
 }

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/slash-stream/slash/internal/metrics"
 )
 
 // Config describes the simulated interconnect.
@@ -26,6 +28,12 @@ type Config struct {
 	// queue pair. Posting beyond the bound blocks, mirroring a full
 	// hardware send queue. Zero selects DefaultSendQueueDepth.
 	SendQueueDepth int
+
+	// Metrics, when non-nil, receives fine-grained verbs-path metrics:
+	// per-NIC transfer and link-busy counters, per-QP op counts and
+	// post→completion latency histograms, and CQ depth high-water marks.
+	// Nil disables instrumentation at near-zero hot-path cost.
+	Metrics *metrics.Registry
 }
 
 // DefaultSendQueueDepth is the per-QP send queue bound used when
@@ -43,6 +51,9 @@ const EDRLinkBandwidth = 11_800_000_000
 type Fabric struct {
 	cfg Config
 
+	// qpSeq numbers queue pairs for stable metric labels.
+	qpSeq atomic.Uint64
+
 	mu   sync.Mutex
 	nics map[string]*NIC
 }
@@ -58,6 +69,10 @@ func NewFabric(cfg Config) *Fabric {
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
 
+// Metrics returns the metrics registry the fabric was configured with, or
+// nil when instrumentation is disabled.
+func (f *Fabric) Metrics() *metrics.Registry { return f.cfg.Metrics }
+
 // NewNIC registers a new NIC (one port) on the fabric. Names must be unique.
 func (f *Fabric) NewNIC(name string) (*NIC, error) {
 	f.mu.Lock()
@@ -69,6 +84,13 @@ func (f *Fabric) NewNIC(name string) (*NIC, error) {
 		name:    name,
 		fabric:  f,
 		regions: make(map[uint32]*MemoryRegion),
+	}
+	if reg := f.cfg.Metrics; reg != nil {
+		n.mTxBytes = reg.Counter(fmt.Sprintf("rdma_nic_tx_bytes_total{nic=%q}", name))
+		n.mRxBytes = reg.Counter(fmt.Sprintf("rdma_nic_rx_bytes_total{nic=%q}", name))
+		n.mTxMsgs = reg.Counter(fmt.Sprintf("rdma_nic_tx_msgs_total{nic=%q}", name))
+		n.mRxMsgs = reg.Counter(fmt.Sprintf("rdma_nic_rx_msgs_total{nic=%q}", name))
+		n.mBusyTx = reg.Counter(fmt.Sprintf("rdma_nic_busy_tx_ns_total{nic=%q}", name))
 	}
 	f.nics[name] = n
 	return n, nil
@@ -101,6 +123,14 @@ type NIC struct {
 	txMsgs      atomic.Int64
 	rxMsgs      atomic.Int64
 	busyTxNanos atomic.Int64
+
+	// Registry mirrors of the counters above; nil when the fabric runs
+	// without a metrics registry.
+	mTxBytes *metrics.Counter
+	mRxBytes *metrics.Counter
+	mTxMsgs  *metrics.Counter
+	mRxMsgs  *metrics.Counter
+	mBusyTx  *metrics.Counter
 
 	// linkFree serializes the outgoing link in throttle mode.
 	linkMu   sync.Mutex
@@ -149,11 +179,14 @@ func (n *NIC) chargeTx(size int) {
 	cfg := n.fabric.cfg
 	n.txBytes.Add(int64(size))
 	n.txMsgs.Add(1)
+	n.mTxBytes.Add(uint64(size))
+	n.mTxMsgs.Inc()
 	if cfg.LinkBandwidth <= 0 {
 		return
 	}
 	d := time.Duration(float64(size) / float64(cfg.LinkBandwidth) * float64(time.Second))
 	n.busyTxNanos.Add(int64(d))
+	n.mBusyTx.AddDuration(d)
 	if !cfg.Throttle {
 		return
 	}
@@ -177,6 +210,8 @@ func (n *NIC) chargeTx(size int) {
 func (n *NIC) chargeRx(size int) {
 	n.rxBytes.Add(int64(size))
 	n.rxMsgs.Add(1)
+	n.mRxBytes.Add(uint64(size))
+	n.mRxMsgs.Inc()
 }
 
 // Errors returned by the verbs API.
@@ -190,4 +225,5 @@ var (
 	ErrOtherFabric  = errors.New("rdma: NICs belong to different fabrics")
 	ErrZeroLength   = errors.New("rdma: zero-length transfer")
 	ErrDeregistered = errors.New("rdma: memory region deregistered")
+	ErrCQOverrun    = errors.New("rdma: completion queue overrun (completions dropped)")
 )

@@ -107,12 +107,15 @@ func (mr *MemoryRegion) WriteVersion() uint64 { return mr.version.Load() }
 // QP engine after payload bytes are copied in.
 func (mr *MemoryRegion) publish() { mr.version.Add(1) }
 
-// checkRange validates [off, off+n) against the region bounds.
+// checkRange validates [off, off+n) against the region bounds. The bound is
+// written as off > len-n rather than off+n > len: with both operands known
+// non-negative the subtraction cannot overflow, whereas off+n wraps negative
+// for adversarially large offsets and would let the check pass.
 func (mr *MemoryRegion) checkRange(off, n int) error {
 	if mr.dead.Load() {
 		return ErrDeregistered
 	}
-	if off < 0 || n < 0 || off+n > len(mr.buf) {
+	if off < 0 || n < 0 || off > len(mr.buf)-n {
 		return ErrOutOfBounds
 	}
 	return nil

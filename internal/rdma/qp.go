@@ -1,10 +1,13 @@
 package rdma
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/slash-stream/slash/internal/metrics"
 )
 
 // QueuePair is one endpoint of a reliable RDMA connection. Work requests
@@ -19,6 +22,7 @@ type QueuePair struct {
 	local  *NIC
 	remote *NIC
 	peer   *QueuePair
+	id     string
 
 	sendCQ *CompletionQueue
 	recvCQ *CompletionQueue
@@ -35,6 +39,11 @@ type QueuePair struct {
 	executed atomic.Uint64
 
 	closeOnce sync.Once
+
+	// Per-QP instrumentation; all nil when the fabric has no registry.
+	mOps    [OpFetchAdd + 1]*metrics.Counter
+	mErrors *metrics.Counter
+	mLat    *metrics.Histogram
 }
 
 type workRequest struct {
@@ -46,6 +55,10 @@ type workRequest struct {
 	remoteOff int
 	expect    uint64
 	value     uint64
+
+	// postedNanos timestamps the post for the post→completion latency
+	// histogram; zero when latency tracking is off.
+	postedNanos int64
 }
 
 type delivery struct {
@@ -107,7 +120,41 @@ func newQP(local, remote *NIC, opt QPOptions) *QueuePair {
 	if qp.recvCQ == nil {
 		qp.recvCQ = NewCompletionQueue(depth)
 	}
+	qp.id = fmt.Sprintf("%s->%s#%d", local.name, remote.name, local.fabric.qpSeq.Add(1))
+	if reg := local.fabric.cfg.Metrics; reg != nil {
+		for _, op := range []Opcode{OpWrite, OpRead, OpSend, OpCompareSwap, OpFetchAdd} {
+			qp.mOps[op] = reg.Counter(fmt.Sprintf("rdma_qp_%ss_total{qp=%q}", opMetricName(op), qp.id))
+		}
+		qp.mErrors = reg.Counter(fmt.Sprintf("rdma_qp_errors_total{qp=%q}", qp.id))
+		qp.mLat = reg.Histogram(fmt.Sprintf("rdma_qp_post_to_completion_ns{qp=%q}", qp.id))
+		qp.sendCQ.attachMetrics(
+			reg.Gauge(fmt.Sprintf("rdma_cq_depth_max{cq=%q}", qp.id+"/send")),
+			reg.Counter(fmt.Sprintf("rdma_cq_dropped_total{cq=%q}", qp.id+"/send")),
+		)
+		qp.recvCQ.attachMetrics(
+			reg.Gauge(fmt.Sprintf("rdma_cq_depth_max{cq=%q}", qp.id+"/recv")),
+			reg.Counter(fmt.Sprintf("rdma_cq_dropped_total{cq=%q}", qp.id+"/recv")),
+		)
+	}
 	return qp
+}
+
+// opMetricName is the lowercase metric stem for an opcode.
+func opMetricName(op Opcode) string {
+	switch op {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpSend:
+		return "send"
+	case OpCompareSwap:
+		return "compare_swap"
+	case OpFetchAdd:
+		return "fetch_add"
+	default:
+		return "op"
+	}
 }
 
 func (qp *QueuePair) start() {
@@ -121,6 +168,10 @@ func (qp *QueuePair) SendCQ() *CompletionQueue { return qp.sendCQ }
 
 // RecvCQ returns the completion queue for posted receives.
 func (qp *QueuePair) RecvCQ() *CompletionQueue { return qp.recvCQ }
+
+// ID returns the fabric-unique identifier of this endpoint, e.g.
+// "node0->node1#3". It labels the QP's metric series.
+func (qp *QueuePair) ID() string { return qp.id }
 
 // LocalNIC returns the NIC this endpoint posts from.
 func (qp *QueuePair) LocalNIC() *NIC { return qp.local }
@@ -141,17 +192,30 @@ func (qp *QueuePair) post(wr workRequest) error {
 	if qp.closed.Load() {
 		return ErrQPClosed
 	}
+	if qp.mLat != nil {
+		wr.postedNanos = time.Now().UnixNano()
+	}
+	// Count the post before handing the request to the engine. The reverse
+	// order would let the engine bump executed past posted, and a
+	// concurrent Drain could then return while this post is still in
+	// flight.
+	qp.posted.Add(1)
 	select {
 	case qp.wq <- wr:
-		qp.posted.Add(1)
+		qp.mOps[wr.op].Inc()
 		return nil
 	case <-qp.done:
+		qp.posted.Add(^uint64(0)) // roll back: the request was never enqueued
 		return ErrQPClosed
 	}
 }
 
 // Drain blocks until every posted work request has been executed. Use it
 // before Close for a graceful shutdown that delivers in-flight writes.
+//
+// The engine only increments executed after receiving a request whose post
+// already incremented posted, so executed can never overtake posted and
+// Drain cannot return early while a post is in flight.
 func (qp *QueuePair) Drain() {
 	for qp.executed.Load() < qp.posted.Load() {
 		if qp.closed.Load() {
@@ -295,6 +359,12 @@ func (qp *QueuePair) execute(wr workRequest) {
 	case OpCompareSwap, OpFetchAdd:
 		comp.Bytes = 8
 		comp.Imm, comp.Err = qp.doAtomic(wr)
+	}
+	if comp.Err != nil {
+		qp.mErrors.Inc()
+	}
+	if wr.postedNanos != 0 {
+		qp.mLat.Observe(time.Now().UnixNano() - wr.postedNanos)
 	}
 	if wr.signaled || comp.Err != nil {
 		qp.sendCQ.push(comp)

@@ -1,0 +1,261 @@
+package rdma
+
+import (
+	"errors"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/slash-stream/slash/internal/metrics"
+)
+
+// TestDrainRaceExecutedNeverOvertakesPosted is the regression test for the
+// Drain race: posted used to be incremented after the work request was
+// enqueued, so the engine could bump executed past posted and a concurrent
+// Drain could observe executed >= posted and return while a post was still
+// in flight. A sampler goroutine asserts the invariant posted >= executed at
+// every observable instant while concurrent posters hammer the QP.
+func TestDrainRaceExecutedNeverOvertakesPosted(t *testing.T) {
+	_, b, qa, _ := newPair(t, Config{})
+	dst := b.MustRegister(8)
+
+	stop := make(chan struct{})
+	var violated atomic.Bool
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Read executed first: with correct ordering (posted counted
+			// before enqueue) posted can only be ahead of this sample.
+			e := qa.executed.Load()
+			p := qa.posted.Load()
+			if e > p {
+				violated.Store(true)
+				return
+			}
+		}
+	}()
+
+	const posters = 4
+	const perPoster = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < posters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			payload := []byte{byte(g)}
+			for i := 0; i < perPoster; i++ {
+				if err := qa.PostWrite(uint64(i), payload, dst.RKey(), 0, false); err != nil {
+					t.Errorf("PostWrite: %v", err)
+					return
+				}
+				if violated.Load() {
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	qa.Drain()
+	close(stop)
+	sampler.Wait()
+	if violated.Load() {
+		t.Fatal("executed overtook posted: a concurrent Drain could return with a post still in flight")
+	}
+	if got := dst.WriteVersion(); got != posters*perPoster {
+		t.Fatalf("after Drain only %d of %d writes delivered", got, posters*perPoster)
+	}
+}
+
+// TestPostRollbackOnClose verifies that a post that loses the race with
+// Close does not leave a phantom request in the posted count, which would
+// make a later Drain spin forever on executed < posted.
+func TestPostRollbackOnClose(t *testing.T) {
+	f := NewFabric(Config{SendQueueDepth: 2})
+	a := f.MustNIC("a")
+	b := f.MustNIC("b")
+	qa, qb, err := Connect(a, b, QPOptions{}, QPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qb.Close()
+	dst := b.MustRegister(8)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Keep posting until the QP closes under us; excess posts block on
+		// the full work queue and must roll their count back when they
+		// fail with ErrQPClosed.
+		for i := 0; ; i++ {
+			if err := qa.PostWrite(uint64(i), []byte{1}, dst.RKey(), 0, false); err != nil {
+				if !errors.Is(err, ErrQPClosed) {
+					t.Errorf("PostWrite: %v", err)
+				}
+				return
+			}
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	qa.Close()
+	wg.Wait()
+	if p, e := qa.posted.Load(), qa.executed.Load(); p < e {
+		t.Fatalf("posted %d < executed %d after close", p, e)
+	}
+}
+
+// TestCQOverrunDoesNotDeadlock is the regression test for the CQ-overrun
+// deadlock: error completions are pushed even for unsignaled requests, push
+// used to block when the CQ was full, and with up to 2×depth requests in
+// flight the deliverer goroutine wedged forever. Now push drops and raises
+// the sticky overrun flag instead.
+func TestCQOverrunDoesNotDeadlock(t *testing.T) {
+	_, _, qa, _ := newPair(t, Config{SendQueueDepth: 4})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// 64 failing unsignaled writes against a CQ of depth 4: every one
+		// generates an error completion and nobody polls.
+		for i := 0; i < 64; i++ {
+			if err := qa.PostWrite(uint64(i), []byte{1}, 0xdead, 0, false); err != nil {
+				t.Errorf("PostWrite %d: %v", i, err)
+				return
+			}
+		}
+		qa.Drain()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("posts wedged: full CQ blocked the deliverer (overrun deadlock)")
+	}
+
+	if !qa.SendCQ().Overrun() {
+		t.Fatal("overrun flag not raised after dropping completions")
+	}
+	// The first `depth` completions must have been retained, the rest
+	// dropped rather than blocked on.
+	comps := qa.SendCQ().Drain(128)
+	if len(comps) != 4 {
+		t.Fatalf("retained %d completions, want exactly the CQ depth 4", len(comps))
+	}
+	for _, c := range comps {
+		if !errors.Is(c.Err, ErrInvalidRKey) {
+			t.Fatalf("unexpected completion %+v", c)
+		}
+	}
+	// The flag is sticky even after draining.
+	if !qa.SendCQ().Overrun() {
+		t.Fatal("overrun flag cleared by draining")
+	}
+}
+
+// TestCheckRangeOverflow is the regression test for the integer-overflow
+// hole in MemoryRegion.checkRange: off+n > len overflowed for large off,
+// letting an out-of-bounds access pass the check.
+func TestCheckRangeOverflow(t *testing.T) {
+	f := NewFabric(Config{})
+	n := f.MustNIC("n")
+	mr := n.MustRegister(16)
+
+	cases := []struct {
+		name string
+		off  int
+		n    int
+		ok   bool
+	}{
+		{"full region", 0, 16, true},
+		{"empty at start", 0, 0, true},
+		{"empty at end", 16, 0, true},
+		{"last byte", 15, 1, true},
+		{"negative off", -1, 1, false},
+		{"negative len", 0, -1, false},
+		{"off past end", 17, 0, false},
+		{"spill by one", 1, 16, false},
+		{"len too large", 0, 17, false},
+		{"max off", math.MaxInt, 1, false},
+		{"max len", 1, math.MaxInt, false},
+		{"both max", math.MaxInt, math.MaxInt, false},
+		{"off+n wraps", math.MaxInt - 7, 8, false},
+		{"off+n wraps to valid", math.MaxInt, 16, false},
+	}
+	for _, tc := range cases {
+		err := mr.checkRange(tc.off, tc.n)
+		if tc.ok && err != nil {
+			t.Errorf("%s: checkRange(%d, %d) = %v, want nil", tc.name, tc.off, tc.n, err)
+		}
+		if !tc.ok && !errors.Is(err, ErrOutOfBounds) {
+			t.Errorf("%s: checkRange(%d, %d) = %v, want ErrOutOfBounds", tc.name, tc.off, tc.n, err)
+		}
+	}
+}
+
+// TestQPMetrics verifies the per-QP instrumentation: op counters,
+// post→completion latency observations, error counts, and CQ depth
+// high-water marks all land in the fabric's registry.
+func TestQPMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := NewFabric(Config{Metrics: reg})
+	a := f.MustNIC("a")
+	b := f.MustNIC("b")
+	qa, qb, err := Connect(a, b, QPOptions{}, QPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qa.Close()
+	defer qb.Close()
+	dst := b.MustRegister(64)
+
+	for i := 0; i < 3; i++ {
+		if err := qa.PostWrite(uint64(i), []byte("abc"), dst.RKey(), 0, true); err != nil {
+			t.Fatal(err)
+		}
+		if c := qa.SendCQ().Wait(); c.Err != nil {
+			t.Fatal(c.Err)
+		}
+	}
+	if err := qa.PostWrite(9, []byte{1}, 0xdead, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if c := qa.SendCQ().Wait(); c.Err == nil {
+		t.Fatal("expected error completion")
+	}
+
+	snap := reg.Snapshot()
+	counters := map[string]uint64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	qid := strconv.Quote(qa.ID())
+	writes := "rdma_qp_writes_total{qp=" + qid + "}"
+	if counters[writes] != 4 {
+		t.Fatalf("%s = %d, want 4 (snapshot %v)", writes, counters[writes], counters)
+	}
+	errName := "rdma_qp_errors_total{qp=" + qid + "}"
+	if counters[errName] != 1 {
+		t.Fatalf("%s = %d, want 1", errName, counters[errName])
+	}
+	if counters[`rdma_nic_tx_bytes_total{nic="a"}`] != 3*3+1 {
+		t.Fatalf("NIC tx bytes = %d", counters[`rdma_nic_tx_bytes_total{nic="a"}`])
+	}
+	var lat *metrics.HistogramValue
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "rdma_qp_post_to_completion_ns{qp="+qid+"}" {
+			lat = &snap.Histograms[i]
+		}
+	}
+	if lat == nil || lat.Count != 4 || lat.P50 == 0 {
+		t.Fatalf("post→completion latency histogram missing or empty: %+v", lat)
+	}
+}
