@@ -55,6 +55,57 @@ func BenchmarkChannelTransfer(b *testing.B) {
 	}
 }
 
+// BenchmarkChannelPing is the single-goroutine round trip: acquire → fill →
+// post → poll → release. On the inline engine every write lands before Post
+// returns, so this measures pure per-message CPU overhead — the quantity the
+// paper argues decides stream-processing throughput (§8.3). The
+// credit_writes/op metric shows the reverse-path coalescing (0.25 at c=8).
+func BenchmarkChannelPing(b *testing.B) {
+	for _, ec := range []struct {
+		name string
+		cfg  rdma.Config
+	}{
+		{"inline", rdma.Config{}},
+		{"pipelined", rdma.Config{Throttle: true}},
+	} {
+		b.Run(ec.name, func(b *testing.B) {
+			f := rdma.NewFabric(ec.cfg)
+			p, c, err := New(f.MustNIC("a"), f.MustNIC("b"), Config{Credits: 8, SlotSize: 4 << 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			defer c.Close()
+			b.SetBytes(4 << 10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				sb := p.Acquire()
+				if sb == nil {
+					b.Fatal("channel closed")
+				}
+				sb.Data[0] = byte(n)
+				if err := p.Post(sb, len(sb.Data)); err != nil {
+					b.Fatal(err)
+				}
+				var rb *RecvBuffer
+				for {
+					var ok bool
+					if rb, ok = c.TryPoll(); ok {
+						break
+					}
+					runtime.Gosched()
+				}
+				if err := c.Release(rb); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(c.CreditWrites())/float64(b.N), "credit_writes/op")
+		})
+	}
+}
+
 func benchSize(kb int) string {
 	switch kb {
 	case 4:

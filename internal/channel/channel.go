@@ -7,15 +7,19 @@
 // adjacent, so one RDMA WRITE transfers both, §6.3). The producer stages
 // outgoing buffers in its own registered ring and pushes them with one-sided
 // RDMA WRITEs; the consumer polls local memory for arrival and processes the
-// data region in place. Credits flow back on a dedicated one-byte WRITE per
-// released buffer; the producer counts returned credits by observing the
-// write version of its credit region, never involving the consumer's CPU
-// beyond the post.
+// data region in place. Credits flow back through a cumulative 8-byte
+// counter in the producer's registered memory: the consumer coalesces up to
+// c/2 releases into one inline WRITE of its running release total (flushing
+// eagerly when the producer nears starvation, on an idle poll, and on
+// Close), and the producer computes available credits from the counter —
+// never involving the consumer's CPU beyond the post.
 //
 // Protocol invariants (§6.2), enforced and tested here:
 //
 //  1. A producer decrements its credit on every posted buffer.
-//  2. A consumer returns exactly one credit per processed buffer.
+//  2. A consumer returns exactly one credit per processed buffer — the
+//     credit counter always equals the number of released buffers, even
+//     though several releases may travel in one WRITE.
 //  3. A producer with zero credits cannot acquire a slot, so it can never
 //     overwrite a buffer the consumer has not released.
 //
@@ -26,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -94,16 +99,23 @@ func New(prodNIC, consNIC *rdma.NIC, cfg Config) (*Producer, *Consumer, error) {
 	}
 	staging, err := prodNIC.RegisterMemory(cfg.Credits * cfg.SlotSize)
 	if err != nil {
+		ring.Deregister()
 		return nil, nil, err
 	}
-	// The credit region only needs its write version; one byte of backing
-	// store satisfies the register API.
-	creditMR, err := prodNIC.RegisterMemory(1)
+	// The credit region is the cumulative release counter: one 8-byte
+	// little-endian total, written inline by the consumer and read with
+	// AtomicLoad by the producer.
+	creditMR, err := prodNIC.RegisterMemory(8)
 	if err != nil {
+		ring.Deregister()
+		staging.Deregister()
 		return nil, nil, err
 	}
 	qpProd, qpCons, err := rdma.Connect(prodNIC, consNIC, rdma.QPOptions{}, rdma.QPOptions{})
 	if err != nil {
+		ring.Deregister()
+		staging.Deregister()
+		creditMR.Deregister()
 		return nil, nil, err
 	}
 	p := &Producer{
@@ -112,13 +124,21 @@ func New(prodNIC, consNIC *rdma.NIC, cfg Config) (*Producer, *Consumer, error) {
 		staging:  staging,
 		ringRKey: ring.RKey(),
 		creditMR: creditMR,
+		bufs:     make([]SendBuffer, cfg.Credits),
+	}
+	// Preallocate one SendBuffer per staging slot: steady-state Acquire
+	// reuses them, so the hot path never touches the heap.
+	for i := range p.bufs {
+		base := i * cfg.SlotSize
+		p.bufs[i].Data = staging.Bytes()[base : base+cfg.SlotSize-FooterSize]
 	}
 	c := &Consumer{
 		cfg:        cfg,
 		qp:         qpCons,
 		ring:       ring,
 		creditRKey: creditMR.RKey(),
-		creditByte: []byte{1},
+		flushAt:    max(1, cfg.Credits/2),
+		bufs:       make([]RecvBuffer, cfg.Credits),
 	}
 	if reg := prodNIC.Fabric().Metrics(); reg != nil {
 		// The producer QP id is fabric-unique, so it doubles as the
@@ -129,6 +149,7 @@ func New(prodNIC, consNIC *rdma.NIC, cfg Config) (*Producer, *Consumer, error) {
 		p.mSpins = reg.Counter("channel_acquire_spins_total" + ch)
 		p.mPosted = reg.Counter("channel_slots_posted_total" + ch)
 		c.mReleased = reg.Counter("channel_slots_released_total" + ch)
+		c.mCreditWrites = reg.Counter("channel_credit_writes_total" + ch)
 		c.mPollMisses = reg.Counter("channel_poll_misses_total" + ch)
 		c.mBacklogMax = reg.Gauge("channel_backlog_slots_max" + ch)
 	}
@@ -142,6 +163,10 @@ type Producer struct {
 	staging  *rdma.MemoryRegion
 	ringRKey uint32
 	creditMR *rdma.MemoryRegion
+
+	// bufs is the preallocated SendBuffer ring, one per staging slot;
+	// Acquire hands out &bufs[seq%c] without allocating.
+	bufs []SendBuffer
 
 	sent     atomic.Uint64 // buffers posted so far
 	acquired bool
@@ -169,9 +194,13 @@ type SendBuffer struct {
 // DataSize returns the usable payload bytes per slot.
 func (p *Producer) DataSize() int { return p.cfg.SlotSize - FooterSize }
 
-// Credits returns the producer's currently available credits.
+// Credits returns the producer's currently available credits. The credit
+// region holds the consumer's cumulative release total; reading it with
+// AtomicLoad is coherent with the consumer's inline counter WRITEs, so the
+// value can never be torn and never exceeds the true release count
+// (invariant 3 stays safe even while a flush is in flight).
 func (p *Producer) Credits() int {
-	returned := p.creditMR.WriteVersion()
+	returned, _ := p.creditMR.AtomicLoad(0)
 	return p.cfg.Credits - int(p.sent.Load()-returned)
 }
 
@@ -182,12 +211,10 @@ func (p *Producer) TryAcquire() (*SendBuffer, bool) {
 		return nil, false
 	}
 	p.acquired = true
-	slot := int(p.sent.Load() % uint64(p.cfg.Credits))
-	base := slot * p.cfg.SlotSize
-	return &SendBuffer{
-		Data: p.staging.Bytes()[base : base+p.DataSize()],
-		seq:  p.sent.Load(),
-	}, true
+	seq := p.sent.Load()
+	b := &p.bufs[seq%uint64(p.cfg.Credits)]
+	b.seq = seq
+	return b, true
 }
 
 // Acquire spins until a credit is available (step 3 of the transfer phase:
@@ -303,17 +330,32 @@ type Consumer struct {
 	qp         *rdma.QueuePair
 	ring       *rdma.MemoryRegion
 	creditRKey uint32
-	creditByte []byte
+
+	// bufs is the preallocated RecvBuffer ring, one per slot; TryPoll hands
+	// out &bufs[seq%c] without allocating.
+	bufs []RecvBuffer
 
 	received atomic.Uint64 // buffers observed via polling
-	released atomic.Uint64 // credits returned
-	closed   atomic.Bool
-	lastErr  error
+	released atomic.Uint64 // credits returned (total releases, invariant 2)
+
+	// Credit coalescing state: flushed is the release total last written to
+	// the producer's counter; a flush is due once released-flushed reaches
+	// flushAt (= max(1, c/2)), the producer nears starvation, the poll loop
+	// idles, or the consumer closes. flushMu serializes flushes so the
+	// cumulative totals post in nondecreasing order.
+	flushAt      int
+	flushed      atomic.Uint64
+	flushMu      sync.Mutex
+	creditWrites atomic.Uint64
+
+	closed  atomic.Bool
+	lastErr error
 
 	// Poll instrumentation; all nil without a fabric metrics registry.
-	mReleased   *metrics.Counter
-	mPollMisses *metrics.Counter
-	mBacklogMax *metrics.Gauge
+	mReleased     *metrics.Counter
+	mCreditWrites *metrics.Counter
+	mPollMisses   *metrics.Counter
+	mBacklogMax   *metrics.Gauge
 }
 
 // RecvBuffer is a received slot. Data aliases the ring slot's payload; it is
@@ -337,10 +379,14 @@ func (c *Consumer) TryPoll() (*RecvBuffer, bool) {
 	// simply not rewritten yet.
 	backlog := int64(c.ring.WriteVersion() - c.received.Load())
 	if backlog <= 0 {
-		// Footer-poll miss: the write version has not advanced. Drain the
-		// send CQ while spinning so a credit-write failure or CQ overrun
-		// surfaces through Err instead of stalling the poll loop forever.
+		// Footer-poll miss: the write version has not advanced. Push out any
+		// coalesced credits — an idle poll loop means the producer may be
+		// waiting on them — and drain the send CQ so a credit-write failure
+		// or CQ overrun surfaces through Err instead of stalling forever.
 		c.mPollMisses.Inc()
+		if c.released.Load() != c.flushed.Load() {
+			_ = c.flushCredits()
+		}
 		c.drainErrors()
 		return nil, false
 	}
@@ -361,15 +407,21 @@ func (c *Consumer) TryPoll() (*RecvBuffer, bool) {
 		c.lastErr = fmt.Errorf("channel: corrupt footer length %d at seq %d", used, c.received.Load())
 		return nil, false
 	}
-	rb := &RecvBuffer{Data: buf[:used], seq: c.received.Load()}
+	seq := c.received.Load()
+	rb := &c.bufs[seq%uint64(c.cfg.Credits)]
+	rb.Data = buf[:used]
+	rb.seq = seq
+	rb.done = false
 	c.received.Add(1) // step 2: mark the buffer for processing
 	return rb, true
 }
 
-// Release returns one credit to the producer (step 3, invariant 2) by
-// posting a one-byte RDMA WRITE into the producer's credit region. Buffers
-// must be released in FIFO order: the slot only becomes overwritable once
-// the credit is returned.
+// Release returns one credit to the producer (step 3, invariant 2). Credits
+// are coalesced: the release is counted locally and the cumulative total is
+// written to the producer's credit region once flushAt releases are pending
+// — or immediately when the producer is near starvation, so coalescing can
+// never deadlock the channel. Buffers must be released in FIFO order: the
+// slot only becomes overwritable once the credit is returned.
 func (c *Consumer) Release(b *RecvBuffer) error {
 	if c.closed.Load() {
 		return ErrClosed
@@ -383,14 +435,43 @@ func (c *Consumer) Release(b *RecvBuffer) error {
 	if err := c.drainErrors(); err != nil {
 		return err
 	}
-	if err := c.qp.PostWrite(b.seq, c.creditByte, c.creditRKey, 0, false); err != nil {
-		return err
-	}
 	b.done = true
-	c.released.Add(1)
+	rel := c.released.Add(1)
 	c.mReleased.Inc()
+	// Flush once half the ring's worth of releases is pending. A starved
+	// producer never waits longer than c/2 releases of an actively-working
+	// consumer; an idle consumer flushes from the poll loop instead (see
+	// TryPoll), and Close flushes unconditionally.
+	if int(rel-c.flushed.Load()) >= c.flushAt {
+		return c.flushCredits()
+	}
 	return nil
 }
+
+// flushCredits writes the cumulative release total into the producer's
+// credit region as one inline 8-byte WRITE. One flush covers every release
+// since the previous flush; because the total is cumulative and posts are
+// serialized under flushMu, the producer's counter is always a value the
+// release count actually passed through — invariants 1–3 hold unchanged.
+func (c *Consumer) flushCredits() error {
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+	rel := c.released.Load()
+	if rel == c.flushed.Load() {
+		return nil
+	}
+	if err := c.qp.PostWriteU64(rel, c.creditRKey, 0, rel, false); err != nil {
+		return err
+	}
+	c.flushed.Store(rel)
+	c.creditWrites.Add(1)
+	c.mCreditWrites.Inc()
+	return nil
+}
+
+// CreditWrites returns how many credit-counter WRITEs the consumer has
+// posted — the reverse-path message count that coalescing minimizes.
+func (c *Consumer) CreditWrites() uint64 { return c.creditWrites.Load() }
 
 func (c *Consumer) drainErrors() error {
 	if c.lastErr != nil {
@@ -424,9 +505,13 @@ func (c *Consumer) Err() error { return c.lastErr }
 // Received returns the number of buffers polled so far.
 func (c *Consumer) Received() uint64 { return c.received.Load() }
 
-// Close shuts the consumer side down.
+// Close shuts the consumer side down. Credits coalesced but not yet flushed
+// are written out and drained first, so a producer that outlives this
+// consumer observes every release that happened before Close.
 func (c *Consumer) Close() {
 	if c.closed.CompareAndSwap(false, true) {
+		_ = c.flushCredits()
+		c.qp.Drain()
 		c.qp.Close()
 	}
 }

@@ -244,6 +244,11 @@ func Run(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Report, error) {
 			q:     q,
 			mStep: mMergeStep,
 		}
+		// Stagger each node's initial rotation so the cluster's merge tasks
+		// do not all start their round-robin on the same peer.
+		if len(mt.cons) > 0 {
+			mt.rr = node % len(mt.cons)
+		}
 		if reg != nil {
 			mt.mBacklog = reg.Gauge(fmt.Sprintf(`core_merge_backlog_slots_max{node="%d"}`, node))
 		}

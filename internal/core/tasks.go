@@ -29,6 +29,11 @@ type chanSender struct {
 func (s *chanSender) Send(c *ssb.Chunk) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Size-check before acquiring: bailing out after Acquire would leave the
+	// slot held forever and wedge every later send on this channel.
+	if c.EncodedSize() > s.prod.DataSize() {
+		return fmt.Errorf("core: chunk of %d bytes exceeds channel slot %d", c.EncodedSize(), s.prod.DataSize())
+	}
 	sb := s.prod.Acquire()
 	if sb == nil {
 		// Acquire returns nil both on a graceful close and on asynchronous
@@ -37,9 +42,6 @@ func (s *chanSender) Send(c *ssb.Chunk) error {
 			return err
 		}
 		return channel.ErrClosed
-	}
-	if c.EncodedSize() > len(sb.Data) {
-		return fmt.Errorf("core: chunk of %d bytes exceeds channel slot %d", c.EncodedSize(), len(sb.Data))
 	}
 	n := c.Encode(sb.Data)
 	return s.prod.Post(sb, n)
@@ -135,11 +137,19 @@ type mergeTask struct {
 	q        *Query
 	mStep    *metrics.Histogram
 	mBacklog *metrics.Gauge
+
+	// rr is the consumer index the next Step starts polling from. It
+	// advances every step so that under backlog the per-step chunk budget
+	// rotates round-robin across peers instead of always feeding the
+	// lowest-numbered ones first.
+	rr int
 }
 
-// chunksPerChannelStep bounds work per scheduler step to keep the task
-// cooperative.
-const chunksPerChannelStep = 32
+// chunksPerMergeStep bounds total merge work per scheduler step to keep the
+// task cooperative. The budget is shared across the inbound channels: a
+// single backlogged peer can use all of it, but only for the one step in
+// the rotation that starts at that peer.
+const chunksPerMergeStep = 32
 
 // Name implements sched.Task.
 func (t *mergeTask) Name() string { return fmt.Sprintf("merge(node=%d)", t.node) }
@@ -151,11 +161,13 @@ func (t *mergeTask) Step() sched.Status {
 		defer func() { t.mStep.Observe(time.Since(start).Nanoseconds()) }()
 	}
 	progress := false
-	for _, cons := range t.cons {
+	budget := chunksPerMergeStep
+	for i := 0; i < len(t.cons) && budget > 0; i++ {
+		cons := t.cons[(t.rr+i)%len(t.cons)]
 		if t.mBacklog != nil {
 			t.mBacklog.SetMax(int64(cons.Backlog()))
 		}
-		for k := 0; k < chunksPerChannelStep; k++ {
+		for budget > 0 {
 			rb, ok := cons.TryPoll()
 			if !ok {
 				if err := cons.Err(); err != nil {
@@ -175,8 +187,12 @@ func (t *mergeTask) Step() sched.Status {
 				t.run.fail(err)
 				return sched.Done
 			}
+			budget--
 			progress = true
 		}
+	}
+	if len(t.cons) > 0 {
+		t.rr = (t.rr + 1) % len(t.cons)
 	}
 	if n := t.be.TriggerReady(t.emitAgg, t.emitBag); n > 0 {
 		progress = true

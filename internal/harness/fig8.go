@@ -44,6 +44,9 @@ type roResult struct {
 	avgLatUs  float64
 	pollRound int64
 	imbalance float64 // max consumer records / mean consumer records
+	// creditWrites counts reverse-path credit messages across all channels;
+	// with batched credit returns it is a fraction of the buffer count.
+	creditWrites int64
 }
 
 // scaledEDR is the throttled experiments' line rate: one tenth of the
@@ -280,6 +283,13 @@ func runRO(cfg roConfig) (roResult, error) {
 		elapsed:   elapsed,
 		pollRound: pollRounds.Load(),
 	}
+	for i := range mat {
+		for j := range mat[i] {
+			if mat[i][j] != nil {
+				res.creditWrites += int64(mat[i][j].cons.CreditWrites())
+			}
+		}
+	}
 	if n := latN.Load(); n > 0 {
 		res.avgLatUs = float64(latSum.Load()) / float64(n) / 1e3
 	}
@@ -329,6 +339,9 @@ func roRow(exp string, system string, params string, r roResult) Row {
 	}
 	if r.imbalance > 0 {
 		row.Metrics["imbalance"] = r.imbalance
+	}
+	if r.creditWrites > 0 {
+		row.Metrics["credit_msgs"] = float64(r.creditWrites)
 	}
 	return row
 }

@@ -108,6 +108,22 @@ func (cq *CompletionQueue) Drain(max int) []Completion {
 	return out
 }
 
+// DrainInto polls up to len(out) completions without blocking into out and
+// returns how many it wrote. Unlike Drain it allocates nothing, so hot-path
+// error sweeps can reuse one scratch slice across calls.
+func (cq *CompletionQueue) DrainInto(out []Completion) int {
+	n := 0
+	for n < len(out) {
+		c, ok := cq.TryPoll()
+		if !ok {
+			break
+		}
+		out[n] = c
+		n++
+	}
+	return n
+}
+
 // Overrun reports whether any completion was ever dropped because the queue
 // was full. The flag is sticky: once raised, the completion stream has a
 // gap and polling-based protocols must treat the queue pair as failed.

@@ -1,0 +1,318 @@
+package rdma
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// engineConfigs runs a scenario against both execution paths: the zero-hop
+// inline path (unthrottled fabric) and the goroutine pipeline (throttled
+// fabric — with zero bandwidth and latency it runs at host speed but still
+// routes every request through engine → deliverer).
+var engineConfigs = []struct {
+	name     string
+	throttle bool
+}{
+	{"inline", false},
+	{"pipelined", true},
+}
+
+func TestEnginesWritesAreFIFO(t *testing.T) {
+	for _, ec := range engineConfigs {
+		t.Run(ec.name, func(t *testing.T) {
+			_, b, qa, _ := newPair(t, Config{Throttle: ec.throttle})
+			dst := b.MustRegister(8)
+			const n = 1000
+			bufs := make([][]byte, n)
+			for i := 0; i < n; i++ {
+				bufs[i] = make([]byte, 8)
+				putLEU64(bufs[i], uint64(i))
+				if err := qa.PostWrite(uint64(i), bufs[i], dst.RKey(), 0, i == n-1); err != nil {
+					t.Fatalf("PostWrite: %v", err)
+				}
+			}
+			c := qa.SendCQ().Wait()
+			if c.Err != nil || c.WRID != n-1 {
+				t.Fatalf("unexpected completion %+v", c)
+			}
+			if got := leU64(dst.Bytes()); got != n-1 {
+				t.Fatalf("last write = %d, want %d (writes overtook each other)", got, n-1)
+			}
+			if dst.WriteVersion() != n {
+				t.Fatalf("write version = %d, want %d", dst.WriteVersion(), n)
+			}
+		})
+	}
+}
+
+func TestEnginesSelectiveSignaling(t *testing.T) {
+	for _, ec := range engineConfigs {
+		t.Run(ec.name, func(t *testing.T) {
+			_, b, qa, _ := newPair(t, Config{Throttle: ec.throttle})
+			dst := b.MustRegister(8)
+			for i := 0; i < 10; i++ {
+				if err := qa.PostWrite(uint64(i), []byte{1}, dst.RKey(), 0, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := qa.PostWrite(99, []byte{1}, dst.RKey(), 0, true); err != nil {
+				t.Fatal(err)
+			}
+			qa.Drain()
+			c := qa.SendCQ().Wait()
+			if c.WRID != 99 {
+				t.Fatalf("got completion for %d, want only the signaled 99", c.WRID)
+			}
+			if _, ok := qa.SendCQ().TryPoll(); ok {
+				t.Fatal("unsignaled writes produced completions")
+			}
+		})
+	}
+}
+
+func TestEnginesDrainInvariant(t *testing.T) {
+	for _, ec := range engineConfigs {
+		t.Run(ec.name, func(t *testing.T) {
+			_, b, qa, _ := newPair(t, Config{Throttle: ec.throttle})
+			dst := b.MustRegister(8)
+
+			stop := make(chan struct{})
+			var violated atomic.Bool
+			var sampler sync.WaitGroup
+			sampler.Add(1)
+			go func() {
+				defer sampler.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					e := qa.executed.Load()
+					p := qa.posted.Load()
+					if e > p {
+						violated.Store(true)
+						return
+					}
+				}
+			}()
+
+			const posters = 4
+			const perPoster = 2000
+			var wg sync.WaitGroup
+			for g := 0; g < posters; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					payload := []byte{byte(g)}
+					for i := 0; i < perPoster; i++ {
+						if err := qa.PostWrite(uint64(i), payload, dst.RKey(), 0, false); err != nil {
+							t.Errorf("PostWrite: %v", err)
+							return
+						}
+						if violated.Load() {
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			qa.Drain()
+			close(stop)
+			sampler.Wait()
+			if violated.Load() {
+				t.Fatal("executed overtook posted")
+			}
+			if got := dst.WriteVersion(); got != posters*perPoster {
+				t.Fatalf("after Drain only %d of %d writes delivered", got, posters*perPoster)
+			}
+		})
+	}
+}
+
+func TestEnginesCQOverrun(t *testing.T) {
+	for _, ec := range engineConfigs {
+		t.Run(ec.name, func(t *testing.T) {
+			_, _, qa, _ := newPair(t, Config{Throttle: ec.throttle, SendQueueDepth: 4})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < 64; i++ {
+					if err := qa.PostWrite(uint64(i), []byte{1}, 0xdead, 0, false); err != nil {
+						t.Errorf("PostWrite %d: %v", i, err)
+						return
+					}
+				}
+				qa.Drain()
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("posts wedged: full CQ blocked request execution")
+			}
+			if !qa.SendCQ().Overrun() {
+				t.Fatal("overrun flag not raised after dropping completions")
+			}
+			comps := qa.SendCQ().Drain(128)
+			if len(comps) != 4 {
+				t.Fatalf("retained %d completions, want exactly the CQ depth 4", len(comps))
+			}
+			for _, c := range comps {
+				if !errors.Is(c.Err, ErrInvalidRKey) {
+					t.Fatalf("unexpected completion %+v", c)
+				}
+			}
+		})
+	}
+}
+
+// TestInlineExecutionIsSynchronous pins the zero-hop property down: on an
+// unthrottled fabric a write is fully delivered by the time PostWrite
+// returns, with no goroutine hand-off in between.
+func TestInlineExecutionIsSynchronous(t *testing.T) {
+	_, b, qa, _ := newPair(t, Config{})
+	dst := b.MustRegister(8)
+	for i := 1; i <= 100; i++ {
+		putLEU64(dst.Bytes()[:8], 0)
+		buf := make([]byte, 8)
+		putLEU64(buf, uint64(i))
+		if err := qa.PostWrite(uint64(i), buf, dst.RKey(), 0, false); err != nil {
+			t.Fatal(err)
+		}
+		if got := dst.WriteVersion(); got != uint64(i) {
+			t.Fatalf("write %d not delivered synchronously (version %d)", i, got)
+		}
+		if got := leU64(dst.Bytes()); got != uint64(i) {
+			t.Fatalf("payload %d not visible after post returned (got %d)", i, got)
+		}
+	}
+}
+
+// TestInlineStaysBehindStalledSend verifies FIFO across the path switch: a
+// SEND stalled on receiver-not-ready must hold back later writes even on an
+// unthrottled fabric, where those writes would otherwise execute inline.
+func TestInlineStaysBehindStalledSend(t *testing.T) {
+	_, b, qa, qb := newPair(t, Config{})
+	dst := b.MustRegister(8)
+
+	if err := qa.PostSend(1, []byte("ping"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostWrite(2, []byte{7}, dst.RKey(), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// The SEND has no matching receive yet, so the write queued behind it
+	// must not have landed.
+	time.Sleep(2 * time.Millisecond)
+	if v := dst.WriteVersion(); v != 0 {
+		t.Fatalf("write overtook a stalled SEND (version %d)", v)
+	}
+	recvBuf := make([]byte, 16)
+	if err := qb.PostRecv(10, recvBuf); err != nil {
+		t.Fatal(err)
+	}
+	qa.Drain()
+	if v := dst.WriteVersion(); v != 1 {
+		t.Fatalf("write not delivered after SEND unblocked (version %d)", v)
+	}
+	if c := qb.RecvCQ().Wait(); c.Err != nil || c.Bytes != 4 {
+		t.Fatalf("recv completion %+v", c)
+	}
+	// With the pipeline fully drained (queued drops to zero just after
+	// executed catches up), the next write goes back to the inline path.
+	for qa.queued.Load() != 0 {
+		runtime.Gosched()
+	}
+	if err := qa.PostWrite(3, []byte{9}, dst.RKey(), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if v := dst.WriteVersion(); v != 2 {
+		t.Fatalf("inline path did not resume after pipeline drained (version %d)", v)
+	}
+}
+
+func TestPostWriteU64(t *testing.T) {
+	for _, ec := range engineConfigs {
+		t.Run(ec.name, func(t *testing.T) {
+			_, b, qa, _ := newPair(t, Config{Throttle: ec.throttle})
+			dst := b.MustRegister(16)
+
+			const v = 0x1122334455667788
+			if err := qa.PostWriteU64(1, dst.RKey(), 8, v, true); err != nil {
+				t.Fatal(err)
+			}
+			c := qa.SendCQ().Wait()
+			if c.Err != nil || c.Bytes != 8 || c.Op != OpWrite {
+				t.Fatalf("completion %+v", c)
+			}
+			got, err := dst.AtomicLoad(8)
+			if err != nil || got != v {
+				t.Fatalf("AtomicLoad = %#x, %v; want %#x", got, err, uint64(v))
+			}
+			if dst.WriteVersion() != 1 {
+				t.Fatalf("write version = %d, want 1", dst.WriteVersion())
+			}
+
+			// Misaligned and out-of-bounds offsets fail like hardware atomics.
+			if err := qa.PostWriteU64(2, dst.RKey(), 4, v, true); err != nil {
+				t.Fatal(err)
+			}
+			if c := qa.SendCQ().Wait(); !errors.Is(c.Err, ErrMisaligned) {
+				t.Fatalf("misaligned inline write completed with %v", c.Err)
+			}
+			if err := qa.PostWriteU64(3, dst.RKey(), 16, v, true); err != nil {
+				t.Fatal(err)
+			}
+			if c := qa.SendCQ().Wait(); !errors.Is(c.Err, ErrOutOfBounds) {
+				t.Fatalf("out-of-bounds inline write completed with %v", c.Err)
+			}
+		})
+	}
+}
+
+// TestPostWriteU64CoherentWithAtomics interleaves inline counter writes with
+// remote fetch-add on the same location: both go through the region's atomic
+// lock, so no update can be lost or torn.
+func TestPostWriteU64CoherentWithAtomics(t *testing.T) {
+	_, b, qa, _ := newPair(t, Config{})
+	dst := b.MustRegister(8)
+	for i := 1; i <= 500; i++ {
+		if err := qa.PostWriteU64(uint64(i), dst.RKey(), 0, uint64(i), false); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dst.AtomicLoad(0)
+		if err != nil || got != uint64(i) {
+			t.Fatalf("AtomicLoad after write %d = %d, %v", i, got, err)
+		}
+	}
+	qa.Drain()
+}
+
+func TestDrainInto(t *testing.T) {
+	cq := NewCompletionQueue(8)
+	for i := 0; i < 5; i++ {
+		cq.push(Completion{WRID: uint64(i)})
+	}
+	scratch := make([]Completion, 3)
+	if n := cq.DrainInto(scratch); n != 3 {
+		t.Fatalf("DrainInto = %d, want 3", n)
+	}
+	for i := 0; i < 3; i++ {
+		if scratch[i].WRID != uint64(i) {
+			t.Fatalf("scratch[%d].WRID = %d", i, scratch[i].WRID)
+		}
+	}
+	if n := cq.DrainInto(scratch); n != 2 {
+		t.Fatalf("second DrainInto = %d, want 2", n)
+	}
+	if n := cq.DrainInto(scratch); n != 0 {
+		t.Fatalf("empty DrainInto = %d, want 0", n)
+	}
+	if n := cq.DrainInto(nil); n != 0 {
+		t.Fatalf("nil DrainInto = %d, want 0", n)
+	}
+}

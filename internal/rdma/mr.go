@@ -74,6 +74,15 @@ func (mr *MemoryRegion) Deregister() {
 	mr.nic.mu.Unlock()
 }
 
+// RegisteredRegions returns how many memory regions are currently registered
+// with the NIC. Leak checks use it to assert that failed setup paths (e.g. a
+// half-constructed channel) deregister everything they registered.
+func (n *NIC) RegisteredRegions() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.regions)
+}
+
 // lookupRegion resolves an rkey on this NIC.
 func (n *NIC) lookupRegion(rkey uint32) (*MemoryRegion, error) {
 	n.mu.RLock()

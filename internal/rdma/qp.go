@@ -11,9 +11,18 @@ import (
 )
 
 // QueuePair is one endpoint of a reliable RDMA connection. Work requests
-// posted to a QP are processed strictly in order by a per-QP engine, so
-// writes never overtake each other — the delivery property the Slash
-// channel protocol depends on (§6.2).
+// posted to a QP execute strictly in order, so writes never overtake each
+// other — the delivery property the Slash channel protocol depends on
+// (§6.2).
+//
+// Two execution paths provide that order. On an unthrottled fabric (the
+// default accounting mode) requests run *inline* on the posting goroutine:
+// post → charge → execute with zero hand-offs, serialized by a per-QP order
+// mutex. On a throttled fabric, or whenever requests are already queued
+// (a SEND stalled on receiver-not-ready keeps FIFO order by queueing
+// everything behind it), requests take the pipelined engine → deliverer
+// path that paces wall-clock time. Both paths deliver identical semantics:
+// FIFO, selective signaling, CQ-overrun, and Drain behave the same.
 //
 // As with hardware verbs, buffers handed to PostWrite/PostSend must stay
 // untouched until the corresponding completion is polled: the transfer is
@@ -38,6 +47,19 @@ type QueuePair struct {
 	posted   atomic.Uint64
 	executed atomic.Uint64
 
+	// orderMu serializes request execution: the inline fast path holds it
+	// across charge+execute, and the deliverer holds it per execution, so
+	// the two paths can never interleave and the QP stays FIFO.
+	orderMu sync.Mutex
+	// queued counts requests accepted into the goroutine pipeline that have
+	// not executed yet. The inline fast path runs only when it is zero:
+	// queued == 0 under orderMu proves nothing is in flight ahead of us.
+	queued atomic.Int64
+	// inlineOK enables the zero-hop fast path; it is false on throttled
+	// fabrics, where pacing must happen off the posting goroutine to keep
+	// propagation delay from serializing back-to-back posts.
+	inlineOK bool
+
 	closeOnce sync.Once
 
 	// Per-QP instrumentation; all nil when the fabric has no registry.
@@ -55,6 +77,10 @@ type workRequest struct {
 	remoteOff int
 	expect    uint64
 	value     uint64
+
+	// inline8 marks an 8-byte inline WRITE (IBV_SEND_INLINE): the payload is
+	// value, carried in the request itself, and no local buffer is involved.
+	inline8 bool
 
 	// postedNanos timestamps the post for the post→completion latency
 	// histogram; zero when latency tracking is off.
@@ -114,6 +140,7 @@ func newQP(local, remote *NIC, opt QPOptions) *QueuePair {
 		recvs:   make(chan postedRecv, depth),
 		done:    make(chan struct{}),
 	}
+	qp.inlineOK = !local.fabric.cfg.Throttle
 	if qp.sendCQ == nil {
 		qp.sendCQ = NewCompletionQueue(depth)
 	}
@@ -186,6 +213,10 @@ func (qp *QueuePair) Close() {
 		close(qp.done)
 	})
 	qp.wg.Wait()
+	// Quiesce the inline path: an inline execution that won the closed-check
+	// race finishes under orderMu before Close returns.
+	qp.orderMu.Lock()
+	qp.orderMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 }
 
 func (qp *QueuePair) post(wr workRequest) error {
@@ -195,17 +226,45 @@ func (qp *QueuePair) post(wr workRequest) error {
 	if qp.mLat != nil {
 		wr.postedNanos = time.Now().UnixNano()
 	}
-	// Count the post before handing the request to the engine. The reverse
-	// order would let the engine bump executed past posted, and a
-	// concurrent Drain could then return while this post is still in
-	// flight.
+	// Zero-hop fast path: on an unthrottled fabric with an empty pipeline the
+	// request executes inline on the posting goroutine — no engine/deliverer
+	// hand-offs. SENDs always take the pipeline: they stall on
+	// receiver-not-ready and must not block the poster. queued is re-checked
+	// under orderMu — zero there proves nothing can execute ahead of this
+	// request, so FIFO order holds across path switches. TryLock keeps post
+	// non-blocking: if the deliverer (or another poster) holds the order
+	// mutex the request simply queues behind it.
+	if qp.inlineOK && wr.op != OpSend && qp.queued.Load() == 0 && qp.orderMu.TryLock() {
+		if qp.queued.Load() == 0 && !qp.closed.Load() {
+			// Count the post before executing so a concurrent Drain never
+			// observes executed > posted.
+			qp.posted.Add(1)
+			qp.mOps[wr.op].Inc()
+			qp.charge(wr)
+			qp.execute(wr)
+			qp.orderMu.Unlock()
+			return nil
+		}
+		qp.orderMu.Unlock()
+		if qp.closed.Load() {
+			return ErrQPClosed
+		}
+	}
+	// Pipelined slow path. Count the post before handing the request to the
+	// engine. The reverse order would let the engine bump executed past
+	// posted, and a concurrent Drain could then return while this post is
+	// still in flight. queued is bumped before the enqueue so a later inline
+	// post cannot overtake a request that is already committed to the
+	// pipeline.
 	qp.posted.Add(1)
+	qp.queued.Add(1)
 	select {
 	case qp.wq <- wr:
 		qp.mOps[wr.op].Inc()
 		return nil
 	case <-qp.done:
 		qp.posted.Add(^uint64(0)) // roll back: the request was never enqueued
+		qp.queued.Add(-1)
 		return ErrQPClosed
 	}
 }
@@ -234,6 +293,18 @@ func (qp *QueuePair) PostWrite(wrID uint64, buf []byte, rkey uint32, remoteOff i
 		return ErrZeroLength
 	}
 	return qp.post(workRequest{op: OpWrite, wrID: wrID, signaled: signaled, local: buf, rkey: rkey, remoteOff: remoteOff})
+}
+
+// PostWriteU64 posts an inline one-sided WRITE of an 8-byte little-endian
+// value to an 8-byte-aligned remote offset. The value travels inside the
+// work request (the IBV_SEND_INLINE idiom), so the caller needs no
+// registered source buffer and is free to forget the value as soon as the
+// post returns. The store is performed under the target region's atomic
+// lock, so a peer reading the location with AtomicLoad never observes a
+// torn value — the property the channel's cumulative credit counter relies
+// on (§6.2).
+func (qp *QueuePair) PostWriteU64(wrID uint64, rkey uint32, remoteOff int, value uint64, signaled bool) error {
+	return qp.post(workRequest{op: OpWrite, wrID: wrID, signaled: signaled, rkey: rkey, remoteOff: remoteOff, value: value, inline8: true})
 }
 
 // PostRead posts a one-sided RDMA READ of len(buf) bytes from the remote
@@ -285,6 +356,29 @@ func (qp *QueuePair) PostFetchAdd(wrID uint64, rkey uint32, remoteOff int, delta
 	return qp.post(workRequest{op: OpFetchAdd, wrID: wrID, signaled: true, rkey: rkey, remoteOff: remoteOff, value: delta})
 }
 
+// charge accounts the transfer cost of wr against the fabric and returns
+// the propagation latency a throttled deliverer must pace (meaningless when
+// the fabric is unthrottled). Reads and atomics are responder-driven: the
+// payload is serialized by the remote NIC and they pay a round trip.
+func (qp *QueuePair) charge(wr workRequest) time.Duration {
+	size := len(wr.local)
+	if wr.op == OpCompareSwap || wr.op == OpFetchAdd || wr.inline8 {
+		size = 8
+	}
+	lat := qp.local.fabric.cfg.BaseLatency
+	switch wr.op {
+	case OpRead:
+		qp.remote.chargeTx(size)
+		lat *= 2
+	case OpCompareSwap, OpFetchAdd:
+		qp.local.chargeTx(size)
+		lat *= 2
+	default:
+		qp.local.chargeTx(size)
+	}
+	return lat
+}
+
 // engine drains the send work queue in FIFO order, charging transfer costs
 // and handing requests to the deliverer for (possibly delayed) execution.
 func (qp *QueuePair) engine() {
@@ -294,23 +388,7 @@ func (qp *QueuePair) engine() {
 	for {
 		select {
 		case wr := <-qp.wq:
-			size := len(wr.local)
-			if wr.op == OpCompareSwap || wr.op == OpFetchAdd {
-				size = 8
-			}
-			// Reads and atomics are responder-driven: the payload is
-			// serialized by the remote NIC and they pay a round trip.
-			lat := cfg.BaseLatency
-			switch wr.op {
-			case OpRead:
-				qp.remote.chargeTx(size)
-				lat *= 2
-			case OpCompareSwap, OpFetchAdd:
-				qp.local.chargeTx(size)
-				lat *= 2
-			default:
-				qp.local.chargeTx(size)
-			}
+			lat := qp.charge(wr)
 			at := time.Time{}
 			if cfg.Throttle && lat > 0 {
 				at = time.Now().Add(lat)
@@ -329,7 +407,10 @@ func (qp *QueuePair) engine() {
 // deliverer executes requests in order, optionally waiting for their
 // simulated arrival time. Keeping delivery separate from pacing preserves
 // pipelining: a message's propagation delay does not block the next
-// message's serialization.
+// message's serialization. Execution happens under the per-QP order mutex
+// so the pipeline can never interleave with the inline fast path; queued is
+// only decremented after the request executes, keeping later inline posts
+// behind everything committed to the pipeline.
 func (qp *QueuePair) deliverer() {
 	defer qp.wg.Done()
 	for d := range qp.deliver {
@@ -338,7 +419,10 @@ func (qp *QueuePair) deliverer() {
 				time.Sleep(wait)
 			}
 		}
+		qp.orderMu.Lock()
 		qp.execute(d.wr)
+		qp.queued.Add(-1)
+		qp.orderMu.Unlock()
 	}
 }
 
@@ -349,6 +433,9 @@ func (qp *QueuePair) execute(wr workRequest) {
 	switch wr.op {
 	case OpWrite:
 		comp.Bytes = len(wr.local)
+		if wr.inline8 {
+			comp.Bytes = 8
+		}
 		comp.Err = qp.doWrite(wr)
 	case OpRead:
 		comp.Bytes = len(wr.local)
@@ -376,6 +463,23 @@ func (qp *QueuePair) doWrite(wr workRequest) error {
 	mr, err := qp.remote.lookupRegion(wr.rkey)
 	if err != nil {
 		return err
+	}
+	if wr.inline8 {
+		if err := mr.checkRange(wr.remoteOff, 8); err != nil {
+			return err
+		}
+		if wr.remoteOff%8 != 0 {
+			return ErrMisaligned
+		}
+		// The inline payload lands as one aligned 8-byte store under the
+		// region's atomic lock, so AtomicLoad on the peer can never observe
+		// a torn value.
+		mr.atomicMu.Lock()
+		putLEU64(mr.buf[wr.remoteOff:], wr.value)
+		mr.atomicMu.Unlock()
+		mr.publish()
+		qp.remote.chargeRx(8)
+		return nil
 	}
 	if err := mr.checkRange(wr.remoteOff, len(wr.local)); err != nil {
 		return err

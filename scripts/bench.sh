@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the figure benchmarks plus the verbs/channel microbenchmarks and emits
+# a machine-readable perf snapshot so the repo's performance trajectory is
+# tracked PR over PR.
+#
+# Usage: scripts/bench.sh [output.json]     (default: BENCH_PR2.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_PR2.json}"
+
+echo "# figure benchmarks (-benchtime=1x)" >&2
+FIG=$(go test -run xxx -bench Fig -benchtime=1x . | grep '^Benchmark' || true)
+echo "$FIG" >&2
+
+echo "# microbenchmarks (-benchtime=0.2s -benchmem)" >&2
+MICRO=$(go test -run xxx -bench . -benchtime=0.2s -benchmem ./internal/rdma/ ./internal/channel/ | grep '^Benchmark' || true)
+echo "$MICRO" >&2
+
+{
+  printf '{\n  "generated": "%s",\n  "benchmarks": {\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '%s\n%s\n' "$FIG" "$MICRO" | awk '
+    /^Benchmark/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+      entry = ""
+      for (i = 2; i <= NF; i++) {
+        v = $(i - 1)
+        if ($i == "ns/op")                entry = entry "\"ns_per_op\": " v ", "
+        else if ($i == "slash_rec/s")     entry = entry "\"rec_per_s\": " v ", "
+        else if ($i == "slash_model_Mrec/s") entry = entry "\"model_mrec_per_s\": " v ", "
+        else if ($i == "MB/s")            entry = entry "\"mb_per_s\": " v ", "
+        else if ($i == "B/op")            entry = entry "\"bytes_per_op\": " v ", "
+        else if ($i == "allocs/op")       entry = entry "\"allocs_per_op\": " v ", "
+        else if ($i == "credit_writes/op") entry = entry "\"credit_writes_per_op\": " v ", "
+      }
+      sub(/, $/, "", entry)
+      if (seen++) printf ",\n"
+      printf "    \"%s\": {%s}", name, entry
+    }
+    END { printf "\n" }
+  '
+  printf '  }\n}\n'
+} > "$OUT"
+echo "wrote $OUT" >&2
