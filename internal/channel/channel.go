@@ -59,6 +59,14 @@ type Config struct {
 	Credits int
 	// SlotSize is the size m of one slot in bytes, including the footer.
 	SlotSize int
+	// CreditWaitTimeout bounds how long Acquire spins waiting for a credit.
+	// Zero (the default) waits forever — correct for healthy fabrics, where
+	// a credit always comes back. With a fault injector in play a dead
+	// consumer or cut link makes credits stop flowing without any completion
+	// ever failing on the producer's QP, so a bounded wait is the only way a
+	// producer notices. On expiry the endpoint latches ErrCreditTimeout and
+	// Acquire returns nil.
+	CreditWaitTimeout time.Duration
 }
 
 func (c *Config) fill() error {
@@ -83,7 +91,39 @@ var (
 	ErrReleaseOrder  = errors.New("channel: buffers must be released in FIFO order")
 	ErrClosed        = errors.New("channel: closed")
 	ErrDoubleRelease = errors.New("channel: buffer already released")
+	// ErrCreditTimeout is latched when Acquire waited longer than
+	// Config.CreditWaitTimeout for a credit — the signature of a consumer
+	// (or the link to it) dying silently from the producer's perspective.
+	ErrCreditTimeout = errors.New("channel: timed out waiting for credit")
 )
+
+// stickyErr latches the first fatal error of a channel endpoint. Every entry
+// point checks it, so after one failure the endpoint refuses further work
+// with the root cause rather than a cascade of secondary errors. The box
+// indirection keeps CompareAndSwap safe: error values of differing concrete
+// types cannot be CASed directly.
+type stickyErr struct {
+	p atomic.Pointer[errBox]
+}
+
+type errBox struct{ err error }
+
+// get returns the latched error, or nil while the endpoint is healthy.
+func (s *stickyErr) get() error {
+	if b := s.p.Load(); b != nil {
+		return b.err
+	}
+	return nil
+}
+
+// latch records err if no error is latched yet and reports whether this call
+// won the race. A nil err never latches.
+func (s *stickyErr) latch(err error) bool {
+	if err == nil {
+		return false
+	}
+	return s.p.CompareAndSwap(nil, &errBox{err: err})
+}
 
 // New builds an RDMA channel from the producer's NIC to the consumer's NIC.
 // This is the setup phase of the protocol (§6.2): it allocates the circular
@@ -152,6 +192,8 @@ func New(prodNIC, consNIC *rdma.NIC, cfg Config) (*Producer, *Consumer, error) {
 		c.mCreditWrites = reg.Counter("channel_credit_writes_total" + ch)
 		c.mPollMisses = reg.Counter("channel_poll_misses_total" + ch)
 		c.mBacklogMax = reg.Gauge("channel_backlog_slots_max" + ch)
+		p.mEndpErrs = reg.Counter(fmt.Sprintf("channel_endpoint_errors_total{ch=%q,side=\"producer\"}", qpProd.ID()))
+		c.mEndpErrs = reg.Counter(fmt.Sprintf("channel_endpoint_errors_total{ch=%q,side=\"consumer\"}", qpProd.ID()))
 	}
 	return p, c, nil
 }
@@ -172,16 +214,26 @@ type Producer struct {
 	acquired bool
 	closed   atomic.Bool
 
-	// lastErr records an asynchronous completion error surfaced on a later
-	// Post call.
-	lastErr error
+	// err latches the first fatal endpoint error (async completion failure,
+	// CQ overrun, credit timeout); see stickyErr.
+	err stickyErr
 
 	// Credit-stall instrumentation (§6.2 step 3: wait for credit); all nil
 	// without a fabric metrics registry.
-	mStallNs *metrics.Counter
-	mStalls  *metrics.Counter
-	mSpins   *metrics.Counter
-	mPosted  *metrics.Counter
+	mStallNs  *metrics.Counter
+	mStalls   *metrics.Counter
+	mSpins    *metrics.Counter
+	mPosted   *metrics.Counter
+	mEndpErrs *metrics.Counter
+}
+
+// fail latches err as the endpoint's sticky error and returns the error the
+// endpoint actually died with (the first latched one wins).
+func (p *Producer) fail(err error) error {
+	if p.err.latch(err) {
+		p.mEndpErrs.Inc()
+	}
+	return p.err.get()
 }
 
 // SendBuffer is a slot acquired from the producer's staging ring. Data is
@@ -218,11 +270,12 @@ func (p *Producer) TryAcquire() (*SendBuffer, bool) {
 }
 
 // Acquire spins until a credit is available (step 3 of the transfer phase:
-// wait for credit). It returns nil once the channel is closed or a fatal
-// asynchronous error — including a send-CQ overrun — is observed; Err
-// reports which.
+// wait for credit). It returns nil once the channel is closed, a fatal
+// asynchronous error — including a send-CQ overrun — is observed, or the
+// configured CreditWaitTimeout expires; Err reports which.
 func (p *Producer) Acquire() *SendBuffer {
 	var stallStart int64
+	trackStall := p.mStallNs != nil || p.cfg.CreditWaitTimeout > 0
 	for {
 		// Drain completions before handing out a slot: a credit that never
 		// comes back often means the data write failed or the CQ overran,
@@ -241,8 +294,13 @@ func (p *Producer) Acquire() *SendBuffer {
 		if p.closed.Load() {
 			return nil
 		}
-		if stallStart == 0 && p.mStallNs != nil {
+		if stallStart == 0 && trackStall {
 			stallStart = time.Now().UnixNano()
+		}
+		if d := p.cfg.CreditWaitTimeout; d > 0 && time.Now().UnixNano()-stallStart > int64(d) {
+			p.fail(fmt.Errorf("%w (waited %v, %d credits outstanding)",
+				ErrCreditTimeout, d, p.cfg.Credits-p.Credits()))
+			return nil
 		}
 		p.mSpins.Inc()
 		runtime.Gosched()
@@ -278,7 +336,7 @@ func (p *Producer) Post(b *SendBuffer, used int) error {
 	// Selective signaling: success needs no completion, errors always
 	// complete and are surfaced by drainErrors on a later call.
 	if err := p.qp.PostWrite(b.seq, buf, p.ringRKey, base, false); err != nil {
-		return err
+		return p.fail(fmt.Errorf("channel: post failed: %w", err))
 	}
 	p.sent.Add(1)
 	p.acquired = false
@@ -287,14 +345,15 @@ func (p *Producer) Post(b *SendBuffer, used int) error {
 }
 
 // drainErrors surfaces asynchronous completion errors (bad rkey, bounds,
-// CQ overrun).
+// CQ overrun). When the queue pair itself died, the QPFailure — which names
+// the link and the work-completion status — is preferred over the raw
+// completion error, so layers above can report which connection failed.
 func (p *Producer) drainErrors() error {
-	if p.lastErr != nil {
-		return p.lastErr
+	if err := p.err.get(); err != nil {
+		return err
 	}
 	if p.qp.SendCQ().Overrun() {
-		p.lastErr = fmt.Errorf("channel: send %w", rdma.ErrCQOverrun)
-		return p.lastErr
+		return p.fail(fmt.Errorf("channel: send %w", rdma.ErrCQOverrun))
 	}
 	for {
 		c, ok := p.qp.SendCQ().TryPoll()
@@ -302,21 +361,35 @@ func (p *Producer) drainErrors() error {
 			return nil
 		}
 		if c.Err != nil {
-			p.lastErr = fmt.Errorf("channel: async write failure: %w", c.Err)
-			return p.lastErr
+			return p.fail(fmt.Errorf("channel: async write failure: %w", qpCause(p.qp, c)))
 		}
 	}
 }
 
-// Err returns any asynchronous protocol error observed so far.
-func (p *Producer) Err() error { return p.lastErr }
+// qpCause picks the most informative error for a failed completion: the QP's
+// recorded failure (a *rdma.QPFailure naming the link and root-cause status)
+// when the QP is in the error state, the bare completion error otherwise.
+// Flush completions in particular carry only ErrWRFlush; the QPFailure behind
+// them explains why the QP was flushing.
+func qpCause(qp *rdma.QueuePair, c rdma.Completion) error {
+	if err := qp.Err(); err != nil {
+		return err
+	}
+	return c.Err
+}
+
+// Err returns the endpoint's sticky fatal error, or nil while it is healthy.
+// Safe to call from any goroutine.
+func (p *Producer) Err() error { return p.err.get() }
 
 // Sent returns the number of buffers posted.
 func (p *Producer) Sent() uint64 { return p.sent.Load() }
 
 // Close shuts the producer side down gracefully: posted buffers still in
 // the queue pair are delivered before the connection tears down, so a
-// consumer can drain everything the producer sent.
+// consumer can drain everything the producer sent. On a dead QP the drain
+// completes with flush semantics instead (nothing more reaches the wire),
+// so Close terminates in bounded time even mid-failure.
 func (p *Producer) Close() {
 	if p.closed.CompareAndSwap(false, true) {
 		p.qp.Drain()
@@ -348,14 +421,27 @@ type Consumer struct {
 	flushMu      sync.Mutex
 	creditWrites atomic.Uint64
 
-	closed  atomic.Bool
-	lastErr error
+	closed atomic.Bool
+
+	// err latches the first fatal endpoint error (credit-write failure, CQ
+	// overrun, footer corruption); see stickyErr.
+	err stickyErr
 
 	// Poll instrumentation; all nil without a fabric metrics registry.
 	mReleased     *metrics.Counter
 	mCreditWrites *metrics.Counter
 	mPollMisses   *metrics.Counter
 	mBacklogMax   *metrics.Gauge
+	mEndpErrs     *metrics.Counter
+}
+
+// fail latches err as the endpoint's sticky error and returns the error the
+// endpoint actually died with (the first latched one wins).
+func (c *Consumer) fail(err error) error {
+	if c.err.latch(err) {
+		c.mEndpErrs.Inc()
+	}
+	return c.err.get()
 }
 
 // RecvBuffer is a received slot. Data aliases the ring slot's payload; it is
@@ -383,9 +469,13 @@ func (c *Consumer) TryPoll() (*RecvBuffer, bool) {
 		// coalesced credits — an idle poll loop means the producer may be
 		// waiting on them — and drain the send CQ so a credit-write failure
 		// or CQ overrun surfaces through Err instead of stalling forever.
+		// A failed flush latches the sticky error the same way: silently
+		// dropping it here once cost the producer an unbounded stall.
 		c.mPollMisses.Inc()
 		if c.released.Load() != c.flushed.Load() {
-			_ = c.flushCredits()
+			if err := c.flushCredits(); err != nil {
+				c.fail(err)
+			}
 		}
 		c.drainErrors()
 		return nil, false
@@ -399,12 +489,12 @@ func (c *Consumer) TryPoll() (*RecvBuffer, bool) {
 		// The version advanced for a later pipelined write while this
 		// slot's content is from a previous round — cannot happen on a
 		// FIFO QP; treat as corruption.
-		c.lastErr = fmt.Errorf("channel: polling byte mismatch at seq %d", c.received.Load())
+		c.fail(fmt.Errorf("channel: polling byte mismatch at seq %d", c.received.Load()))
 		return nil, false
 	}
 	used := int(uint32(foot[0]) | uint32(foot[1])<<8 | uint32(foot[2])<<16 | uint32(foot[3])<<24)
 	if used > c.cfg.SlotSize-FooterSize {
-		c.lastErr = fmt.Errorf("channel: corrupt footer length %d at seq %d", used, c.received.Load())
+		c.fail(fmt.Errorf("channel: corrupt footer length %d at seq %d", used, c.received.Load()))
 		return nil, false
 	}
 	seq := c.received.Load()
@@ -453,7 +543,15 @@ func (c *Consumer) Release(b *RecvBuffer) error {
 // since the previous flush; because the total is cumulative and posts are
 // serialized under flushMu, the producer's counter is always a value the
 // release count actually passed through — invariants 1–3 hold unchanged.
+//
+// A failed post latches the endpoint error and stops further coalescing: a
+// flush that cannot reach the producer makes every pending and future
+// release undeliverable, so pretending to accumulate them would only delay
+// the diagnosis.
 func (c *Consumer) flushCredits() error {
+	if err := c.err.get(); err != nil {
+		return err
+	}
 	c.flushMu.Lock()
 	defer c.flushMu.Unlock()
 	rel := c.released.Load()
@@ -461,7 +559,7 @@ func (c *Consumer) flushCredits() error {
 		return nil
 	}
 	if err := c.qp.PostWriteU64(rel, c.creditRKey, 0, rel, false); err != nil {
-		return err
+		return c.fail(fmt.Errorf("channel: credit flush failed: %w", err))
 	}
 	c.flushed.Store(rel)
 	c.creditWrites.Add(1)
@@ -474,12 +572,11 @@ func (c *Consumer) flushCredits() error {
 func (c *Consumer) CreditWrites() uint64 { return c.creditWrites.Load() }
 
 func (c *Consumer) drainErrors() error {
-	if c.lastErr != nil {
-		return c.lastErr
+	if err := c.err.get(); err != nil {
+		return err
 	}
 	if c.qp.SendCQ().Overrun() {
-		c.lastErr = fmt.Errorf("channel: credit %w", rdma.ErrCQOverrun)
-		return c.lastErr
+		return c.fail(fmt.Errorf("channel: credit %w", rdma.ErrCQOverrun))
 	}
 	for {
 		comp, ok := c.qp.SendCQ().TryPoll()
@@ -487,8 +584,7 @@ func (c *Consumer) drainErrors() error {
 			return nil
 		}
 		if comp.Err != nil {
-			c.lastErr = fmt.Errorf("channel: async credit failure: %w", comp.Err)
-			return c.lastErr
+			return c.fail(fmt.Errorf("channel: async credit failure: %w", qpCause(c.qp, comp)))
 		}
 	}
 }
@@ -499,18 +595,24 @@ func (c *Consumer) Backlog() int {
 	return int(c.ring.WriteVersion() - c.received.Load())
 }
 
-// Err returns any asynchronous protocol error observed so far.
-func (c *Consumer) Err() error { return c.lastErr }
+// Err returns the endpoint's sticky fatal error, or nil while it is healthy.
+// Safe to call from any goroutine.
+func (c *Consumer) Err() error { return c.err.get() }
 
 // Received returns the number of buffers polled so far.
 func (c *Consumer) Received() uint64 { return c.received.Load() }
 
 // Close shuts the consumer side down. Credits coalesced but not yet flushed
 // are written out and drained first, so a producer that outlives this
-// consumer observes every release that happened before Close.
+// consumer observes every release that happened before Close. On a dead QP
+// the drain completes with flush semantics (queued requests complete with
+// StatusWRFlush at host speed), so Close terminates in bounded time; a
+// failed final flush is latched so post-mortem Err still reports it.
 func (c *Consumer) Close() {
 	if c.closed.CompareAndSwap(false, true) {
-		_ = c.flushCredits()
+		if err := c.flushCredits(); err != nil {
+			c.fail(err)
+		}
 		c.qp.Drain()
 		c.qp.Close()
 	}

@@ -1,6 +1,8 @@
 package channel
 
 import (
+	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -138,5 +140,172 @@ func TestChannelOverThrottledLossyFreeFabric(t *testing.T) {
 		if err := c.Release(rb); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestAcquireCreditTimeout pins the bounded-Acquire contract down: with
+// CreditWaitTimeout set, a producer whose consumer never returns credits gets
+// nil from Acquire within bounded time and a typed sticky error, instead of
+// spinning forever.
+func TestAcquireCreditTimeout(t *testing.T) {
+	p, _ := newChannel(t, Config{Credits: 1, SlotSize: 64, CreditWaitTimeout: 5 * time.Millisecond})
+	sb := p.Acquire()
+	if err := p.Post(sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if b := p.Acquire(); b != nil {
+		t.Fatal("Acquire returned a buffer with zero credits")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("Acquire took %v to time out, want ~5ms", el)
+	}
+	if err := p.Err(); !errors.Is(err, ErrCreditTimeout) {
+		t.Fatalf("Err() = %v, want ErrCreditTimeout", err)
+	}
+	// The error is sticky: the next Acquire fails immediately.
+	start = time.Now()
+	if b := p.Acquire(); b != nil {
+		t.Fatal("Acquire succeeded on a failed endpoint")
+	}
+	if el := time.Since(start); el > time.Millisecond {
+		t.Fatalf("sticky-failed Acquire took %v, want immediate", el)
+	}
+}
+
+// TestCreditFlushFailureSurfaces is the regression test for the silently
+// dropped flushCredits error: a failed credit write must latch the consumer's
+// sticky error, stop further coalescing, and surface the QP failure with the
+// link name — not stall the producer forever.
+func TestCreditFlushFailureSurfaces(t *testing.T) {
+	p, c := newChannel(t, Config{Credits: 4, SlotSize: 64})
+	for i := 0; i < 4; i++ {
+		sb := p.Acquire()
+		sb.Data[0] = byte(i)
+		if err := p.Post(sb, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill the credit counter region: the next flush's inline WRITE fails.
+	p.creditMR.Deregister()
+
+	// flushAt = 2, so the second release triggers the doomed flush.
+	rb := mustRecv(t, c)
+	if err := c.Release(rb); err != nil {
+		t.Fatalf("first release: %v", err)
+	}
+	rb = mustRecv(t, c)
+	err := c.Release(rb)
+	if err == nil {
+		// The flush failure may land asynchronously on the pipelined
+		// engine; the poll loop's drain must latch it.
+		for i := 0; i < 1e6 && c.Err() == nil; i++ {
+			c.TryPoll()
+			runtime.Gosched()
+		}
+		err = c.Err()
+	}
+	if err == nil {
+		t.Fatal("credit flush failure never surfaced")
+	}
+	var qf *rdma.QPFailure
+	if !errors.As(err, &qf) {
+		t.Fatalf("flush failure %v does not carry the QP failure", err)
+	}
+	if qf.QP != c.qp.ID() {
+		t.Fatalf("failure names QP %q, want consumer QP %q", qf.QP, c.qp.ID())
+	}
+
+	// Coalescing stopped: further releases fail fast with the same root
+	// cause and post no more credit writes.
+	writes := c.CreditWrites()
+	rb, ok := c.TryPoll()
+	if ok {
+		if relErr := c.Release(rb); relErr == nil {
+			t.Fatal("Release succeeded on a failed endpoint")
+		}
+	}
+	if got := c.CreditWrites(); got != writes {
+		t.Fatalf("credit writes grew %d -> %d after failure", writes, got)
+	}
+	if c.Err() != err {
+		t.Fatalf("sticky error changed from %v to %v", err, c.Err())
+	}
+}
+
+// TestIdlePollFlushFailureLatched covers the other dropped-error site: an
+// idle TryPoll that pushes out coalesced credits must latch a flush failure
+// rather than discard it.
+func TestIdlePollFlushFailureLatched(t *testing.T) {
+	p, c := newChannel(t, Config{Credits: 8, SlotSize: 64})
+	sb := p.Acquire()
+	if err := p.Post(sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	rb := mustRecv(t, c)
+	// One release out of flushAt=4: stays coalesced.
+	if err := c.Release(rb); err != nil {
+		t.Fatal(err)
+	}
+	p.creditMR.Deregister()
+	// The idle poll pushes the coalesced credit out and the failure latches.
+	for i := 0; i < 1e6 && c.Err() == nil; i++ {
+		if _, ok := c.TryPoll(); ok {
+			t.Fatal("unexpected buffer")
+		}
+		runtime.Gosched()
+	}
+	if c.Err() == nil {
+		t.Fatal("idle-poll flush failure never latched")
+	}
+}
+
+// TestProducerSurfacesLinkFailure drives a channel over a faulty fabric,
+// cuts the link mid-stream, and expects the producer to terminate with a
+// typed error naming the failed link instead of wedging.
+func TestProducerSurfacesLinkFailure(t *testing.T) {
+	fi := rdma.NewFaultInjector(3)
+	f := rdma.NewFabric(rdma.Config{Faults: fi})
+	p, c, err := New(f.MustNIC("prod"), f.MustNIC("cons"),
+		Config{Credits: 4, SlotSize: 64, CreditWaitTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	defer p.Close()
+
+	sb := p.Acquire()
+	if err := p.Post(sb, 1); err != nil {
+		t.Fatal(err)
+	}
+	fi.CutLink("prod", "cons")
+
+	// Keep producing until the failure surfaces: either a data write dies
+	// (retry exhaustion -> error completion) or credits stop coming back
+	// (credit timeout). Both must resolve within bounded time.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("producer never observed the cut link")
+		}
+		sb := p.Acquire()
+		if sb == nil {
+			break
+		}
+		if err := p.Post(sb, 1); err != nil {
+			break
+		}
+	}
+	err = p.Err()
+	if err == nil {
+		t.Fatal("Acquire returned nil without a sticky error")
+	}
+	var qf *rdma.QPFailure
+	if errors.As(err, &qf) {
+		if qf.QP != p.qp.ID() {
+			t.Fatalf("failure names %q, want producer QP %q", qf.QP, p.qp.ID())
+		}
+	} else if !errors.Is(err, ErrCreditTimeout) {
+		t.Fatalf("unexpected failure mode: %v", err)
 	}
 }

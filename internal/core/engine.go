@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -134,12 +135,9 @@ func Run(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Report, error) {
 	// Setup phase of the SSB epoch protocol: every executor connects to
 	// every other executor — n·(n-1) directed channels (§7.2.2).
 	producers := make([][]*channel.Producer, cfg.Nodes)
-	consumers := make([][]*channel.Consumer, cfg.Nodes) // consumers[dst] = inbound
+	consumers := make([][]inbound, cfg.Nodes) // consumers[dst] = inbound links
 	for i := range producers {
 		producers[i] = make([]*channel.Producer, cfg.Nodes)
-	}
-	for i := range consumers {
-		consumers[i] = nil
 	}
 	for src := 0; src < cfg.Nodes; src++ {
 		for dst := 0; dst < cfg.Nodes; dst++ {
@@ -151,7 +149,7 @@ func Run(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Report, error) {
 				return nil, fmt.Errorf("core: channel %d->%d: %w", src, dst, err)
 			}
 			producers[src][dst] = p
-			consumers[dst] = append(consumers[dst], c)
+			consumers[dst] = append(consumers[dst], inbound{src: src, cons: c})
 		}
 	}
 	defer func() {
@@ -163,8 +161,8 @@ func Run(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Report, error) {
 			}
 		}
 		for _, cs := range consumers {
-			for _, c := range cs {
-				c.Close()
+			for _, in := range cs {
+				in.cons.Close()
 			}
 		}
 	}()
@@ -178,7 +176,7 @@ func Run(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Report, error) {
 		senders := make([]ssb.Sender, cfg.Nodes)
 		for j := 0; j < cfg.Nodes; j++ {
 			if j != i {
-				senders[j] = &chanSender{prod: producers[i][j]}
+				senders[j] = &chanSender{src: i, dst: j, prod: producers[i][j]}
 			}
 		}
 		be, err := ssb.New(ssb.Config{
@@ -313,4 +311,17 @@ func (r *runState) err() error {
 		return v.(error)
 	}
 	return nil
+}
+
+// FailedQP extracts the fabric-level identity of the queue pair whose death
+// caused err, when there is one. Run wraps channel failures with the logical
+// link (node i -> node j); the QP id underneath pins down the exact endpoint
+// ("node0->node1#3") and the work-completion status that killed it, which
+// chaos harnesses and operators use to assert *which* link died.
+func FailedQP(err error) (*rdma.QPFailure, bool) {
+	var qf *rdma.QPFailure
+	if errors.As(err, &qf) {
+		return qf, true
+	}
+	return nil, false
 }

@@ -25,14 +25,14 @@ func TestMergePollingRoundRobin(t *testing.T) {
 	f := rdma.NewFabric(rdma.Config{})
 	mergeNIC := f.MustNIC("merge")
 	prods := make([]*channel.Producer, peers)
-	cons := make([]*channel.Consumer, peers)
+	cons := make([]inbound, peers)
 	for i := range prods {
 		p, c, err := channel.New(f.MustNIC(fmt.Sprintf("peer%d", i)), mergeNIC,
 			channel.Config{Credits: credits, SlotSize: ssb.ChunkHeaderSize + channel.FooterSize})
 		if err != nil {
 			t.Fatal(err)
 		}
-		prods[i], cons[i] = p, c
+		prods[i], cons[i] = p, inbound{src: i, cons: c}
 		t.Cleanup(func() {
 			p.Close()
 			c.Close()
@@ -73,8 +73,8 @@ func TestMergePollingRoundRobin(t *testing.T) {
 			t.Fatalf("step %d returned %v, want Ready", step, st)
 		}
 	}
-	for i, c := range cons {
-		if got := int(c.Received()); got < chunksPerMergeStep {
+	for i, in := range cons {
+		if got := int(in.cons.Received()); got < chunksPerMergeStep {
 			t.Errorf("peer %d received %d chunks after %d steps, want ≥ %d (budget rotation broken)",
 				i, got, peers, chunksPerMergeStep)
 		}

@@ -20,12 +20,16 @@ import (
 // epoch granularity, not per record, so contention is negligible (§7.1.2:
 // the common case is the local partial-state update).
 type chanSender struct {
-	mu   sync.Mutex
-	prod *channel.Producer
+	mu       sync.Mutex
+	src, dst int
+	prod     *channel.Producer
 }
 
 // Send implements ssb.Sender. It encodes the chunk directly into the
-// channel's staging slot (zero further copies) and posts it.
+// channel's staging slot (zero further copies) and posts it. Failures are
+// wrapped with the link's endpoints so a run that dies reports *which*
+// channel killed it; the underlying *rdma.QPFailure (when the queue pair
+// itself died) stays reachable through errors.As — see FailedQP.
 func (s *chanSender) Send(c *ssb.Chunk) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -37,14 +41,23 @@ func (s *chanSender) Send(c *ssb.Chunk) error {
 	sb := s.prod.Acquire()
 	if sb == nil {
 		// Acquire returns nil both on a graceful close and on asynchronous
-		// transfer failures (bad rkey, CQ overrun); prefer the real cause.
+		// transfer failures (bad rkey, CQ overrun, retry exhaustion, credit
+		// timeout); prefer the real cause.
 		if err := s.prod.Err(); err != nil {
-			return err
+			return s.wrap(err)
 		}
-		return channel.ErrClosed
+		return s.wrap(channel.ErrClosed)
 	}
 	n := c.Encode(sb.Data)
-	return s.prod.Post(sb, n)
+	if err := s.prod.Post(sb, n); err != nil {
+		return s.wrap(err)
+	}
+	return nil
+}
+
+// wrap names the failed link.
+func (s *chanSender) wrap(err error) error {
+	return fmt.Errorf("core: state channel node%d->node%d: %w", s.src, s.dst, err)
 }
 
 // sourceTask is the stateful operator pipeline of one executor thread: it
@@ -125,6 +138,13 @@ func (t *sourceTask) Step() sched.Status {
 	return sched.Ready
 }
 
+// inbound pairs a consumer endpoint with the node it receives from, so a
+// consumer-side failure can name the link.
+type inbound struct {
+	src  int
+	cons *channel.Consumer
+}
+
 // mergeTask is one node's service coroutine: it polls the inbound RDMA
 // channels for delta chunks, merges them into the primary partition, and
 // evaluates window triggers. It terminates once every thread in the cluster
@@ -133,7 +153,7 @@ type mergeTask struct {
 	run      *runState
 	node     int
 	be       *ssb.Backend
-	cons     []*channel.Consumer
+	cons     []inbound
 	q        *Query
 	mStep    *metrics.Histogram
 	mBacklog *metrics.Gauge
@@ -163,7 +183,8 @@ func (t *mergeTask) Step() sched.Status {
 	progress := false
 	budget := chunksPerMergeStep
 	for i := 0; i < len(t.cons) && budget > 0; i++ {
-		cons := t.cons[(t.rr+i)%len(t.cons)]
+		in := t.cons[(t.rr+i)%len(t.cons)]
+		cons := in.cons
 		if t.mBacklog != nil {
 			t.mBacklog.SetMax(int64(cons.Backlog()))
 		}
@@ -171,7 +192,7 @@ func (t *mergeTask) Step() sched.Status {
 			rb, ok := cons.TryPoll()
 			if !ok {
 				if err := cons.Err(); err != nil {
-					t.run.fail(err)
+					t.run.fail(t.wrap(in, err))
 					return sched.Done
 				}
 				break
@@ -184,7 +205,7 @@ func (t *mergeTask) Step() sched.Status {
 				err = cons.Release(rb)
 			}
 			if err != nil {
-				t.run.fail(err)
+				t.run.fail(t.wrap(in, err))
 				return sched.Done
 			}
 			budget--
@@ -204,6 +225,13 @@ func (t *mergeTask) Step() sched.Status {
 		return sched.Ready
 	}
 	return sched.Idle
+}
+
+// wrap names the inbound link a consumer-side failure arrived on. Errors
+// from HandleChunk/Decode get the same attribution: corrupt or unmergeable
+// chunks are a property of the link that delivered them.
+func (t *mergeTask) wrap(in inbound, err error) error {
+	return fmt.Errorf("core: state channel node%d->node%d (inbound): %w", in.src, t.node, err)
 }
 
 func (t *mergeTask) emitAgg(win, key uint64, value int64) {

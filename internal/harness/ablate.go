@@ -108,7 +108,6 @@ func runPullTransfer(fcfg rdma.Config, slot, msgs int) (pullResult, error) {
 	}
 	defer qpC.Close()
 	defer qpP.Close()
-	_ = qpP
 
 	start := time.Now()
 	done := make(chan error, 1)

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/slash-stream/slash/internal/core"
+	"github.com/slash-stream/slash/internal/rdma"
+)
+
+// Chaos exercises the failure semantics of the verbs fabric end to end
+// (DESIGN.md "Failure semantics"): a seeded fault injector perturbs a YSB
+// run and the experiment asserts the contract at every fault intensity —
+//
+//   - baseline: injection plane attached but silent; the run must behave
+//     exactly like an uninstrumented one.
+//   - droprate: 1% of transmission attempts drop; the RC transport's retry
+//     budget must absorb all of it invisibly.
+//   - flap: the inter-node link flaps (cut + restore) faster than the retry
+//     budget expires; the run must still complete with every record.
+//   - killlink: the link dies for good mid-run (deterministically, after a
+//     fixed op count); the run must abort within bounded time with a typed
+//     error naming the dead link — not hang, not report success.
+//
+// Scenario outcomes that violate the contract fail the experiment; expected
+// aborts are reported as rows (detect_ms is the time from start to the typed
+// error).
+func Chaos(o Options) ([]Row, error) {
+	o = o.fill()
+	const nodes = 2
+	fw := ysbWorkload(o)
+	var rows []Row
+
+	scenarios := []struct {
+		name        string
+		arm         func(fi *rdma.FaultInjector) (cleanup func())
+		expectAbort bool
+	}{
+		{"baseline", func(*rdma.FaultInjector) func() { return nil }, false},
+		{"droprate=0.01", func(fi *rdma.FaultInjector) func() {
+			fi.SetDropRate(0.01)
+			return nil
+		}, false},
+		{"flap", func(fi *rdma.FaultInjector) func() {
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					fi.CutLink("node0", "node1")
+					time.Sleep(300 * time.Microsecond) // well inside the 7×200µs budget
+					fi.RestoreLink("node0", "node1")
+					time.Sleep(2 * time.Millisecond)
+				}
+			}()
+			return func() { close(stop); <-done }
+		}, false},
+		{"killlink", func(fi *rdma.FaultInjector) func() {
+			fi.CutLinkAfterOps("node0", "node1", 20)
+			return nil
+		}, true},
+	}
+
+	for _, sc := range scenarios {
+		fi := rdma.NewFaultInjector(o.Seed)
+		cleanup := sc.arm(fi)
+		cfg := core.Config{
+			Nodes:          nodes,
+			ThreadsPerNode: o.Threads,
+			Fabric:         rdma.Config{Faults: fi, Metrics: o.Metrics},
+			Metrics:        o.Metrics,
+		}
+		// Bounded producer waits: a dead link can starve a producer of
+		// credits without ever failing one of its own work requests, and
+		// only a timeout turns that silence into a diagnosis.
+		cfg.Channel.CreditWaitTimeout = 2 * time.Second
+
+		start := time.Now()
+		rep, err := core.Run(cfg, fw.query(o), fw.mkFlows(o)(nodes, o.Threads), nil)
+		elapsed := time.Since(start)
+		stats := fi.Stats()
+		if cleanup != nil {
+			cleanup()
+		}
+
+		if sc.expectAbort {
+			if err == nil {
+				return nil, fmt.Errorf("chaos %s: run succeeded across a dead link", sc.name)
+			}
+			if !strings.Contains(err.Error(), "node0->node1") && !strings.Contains(err.Error(), "node1->node0") {
+				return nil, fmt.Errorf("chaos %s: error does not name the failed link: %w", sc.name, err)
+			}
+			if _, ok := core.FailedQP(err); !ok && !strings.Contains(err.Error(), "timed out waiting for credit") {
+				return nil, fmt.Errorf("chaos %s: abort is not typed (no QPFailure, no credit timeout): %w", sc.name, err)
+			}
+			o.logf("chaos %-14s aborted in %8.1fms with: %v", sc.name, float64(elapsed.Microseconds())/1e3, err)
+			rows = append(rows, Row{
+				Experiment: "chaos", Workload: "ysb", System: "slash", Params: sc.name,
+				Elapsed: elapsed,
+				Metrics: map[string]float64{
+					"aborted":     1,
+					"detect_ms":   float64(elapsed.Microseconds()) / 1e3,
+					"drops":       float64(stats.Drops),
+					"qp_failures": float64(stats.QPFailures),
+				},
+			})
+			continue
+		}
+
+		if err != nil {
+			return nil, fmt.Errorf("chaos %s: %w (drops=%d)", sc.name, err, stats.Drops)
+		}
+		o.logf("chaos %-14s %12d recs  %8.3fs  %14.0f rec/s  (%d drops absorbed)",
+			sc.name, rep.Records, rep.Elapsed.Seconds(), rep.RecordsPerSec, stats.Drops)
+		rows = append(rows, Row{
+			Experiment: "chaos", Workload: "ysb", System: "slash", Params: sc.name,
+			Records: rep.Records, Elapsed: rep.Elapsed, RecsPerSec: rep.RecordsPerSec,
+			Metrics: map[string]float64{
+				"aborted": 0,
+				"drops":   float64(stats.Drops),
+				"delays":  float64(stats.Delays),
+			},
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/slash-stream/slash/internal/metrics"
+)
+
+// TestChaosScenario runs the seeded fault-injection experiment end to end at
+// smoke scale: every benign scenario must complete, the kill scenario must
+// abort with a typed error (Chaos itself enforces the error shape), and the
+// failure-plane metrics must have moved.
+func TestChaosScenario(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rows, err := Chaos(Options{Scale: 0.011, Threads: 2, Seed: 7, Metrics: reg})
+	if err != nil {
+		t.Fatalf("Chaos: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 scenarios", len(rows))
+	}
+	byParams := map[string]Row{}
+	for _, r := range rows {
+		byParams[r.Params] = r
+	}
+
+	base, ok := byParams["baseline"]
+	if !ok || base.Records == 0 || base.Metrics["aborted"] != 0 {
+		t.Fatalf("baseline row broken: %+v", base)
+	}
+	if base.Metrics["drops"] != 0 {
+		t.Fatalf("baseline dropped %v ops with no faults armed", base.Metrics["drops"])
+	}
+
+	drop, ok := byParams["droprate=0.01"]
+	if !ok || drop.Metrics["aborted"] != 0 {
+		t.Fatalf("droprate row broken: %+v", drop)
+	}
+	if drop.Metrics["drops"] == 0 {
+		t.Fatal("droprate scenario dropped nothing — injection plane inert")
+	}
+	if drop.Records != base.Records {
+		t.Fatalf("droprate lost records: %d vs baseline %d", drop.Records, base.Records)
+	}
+
+	kill, ok := byParams["killlink"]
+	if !ok || kill.Metrics["aborted"] != 1 {
+		t.Fatalf("killlink row broken: %+v", kill)
+	}
+	if kill.Metrics["detect_ms"] <= 0 {
+		t.Fatalf("killlink reported no detection time: %+v", kill.Metrics)
+	}
+
+	// The failure plane left its traces in the registry: error-status
+	// completions were counted and at least one QP latched the error state.
+	snap := reg.Snapshot()
+	var flushed, failedQPs, endpointErrs uint64
+	for _, c := range snap.Counters {
+		switch {
+		case c.Name == `rdma_completions_total{status="retry_exc_err"}`:
+			failedQPs += c.Value
+		case c.Name == `rdma_completions_total{status="wr_flush_err"}`:
+			flushed += c.Value
+		}
+		if strings.HasPrefix(c.Name, "channel_endpoint_errors_total") {
+			endpointErrs += c.Value
+		}
+	}
+	if failedQPs == 0 {
+		t.Fatal("no retry-exceeded completion was counted across the chaos run")
+	}
+	if endpointErrs == 0 {
+		t.Fatal("no channel endpoint latched an error across the chaos run")
+	}
+	_ = flushed // flushes are scenario-dependent; counted but not asserted
+}

@@ -121,6 +121,7 @@ func Experiments() []Experiment {
 		{"table1", "Tab. 1: resource utilization on YSB (modelled)", Table1},
 		{"credits", "§8.3.2: credit sweep c ∈ {4,8,16,64}", CreditSweep},
 		{"ablations", "Design ablations: WRITE vs READ transfer, polling, epoch length", Ablations},
+		{"chaos", "Failure semantics: seeded fault injection (drops, flaps, link kill)", Chaos},
 	}
 }
 

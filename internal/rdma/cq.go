@@ -47,7 +47,12 @@ type Completion struct {
 	Op Opcode
 	// Bytes is the payload length transferred.
 	Bytes int
-	// Err is non-nil if the request failed (bad rkey, bounds, ...).
+	// Status classifies the outcome in ibverbs wc-status terms. The zero
+	// value is StatusSuccess, so success completions cost nothing extra.
+	Status Status
+	// Err is non-nil if the request failed (bad rkey, bounds, retries
+	// exhausted, flushed, ...). Err and Status always agree: Err == nil
+	// iff Status == StatusSuccess.
 	Err error
 	// Imm carries verb-specific immediate data: the original value for
 	// atomics, the sender-provided immediate for writes-with-imm.

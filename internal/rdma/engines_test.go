@@ -161,10 +161,18 @@ func TestEnginesCQOverrun(t *testing.T) {
 			if len(comps) != 4 {
 				t.Fatalf("retained %d completions, want exactly the CQ depth 4", len(comps))
 			}
-			for _, c := range comps {
-				if !errors.Is(c.Err, ErrInvalidRKey) {
+			// The first failure carries the root cause and moves the QP to
+			// the error state; everything behind it flushes.
+			if !errors.Is(comps[0].Err, ErrInvalidRKey) || comps[0].Status != StatusRemoteAccessErr {
+				t.Fatalf("root-cause completion %+v", comps[0])
+			}
+			for _, c := range comps[1:] {
+				if !errors.Is(c.Err, ErrWRFlush) || c.Status != StatusWRFlush {
 					t.Fatalf("unexpected completion %+v", c)
 				}
+			}
+			if qa.State() != QPStateError {
+				t.Fatalf("QP state = %v, want ERROR", qa.State())
 			}
 		})
 	}
@@ -258,11 +266,16 @@ func TestPostWriteU64(t *testing.T) {
 			}
 
 			// Misaligned and out-of-bounds offsets fail like hardware atomics.
+			// Each failure moves the QP to the error state, so it is recycled
+			// with Reset before the next probe.
 			if err := qa.PostWriteU64(2, dst.RKey(), 4, v, true); err != nil {
 				t.Fatal(err)
 			}
 			if c := qa.SendCQ().Wait(); !errors.Is(c.Err, ErrMisaligned) {
 				t.Fatalf("misaligned inline write completed with %v", c.Err)
+			}
+			if err := qa.Reset(); err != nil {
+				t.Fatalf("Reset: %v", err)
 			}
 			if err := qa.PostWriteU64(3, dst.RKey(), 16, v, true); err != nil {
 				t.Fatal(err)

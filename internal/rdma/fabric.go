@@ -34,6 +34,13 @@ type Config struct {
 	// post→completion latency histograms, and CQ depth high-water marks.
 	// Nil disables instrumentation at near-zero hot-path cost.
 	Metrics *metrics.Registry
+
+	// Faults, when non-nil, injects failures into every transmission on
+	// this fabric: packet drops (absorbed by transport retry up to the
+	// QP's retry budget), delays, link cuts and flaps, NIC isolation, and
+	// QP kills. Nil (the default) disables injection at the cost of one
+	// branch per work request.
+	Faults *FaultInjector
 }
 
 // DefaultSendQueueDepth is the per-QP send queue bound used when
@@ -56,6 +63,10 @@ type Fabric struct {
 
 	mu   sync.Mutex
 	nics map[string]*NIC
+
+	// mCompl counts pushed completions by status, fabric-wide
+	// (rdma_completions_total{status=...}); all nil without a registry.
+	mCompl [numStatus]*metrics.Counter
 }
 
 // NewFabric creates a fabric with the given configuration.
@@ -63,8 +74,21 @@ func NewFabric(cfg Config) *Fabric {
 	if cfg.SendQueueDepth <= 0 {
 		cfg.SendQueueDepth = DefaultSendQueueDepth
 	}
-	return &Fabric{cfg: cfg, nics: make(map[string]*NIC)}
+	f := &Fabric{cfg: cfg, nics: make(map[string]*NIC)}
+	if reg := cfg.Metrics; reg != nil {
+		for s := 0; s < numStatus; s++ {
+			f.mCompl[s] = reg.Counter(fmt.Sprintf("rdma_completions_total{status=%q}", Status(s)))
+		}
+		if cfg.Faults != nil {
+			cfg.Faults.attachMetrics(reg)
+		}
+	}
+	return f
 }
+
+// countCompletion records a pushed completion in the fabric-wide per-status
+// counters. A fabric without a registry makes this a nil-counter no-op.
+func (f *Fabric) countCompletion(s Status) { f.mCompl[s].Inc() }
 
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
@@ -226,4 +250,15 @@ var (
 	ErrZeroLength   = errors.New("rdma: zero-length transfer")
 	ErrDeregistered = errors.New("rdma: memory region deregistered")
 	ErrCQOverrun    = errors.New("rdma: completion queue overrun (completions dropped)")
+	// ErrWRFlush is the error of a completion with StatusWRFlush: the
+	// request never executed because the QP was already in the error state.
+	ErrWRFlush = errors.New("rdma: work request flushed (queue pair in error state)")
+	// ErrRetryExceeded is the error of a completion with
+	// StatusRetryExceeded: the transport retry budget was exhausted.
+	ErrRetryExceeded = errors.New("rdma: transport retry count exceeded")
+	// ErrRNRRetryExceeded is the error of a completion with
+	// StatusRNRRetryExceeded: the receiver never became ready.
+	ErrRNRRetryExceeded = errors.New("rdma: receiver-not-ready retry count exceeded")
+	// ErrQPNotInError is returned by Reset on a healthy queue pair.
+	ErrQPNotInError = errors.New("rdma: queue pair is not in the error state")
 )

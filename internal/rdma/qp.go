@@ -62,10 +62,27 @@ type QueuePair struct {
 
 	closeOnce sync.Once
 
+	// errState is non-zero once the QP entered the error state; fatal then
+	// holds the QPFailure that caused it. The transition happens under
+	// orderMu (every execution path holds it), so by the time the failing
+	// request's completion is visible, Err() already reports the cause.
+	errState atomic.Uint32
+	fatal    atomic.Pointer[QPFailure]
+
+	// Failure-semantics knobs resolved from QPOptions; faults is the
+	// fabric's injector, captured once so the per-request check is a plain
+	// field test.
+	faults     *FaultInjector
+	retryCount int
+	timeout    time.Duration
+	rnrRetry   int // -1 = infinite (the IB rnr_retry=7 idiom)
+	rnrTimeout time.Duration
+
 	// Per-QP instrumentation; all nil when the fabric has no registry.
 	mOps    [OpFetchAdd + 1]*metrics.Counter
 	mErrors *metrics.Counter
 	mLat    *metrics.Histogram
+	mState  *metrics.Gauge
 }
 
 type workRequest struct {
@@ -97,6 +114,25 @@ type postedRecv struct {
 	buf  []byte
 }
 
+// Failure-semantics defaults, mirroring the IB verbs attribute ranges
+// (retry_cnt and rnr_retry are 3-bit fields; rnr_retry 7 means "retry
+// forever"). The timeouts are scaled to the simulator's microsecond regime.
+const (
+	// DefaultRetryCount is the transport retry budget when
+	// QPOptions.RetryCount is zero.
+	DefaultRetryCount = 7
+	// RNRRetryInfinite requests unbounded receiver-not-ready retries; it
+	// is also the default, matching hardware setups that never want a send
+	// to fail just because the receiver is slow.
+	RNRRetryInfinite = 7
+	// DefaultTransportTimeout is the per-attempt ACK timeout when
+	// QPOptions.Timeout is zero.
+	DefaultTransportTimeout = 200 * time.Microsecond
+	// DefaultRNRTimeout is the base receiver-not-ready backoff when
+	// QPOptions.RNRTimeout is zero; it doubles per retry.
+	DefaultRNRTimeout = 50 * time.Microsecond
+)
+
 // QPOptions configures one endpoint of a connection.
 type QPOptions struct {
 	// SendCQ receives completions for posted requests. Created if nil.
@@ -105,6 +141,27 @@ type QPOptions struct {
 	RecvCQ *CompletionQueue
 	// QueueDepth overrides the fabric's send queue depth if positive.
 	QueueDepth int
+
+	// RetryCount is the transport retry budget: how many times a
+	// transmission attempt the fault injector dropped is retried (after
+	// Timeout each) before the request completes with
+	// StatusRetryExceeded. Zero selects DefaultRetryCount; negative means
+	// no retries. Irrelevant without a fault injector — a healthy
+	// simulated fabric never loses a packet.
+	RetryCount int
+	// Timeout is the per-attempt ACK timeout before a retransmit. Zero
+	// selects DefaultTransportTimeout.
+	Timeout time.Duration
+	// RNRRetry bounds receiver-not-ready retries for SENDs: how many
+	// times the sender re-arms after RNRTimeout (doubling each retry,
+	// exponential backoff) while the peer has no receive posted, before
+	// the send completes with StatusRNRRetryExceeded. Zero or
+	// RNRRetryInfinite (7) and above mean retry forever, as on hardware;
+	// negative means no retries.
+	RNRRetry int
+	// RNRTimeout is the base receiver-not-ready backoff. Zero selects
+	// DefaultRNRTimeout.
+	RNRTimeout time.Duration
 }
 
 // Connect establishes a reliable connection between two NICs and returns the
@@ -141,6 +198,29 @@ func newQP(local, remote *NIC, opt QPOptions) *QueuePair {
 		done:    make(chan struct{}),
 	}
 	qp.inlineOK = !local.fabric.cfg.Throttle
+	qp.faults = local.fabric.cfg.Faults
+	qp.retryCount = opt.RetryCount
+	if qp.retryCount == 0 {
+		qp.retryCount = DefaultRetryCount
+	} else if qp.retryCount < 0 {
+		qp.retryCount = 0
+	}
+	qp.timeout = opt.Timeout
+	if qp.timeout == 0 {
+		qp.timeout = DefaultTransportTimeout
+	}
+	switch {
+	case opt.RNRRetry == 0 || opt.RNRRetry >= RNRRetryInfinite:
+		qp.rnrRetry = -1
+	case opt.RNRRetry < 0:
+		qp.rnrRetry = 0
+	default:
+		qp.rnrRetry = opt.RNRRetry
+	}
+	qp.rnrTimeout = opt.RNRTimeout
+	if qp.rnrTimeout == 0 {
+		qp.rnrTimeout = DefaultRNRTimeout
+	}
 	if qp.sendCQ == nil {
 		qp.sendCQ = NewCompletionQueue(depth)
 	}
@@ -154,6 +234,7 @@ func newQP(local, remote *NIC, opt QPOptions) *QueuePair {
 		}
 		qp.mErrors = reg.Counter(fmt.Sprintf("rdma_qp_errors_total{qp=%q}", qp.id))
 		qp.mLat = reg.Histogram(fmt.Sprintf("rdma_qp_post_to_completion_ns{qp=%q}", qp.id))
+		qp.mState = reg.Gauge(fmt.Sprintf("rdma_qp_state{qp=%q}", qp.id))
 		qp.sendCQ.attachMetrics(
 			reg.Gauge(fmt.Sprintf("rdma_cq_depth_max{cq=%q}", qp.id+"/send")),
 			reg.Counter(fmt.Sprintf("rdma_cq_dropped_total{cq=%q}", qp.id+"/send")),
@@ -206,6 +287,61 @@ func (qp *QueuePair) LocalNIC() *NIC { return qp.local }
 // RemoteNIC returns the NIC on the passive side of this endpoint.
 func (qp *QueuePair) RemoteNIC() *NIC { return qp.remote }
 
+// State reports the endpoint's lifecycle state. The error state takes
+// precedence over closed so a post-mortem still shows why the QP died.
+func (qp *QueuePair) State() QPState {
+	if qp.errState.Load() != 0 {
+		return QPStateError
+	}
+	if qp.closed.Load() {
+		return QPStateClosed
+	}
+	return QPStateRTS
+}
+
+// Err returns the QPFailure that moved this endpoint into the error state,
+// or nil while it is healthy. The failure names the link (the QP id embeds
+// both NIC names) and the work-completion status of the request that died.
+func (qp *QueuePair) Err() error {
+	if f := qp.fatal.Load(); f != nil {
+		return f
+	}
+	return nil
+}
+
+// enterError transitions the QP into the error state. Called under orderMu
+// (all execution paths hold it), so the first failure wins and the recorded
+// cause is the completion that actually triggered the transition.
+func (qp *QueuePair) enterError(err error) {
+	if qp.errState.CompareAndSwap(0, 1) {
+		qp.fatal.Store(&QPFailure{QP: qp.id, Status: statusOf(err), Err: err})
+		qp.mState.Set(int64(QPStateError))
+	}
+}
+
+// Reset returns an errored queue pair to service — the simulator's stand-in
+// for the ERR→RESET→INIT→RTR→RTS ibv_modify_qp recycle an application
+// performs to reuse a connection after a failure. It waits for the pipeline
+// to finish flushing so no pre-failure request can execute after the reset.
+// The caller must quiesce its own posts for the duration.
+func (qp *QueuePair) Reset() error {
+	if qp.closed.Load() {
+		return ErrQPClosed
+	}
+	if qp.errState.Load() == 0 {
+		return ErrQPNotInError
+	}
+	for qp.queued.Load() != 0 {
+		runtime.Gosched()
+	}
+	qp.orderMu.Lock()
+	qp.fatal.Store(nil)
+	qp.errState.Store(0)
+	qp.mState.Set(int64(QPStateRTS))
+	qp.orderMu.Unlock()
+	return nil
+}
+
 // Close tears the endpoint down. In-flight requests may be dropped.
 func (qp *QueuePair) Close() {
 	qp.closeOnce.Do(func() {
@@ -240,7 +376,11 @@ func (qp *QueuePair) post(wr workRequest) error {
 			// observes executed > posted.
 			qp.posted.Add(1)
 			qp.mOps[wr.op].Inc()
-			qp.charge(wr)
+			// Requests destined to flush never hit the wire, so they are
+			// not charged against the fabric.
+			if qp.errState.Load() == 0 {
+				qp.charge(wr)
+			}
 			qp.execute(wr)
 			qp.orderMu.Unlock()
 			return nil
@@ -388,7 +528,12 @@ func (qp *QueuePair) engine() {
 	for {
 		select {
 		case wr := <-qp.wq:
-			lat := qp.charge(wr)
+			var lat time.Duration
+			// Requests that will flush are neither charged nor paced: a
+			// dead QP flushes its queue at host speed.
+			if qp.errState.Load() == 0 {
+				lat = qp.charge(wr)
+			}
 			at := time.Time{}
 			if cfg.Throttle && lat > 0 {
 				at = time.Now().Add(lat)
@@ -426,7 +571,24 @@ func (qp *QueuePair) deliverer() {
 	}
 }
 
+// execute runs one work request under orderMu. On a QP already in the error
+// state the request flushes: it never touches the wire or remote memory and
+// completes with StatusWRFlush, preserving post order because every request
+// behind it flushes too. A fresh failure — injected or a genuine remote
+// access error — completes with its real status and transitions the QP, so
+// exactly one completion per error-state episode carries the root cause.
 func (qp *QueuePair) execute(wr workRequest) {
+	if qp.errState.Load() != 0 {
+		qp.completeError(wr, ErrWRFlush)
+		return
+	}
+	if qp.faults != nil {
+		if err := qp.preflight(wr); err != nil {
+			qp.enterError(err)
+			qp.completeError(wr, err)
+			return
+		}
+	}
 	var comp Completion
 	comp.WRID = wr.wrID
 	comp.Op = wr.op
@@ -448,6 +610,12 @@ func (qp *QueuePair) execute(wr workRequest) {
 		comp.Imm, comp.Err = qp.doAtomic(wr)
 	}
 	if comp.Err != nil {
+		comp.Status = statusOf(comp.Err)
+		// A SEND aborted by Close completes with ErrQPClosed but is a
+		// teardown, not a failure: it must not latch the error state.
+		if comp.Err != ErrQPClosed {
+			qp.enterError(comp.Err)
+		}
 		qp.mErrors.Inc()
 	}
 	if wr.postedNanos != 0 {
@@ -455,8 +623,48 @@ func (qp *QueuePair) execute(wr workRequest) {
 	}
 	if wr.signaled || comp.Err != nil {
 		qp.sendCQ.push(comp)
+		qp.local.fabric.countCompletion(comp.Status)
 	}
 	qp.executed.Add(1)
+}
+
+// completeError finishes a work request with an error completion without
+// executing it. Error completions are always pushed, signaled or not.
+func (qp *QueuePair) completeError(wr workRequest, err error) {
+	st := statusOf(err)
+	qp.mErrors.Inc()
+	if wr.postedNanos != 0 {
+		qp.mLat.Observe(time.Now().UnixNano() - wr.postedNanos)
+	}
+	qp.sendCQ.push(Completion{WRID: wr.wrID, Op: wr.op, Status: st, Err: err})
+	qp.local.fabric.countCompletion(st)
+	qp.executed.Add(1)
+}
+
+// preflight consults the fault injector before a request touches remote
+// memory, modelling the requester-side transport loop: a dropped attempt is
+// retried after the ACK timeout until the retry budget runs out. It returns
+// nil when the request may execute, or the transport error it must complete
+// with. Sleeps happen under orderMu — retransmission head-of-line blocks the
+// QP exactly like real RC transport.
+func (qp *QueuePair) preflight(wr workRequest) error {
+	for attempt := 0; ; attempt++ {
+		act, d := qp.faults.decide(qp.local.name, qp.remote.name, qp.id)
+		switch act {
+		case faultNone:
+			return nil
+		case faultDelay:
+			time.Sleep(d)
+			return nil
+		case faultFailQP:
+			return ErrRetryExceeded
+		case faultDrop:
+			if attempt >= qp.retryCount {
+				return ErrRetryExceeded
+			}
+			time.Sleep(qp.timeout)
+		}
+	}
 }
 
 func (qp *QueuePair) doWrite(wr workRequest) error {
@@ -511,22 +719,54 @@ func (qp *QueuePair) doRead(wr workRequest) error {
 	return nil
 }
 
+// doSend matches a two-sided SEND with a receive posted on the peer. With
+// the default infinite RNR budget the sender stalls until one appears
+// (receiver-not-ready, the behavior the FIFO tests pin down); with a finite
+// QPOptions.RNRRetry it re-arms with exponentially growing backoff and
+// completes with StatusRNRRetryExceeded once the budget is spent.
 func (qp *QueuePair) doSend(wr workRequest) error {
 	var pr postedRecv
-	select {
-	case pr = <-qp.peer.recvs:
-	case <-qp.done:
-		return ErrQPClosed
-	case <-qp.peer.done:
-		return ErrQPClosed
+	if qp.rnrRetry < 0 {
+		select {
+		case pr = <-qp.peer.recvs:
+		case <-qp.done:
+			return ErrQPClosed
+		case <-qp.peer.done:
+			return ErrQPClosed
+		}
+	} else {
+		backoff := qp.rnrTimeout
+		matched := false
+		for attempt := 0; attempt <= qp.rnrRetry && !matched; attempt++ {
+			timer := time.NewTimer(backoff)
+			select {
+			case pr = <-qp.peer.recvs:
+				matched = true
+			case <-qp.done:
+				timer.Stop()
+				return ErrQPClosed
+			case <-qp.peer.done:
+				timer.Stop()
+				return ErrQPClosed
+			case <-timer.C:
+				backoff *= 2
+				continue
+			}
+			timer.Stop()
+		}
+		if !matched {
+			return ErrRNRRetryExceeded
+		}
 	}
 	if len(pr.buf) < len(wr.local) {
-		qp.peer.recvCQ.push(Completion{WRID: pr.wrID, Op: OpRecv, Err: ErrRecvTooSmall})
+		qp.peer.recvCQ.push(Completion{WRID: pr.wrID, Op: OpRecv, Status: StatusRemoteAccessErr, Err: ErrRecvTooSmall})
+		qp.local.fabric.countCompletion(StatusRemoteAccessErr)
 		return ErrRecvTooSmall
 	}
 	copy(pr.buf, wr.local)
 	qp.remote.chargeRx(len(wr.local))
 	qp.peer.recvCQ.push(Completion{WRID: pr.wrID, Op: OpRecv, Bytes: len(wr.local)})
+	qp.local.fabric.countCompletion(StatusSuccess)
 	return nil
 }
 

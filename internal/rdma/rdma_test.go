@@ -242,6 +242,9 @@ func TestOutOfBounds(t *testing.T) {
 	if c := qa.SendCQ().Wait(); !errors.Is(c.Err, ErrOutOfBounds) {
 		t.Fatalf("err = %v, want ErrOutOfBounds", c.Err)
 	}
+	if err := qa.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
 	if err := qa.PostWrite(2, make([]byte, 8), dst.RKey(), 9, true); err != nil {
 		t.Fatal(err)
 	}

@@ -150,8 +150,12 @@ func TestCQOverrunDoesNotDeadlock(t *testing.T) {
 	if len(comps) != 4 {
 		t.Fatalf("retained %d completions, want exactly the CQ depth 4", len(comps))
 	}
-	for _, c := range comps {
-		if !errors.Is(c.Err, ErrInvalidRKey) {
+	// First failure is the root cause; everything behind it flushes.
+	if !errors.Is(comps[0].Err, ErrInvalidRKey) {
+		t.Fatalf("root-cause completion %+v", comps[0])
+	}
+	for _, c := range comps[1:] {
+		if !errors.Is(c.Err, ErrWRFlush) {
 			t.Fatalf("unexpected completion %+v", c)
 		}
 	}

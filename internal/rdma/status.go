@@ -1,0 +1,125 @@
+package rdma
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Status classifies the outcome of a work completion, mirroring the ibverbs
+// work-completion status codes a real HCA reports (ibv_wc_status). The
+// simulator keeps the subset the Slash protocols must survive:
+//
+//	StatusSuccess           IBV_WC_SUCCESS
+//	StatusRemoteAccessErr   IBV_WC_REM_ACCESS_ERR (bad rkey, bounds,
+//	                        deregistered region, misaligned atomic)
+//	StatusRetryExceeded     IBV_WC_RETRY_EXC_ERR (transport retries
+//	                        exhausted: lost packets, dead link, dead peer)
+//	StatusRNRRetryExceeded  IBV_WC_RNR_RETRY_EXC_ERR (receiver never
+//	                        posted a matching receive)
+//	StatusWRFlush           IBV_WC_WR_FLUSH_ERR (the QP was already in the
+//	                        error state when the request's turn came)
+//
+// As on hardware, the first non-success completion moves the queue pair into
+// the error state and every queued or subsequently posted request completes
+// with StatusWRFlush.
+type Status uint8
+
+// Work-completion statuses.
+const (
+	StatusSuccess Status = iota
+	StatusRemoteAccessErr
+	StatusRetryExceeded
+	StatusRNRRetryExceeded
+	StatusWRFlush
+
+	numStatus = int(StatusWRFlush) + 1
+)
+
+// String returns the metric-label form of the status (the lowercase stem of
+// the corresponding IBV_WC_* code).
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "success"
+	case StatusRemoteAccessErr:
+		return "rem_access_err"
+	case StatusRetryExceeded:
+		return "retry_exc_err"
+	case StatusRNRRetryExceeded:
+		return "rnr_retry_exc_err"
+	case StatusWRFlush:
+		return "wr_flush_err"
+	default:
+		return "unknown"
+	}
+}
+
+// statusOf maps a verb error to its completion status.
+func statusOf(err error) Status {
+	switch {
+	case err == nil:
+		return StatusSuccess
+	case errors.Is(err, ErrWRFlush), errors.Is(err, ErrQPClosed):
+		return StatusWRFlush
+	case errors.Is(err, ErrRetryExceeded):
+		return StatusRetryExceeded
+	case errors.Is(err, ErrRNRRetryExceeded):
+		return StatusRNRRetryExceeded
+	default:
+		// Bad rkey, out of bounds, deregistered, misaligned, recv too
+		// small: all remote access/protection failures.
+		return StatusRemoteAccessErr
+	}
+}
+
+// QPState is the lifecycle state of a queue pair, collapsed to the three
+// states the protocols above care about (hardware's INIT/RTR/RTS handshake
+// is implicit in Connect).
+type QPState uint8
+
+// Queue pair states.
+const (
+	// QPStateRTS is the operational ready-to-send state.
+	QPStateRTS QPState = iota
+	// QPStateError means a work request failed; everything flushes until
+	// Reset. Corresponds to IBV_QPS_ERR.
+	QPStateError
+	// QPStateClosed means the endpoint was torn down.
+	QPStateClosed
+)
+
+// String implements fmt.Stringer.
+func (s QPState) String() string {
+	switch s {
+	case QPStateRTS:
+		return "RTS"
+	case QPStateError:
+		return "ERROR"
+	case QPStateClosed:
+		return "CLOSED"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// QPFailure is the typed error recorded when a queue pair transitions into
+// the error state. It names the failed link (the QP id embeds both NIC
+// names, e.g. "node0->node1#3") so layers above can report *which* connection
+// died rather than a bare verb error.
+type QPFailure struct {
+	// QP is the fabric-unique id of the failed endpoint.
+	QP string
+	// Status is the completion status of the request that caused the
+	// transition.
+	Status Status
+	// Err is the underlying verb error.
+	Err error
+}
+
+// Error implements error.
+func (f *QPFailure) Error() string {
+	return fmt.Sprintf("rdma: qp %s entered error state (%s): %v", f.QP, f.Status, f.Err)
+}
+
+// Unwrap exposes the underlying verb error to errors.Is/As.
+func (f *QPFailure) Unwrap() error { return f.Err }

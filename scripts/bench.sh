@@ -16,6 +16,18 @@ echo "# microbenchmarks (-benchtime=0.2s -benchmem)" >&2
 MICRO=$(go test -run xxx -bench . -benchtime=0.2s -benchmem ./internal/rdma/ ./internal/channel/ | grep '^Benchmark' || true)
 echo "$MICRO" >&2
 
+# Fault-off guard: with no injector configured the failure plane must cost
+# nothing on the hot path — the 4KB channel transfer stays allocation-free.
+ALLOCS=$(printf '%s\n' "$MICRO" | awk '
+  $1 ~ /^BenchmarkChannelTransfer\/slot=4KB/ {
+    for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i - 1)
+  }')
+if [ "${ALLOCS:-missing}" != "0" ]; then
+  echo "FAIL: BenchmarkChannelTransfer/slot=4KB allocs/op = ${ALLOCS:-missing}, want 0 with fault injection disabled" >&2
+  exit 1
+fi
+echo "# fault-off guard ok: 4KB transfer is allocation-free" >&2
+
 {
   printf '{\n  "generated": "%s",\n  "benchmarks": {\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
   printf '%s\n%s\n' "$FIG" "$MICRO" | awk '
