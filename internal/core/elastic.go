@@ -1,0 +1,773 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/slash-stream/slash/internal/channel"
+	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/metrics"
+	"github.com/slash-stream/slash/internal/rdma"
+	"github.com/slash-stream/slash/internal/sched"
+	"github.com/slash-stream/slash/internal/ssb"
+)
+
+// Errors surfaced by reconfiguration.
+var (
+	// ErrCapacity rejects a join that would exceed Config.MaxNodes. Node ids
+	// are never reused within a run — every joined node consumes one of the
+	// MaxNodes vector-clock and sender-table slots for the run's lifetime.
+	ErrCapacity = errors.New("core: deployment capacity exhausted")
+	// ErrCutoverInPast rejects a reconfiguration whose cutover window some
+	// leader already triggered or holds merged state for: re-routing such a
+	// window would split its state across two owners (§7.2 epoch-aligned
+	// activation — the barrier must precede the cutover everywhere).
+	ErrCutoverInPast = errors.New("core: reconfiguration cutover window is not in the future")
+	// ErrSourcesActive rejects removing a node whose source threads are
+	// still ingesting. Scale-in is drain-then-leave: the node's flows finish
+	// (their +inf watermarks release every window they fed), then the leader
+	// drains its remaining windows through ordinary late merging.
+	ErrSourcesActive = errors.New("core: cannot remove a node with active source threads")
+	// ErrNotRunning rejects reconfiguring a deployment that has not started
+	// or has already been waited on.
+	ErrNotRunning = errors.New("core: deployment is not running")
+)
+
+// AutoCutover, passed as the cutover window of AddNodes or RemoveNodes,
+// selects the earliest window no source thread has ingested state into —
+// resolved at the quiesce barrier, once every thread flushed and parked. It
+// is the tightest cutover the epoch-aligned activation rule permits, chosen
+// without coordinating with the input flows; the resolved window is reported
+// in the Reconfig record.
+const AutoCutover = ^uint64(0)
+
+// Reconfig records one membership change for reporting: the harness's
+// elastic experiment and the metrics registry both read these.
+type Reconfig struct {
+	// Kind is "add" or "remove".
+	Kind string
+	// Gen is the partition-map generation the change installed.
+	Gen uint64
+	// Cutover is the first window id routed under the new generation.
+	Cutover uint64
+	// Nodes lists the node ids that joined or left.
+	Nodes []int
+	// Duration is barrier-to-active for a join, and install-to-drained for
+	// a leave (the last removed leader covering its final window).
+	Duration time.Duration
+	// InflightChunks is the number of delta chunks that were in flight in
+	// the channel mesh at the install barrier — the state the late-merge
+	// path absorbed instead of a migration (§7.2/§8: zero state copy).
+	InflightChunks int
+}
+
+// retireBatch tracks one in-progress RemoveNodes call until every removed
+// leader has drained and detached.
+type retireBatch struct {
+	rec       *Reconfig
+	remaining int
+	start     time.Time
+}
+
+// Controller owns an elastic Slash deployment: the paper's claim that an
+// RDMA-resident state backend makes reconfiguration cheap (§7.2, §8) made
+// operational. AddNodes registers a joining node's memory regions, brings up
+// its row and column of the channel mesh, and activates it at an
+// epoch-aligned barrier — every source flushes its fragments under the old
+// partition-map generation, then a new generation with a future cutover
+// window is installed, so no delta is ever double-counted. RemoveNodes
+// installs a generation without the leaving nodes and lets their leaders
+// drain pre-cutover windows through ordinary late merging — zero state is
+// copied in either direction.
+//
+// The zero-migration property comes from window-aligned generations
+// (ssb.PartitionMap): a (window, key) pair's owner never changes once its
+// governing generation is installed, so scale-out and scale-in redistribute
+// only future windows.
+type Controller struct {
+	cfg  Config
+	q    *Query
+	sink Sink
+	reg  *metrics.Registry
+	agg  crdt.Aggregate
+
+	fabric *rdma.Fabric
+	pmap   *ssb.PartitionMap
+	pool   *sched.Pool
+	run    *runState
+
+	// reconfigMu serializes AddNodes/RemoveNodes end to end: each call is
+	// one barrier, one generation.
+	reconfigMu sync.Mutex
+
+	mu        sync.Mutex
+	nics      []*rdma.NIC
+	producers [][]*channel.Producer // [src][dst]
+	senders   [][]*chanSender       // [src][dst]
+	consumers [][]*channel.Consumer // by receiving node, for teardown
+	backends  []*ssb.Backend
+	sources   [][]*sourceTask // by node
+	merges    []*mergeTask    // by node
+	live      []int           // nodes whose mesh row/column is up (incl. draining leavers)
+	used      int             // node ids handed out; ids are never reused
+	started   bool
+	startAt   time.Time
+	reconfigs []*Reconfig
+	retiring  map[int]*retireBatch
+
+	records atomic.Int64
+	updates atomic.Int64
+
+	mSourceStep, mMergeStep *metrics.Histogram
+	mGen, mInflight         *metrics.Gauge
+}
+
+// NewController builds a deployment of cfg.Nodes executors (capacity
+// cfg.MaxNodes) without starting it. flows must be [Nodes][ThreadsPerNode],
+// the initial nodes' input partitions; joining nodes bring their own flows.
+func NewController(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Controller, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	if len(flows) != cfg.Nodes {
+		return nil, fmt.Errorf("core: %d flow groups for %d nodes", len(flows), cfg.Nodes)
+	}
+	for i, fs := range flows {
+		if len(fs) != cfg.ThreadsPerNode {
+			return nil, fmt.Errorf("core: node %d has %d flows, want %d", i, len(fs), cfg.ThreadsPerNode)
+		}
+	}
+	if sink == nil {
+		sink = &CountingSink{}
+	}
+	if cfg.Metrics != nil && cfg.Fabric.Metrics == nil {
+		cfg.Fabric.Metrics = cfg.Metrics
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = cfg.Fabric.Metrics
+	}
+
+	var agg crdt.Aggregate
+	if !q.holistic() {
+		agg = q.Agg
+	}
+	c := &Controller{
+		cfg:       cfg,
+		q:         q,
+		sink:      sink,
+		reg:       reg,
+		agg:       agg,
+		fabric:    rdma.NewFabric(cfg.Fabric),
+		pmap:      ssb.StaticPartitionMap(cfg.Nodes),
+		pool:      sched.NewPool(0),
+		nics:      make([]*rdma.NIC, cfg.MaxNodes),
+		producers: make([][]*channel.Producer, cfg.MaxNodes),
+		senders:   make([][]*chanSender, cfg.MaxNodes),
+		consumers: make([][]*channel.Consumer, cfg.MaxNodes),
+		backends:  make([]*ssb.Backend, cfg.MaxNodes),
+		sources:   make([][]*sourceTask, cfg.MaxNodes),
+		merges:    make([]*mergeTask, cfg.MaxNodes),
+		retiring:  map[int]*retireBatch{},
+	}
+	for i := range c.producers {
+		c.producers[i] = make([]*channel.Producer, cfg.MaxNodes)
+		c.senders[i] = make([]*chanSender, cfg.MaxNodes)
+	}
+	c.run = &runState{pool: c.pool, sink: sink}
+	// On failure, closing the producers unblocks any sender spinning for
+	// credit from a consumer that will never poll again.
+	c.run.onFail = func() { c.closeProducers() }
+	if reg != nil {
+		c.mSourceStep = reg.Histogram(`core_step_ns{task="source"}`)
+		c.mMergeStep = reg.Histogram(`core_step_ns{task="merge"}`)
+		c.mGen = reg.Gauge("core_generation")
+		c.mInflight = reg.Gauge("core_reconfig_inflight_chunks")
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < cfg.Nodes; i++ {
+		if err := c.buildNode(i, flows[i]); err != nil {
+			return nil, err
+		}
+	}
+	c.used = cfg.Nodes
+	// Activate every initial node's clock entries on every backend before
+	// the first record flows (§5.1 property P1: an unactivated live node
+	// could let a window trigger without its data).
+	for _, be := range c.backends[:cfg.Nodes] {
+		for _, n := range c.live {
+			be.ActivateNode(n)
+		}
+		be.SetPeers(c.live)
+	}
+	return c, nil
+}
+
+// buildNode brings up node id's row and column of the channel mesh, its
+// backend, and its tasks (§7.2.2 setup phase, performed online for joiners:
+// NIC registration = MR registration, channel.New = QP bring-up). Callers
+// hold c.mu.
+func (c *Controller) buildNode(id int, nodeFlows []Flow) error {
+	nic, err := c.fabric.NewNIC(fmt.Sprintf("node%d", id))
+	if err != nil {
+		return fmt.Errorf("core: joining node %d: %w", id, err)
+	}
+	c.nics[id] = nic
+	var myIn []inbound
+	for _, m := range c.live {
+		p, cons, err := channel.New(nic, c.nics[m], c.cfg.Channel)
+		if err != nil {
+			return fmt.Errorf("core: channel %d->%d: %w", id, m, err)
+		}
+		c.producers[id][m] = p
+		c.senders[id][m] = &chanSender{src: id, dst: m, prod: p}
+		c.consumers[m] = append(c.consumers[m], cons)
+		c.merges[m].AddInbound(inbound{src: id, cons: cons})
+
+		p2, cons2, err := channel.New(c.nics[m], nic, c.cfg.Channel)
+		if err != nil {
+			return fmt.Errorf("core: channel %d->%d: %w", m, id, err)
+		}
+		c.producers[m][id] = p2
+		c.senders[m][id] = &chanSender{src: m, dst: id, prod: p2}
+		c.consumers[id] = append(c.consumers[id], cons2)
+		myIn = append(myIn, inbound{src: m, cons: cons2})
+		c.backends[m].SetSender(id, c.senders[m][id])
+	}
+
+	sbs := make([]ssb.Sender, c.cfg.MaxNodes)
+	for _, m := range c.live {
+		sbs[m] = c.senders[id][m]
+	}
+	be, err := ssb.New(ssb.Config{
+		Node:           id,
+		Nodes:          c.cfg.Nodes,
+		MaxNodes:       c.cfg.MaxNodes,
+		Map:            c.pmap,
+		ThreadsPerNode: c.cfg.ThreadsPerNode,
+		Agg:            c.agg,
+		ChunkSize:      c.cfg.ChunkSize,
+		EpochBytes:     c.cfg.EpochBytes,
+		WindowEnd:      c.q.Window.End,
+	}, sbs)
+	if err != nil {
+		return err
+	}
+	c.backends[id] = be
+
+	sts := make([]*sourceTask, c.cfg.ThreadsPerNode)
+	for th := range sts {
+		gate, _ := nodeFlows[th].(ReadyFlow)
+		sts[th] = &sourceTask{
+			run:     c.run,
+			q:       c.q,
+			flow:    nodeFlows[th],
+			gate:    gate,
+			ts:      be.Thread(th),
+			batch:   c.cfg.BatchRecords,
+			recSize: c.q.Codec.Size(),
+			records: &c.records,
+			updates: &c.updates,
+			mStep:   c.mSourceStep,
+		}
+	}
+	mt := &mergeTask{
+		run:      c.run,
+		node:     id,
+		be:       be,
+		cons:     myIn,
+		q:        c.q,
+		mStep:    c.mMergeStep,
+		onRetire: c.nodeRetired,
+	}
+	// Stagger each node's initial rotation so the cluster's merge tasks do
+	// not all start their round-robin on the same peer.
+	if len(myIn) > 0 {
+		mt.rr = id % len(myIn)
+	}
+	if c.reg != nil {
+		mt.mBacklog = c.reg.Gauge(fmt.Sprintf(`core_merge_backlog_slots_max{node="%d"}`, id))
+	}
+	c.sources[id] = sts
+	c.merges[id] = mt
+	// Activate this backend's clock entries for its own threads and every
+	// live, still-ingesting thread before its merge task can take a first
+	// step. A merge task launched against an all-retired (+inf) clock would
+	// conclude the stream already ended and exit, leaving its inbound
+	// channels undrained — wedging every sender to this node. AddNodes
+	// re-runs the activation across all backends under the same barrier;
+	// Activate is idempotent.
+	be.ActivateNode(id)
+	for _, m := range c.live {
+		for th := 0; th < c.cfg.ThreadsPerNode; th++ {
+			if !c.sources[m][th].done.Load() {
+				be.Clock().Activate(m*c.cfg.ThreadsPerNode + th)
+			}
+		}
+	}
+	// Workers carry their tasks from birth: AddWorker enqueues before
+	// launching, so a worker added to a live pool cannot drain-and-exit
+	// before its task arrives.
+	for _, st := range sts {
+		c.pool.AddWorker(st)
+	}
+	c.pool.AddWorker(mt)
+	c.live = append(c.live, id)
+	return nil
+}
+
+// Start launches the deployment. Use Wait for completion; reconfigure with
+// AddNodes/RemoveNodes in between.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	c.started = true
+	c.startAt = time.Now()
+	c.mu.Unlock()
+	c.pool.Start()
+}
+
+// Wait blocks until every flow finished and every window fired, tears the
+// mesh down, and reports execution statistics.
+func (c *Controller) Wait() (*Report, error) {
+	c.pool.Wait()
+	elapsed := time.Since(c.startAt)
+	c.closeProducers()
+	c.mu.Lock()
+	consumers := append([][]*channel.Consumer(nil), c.consumers...)
+	nics := append([]*rdma.NIC(nil), c.nics...)
+	backends := append([]*ssb.Backend(nil), c.backends...)
+	c.mu.Unlock()
+	for _, cs := range consumers {
+		for _, cons := range cs {
+			cons.Close()
+		}
+	}
+	if err := c.run.err(); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Query:   c.q.Name,
+		Nodes:   c.cfg.Nodes,
+		Threads: c.cfg.ThreadsPerNode,
+		Records: c.records.Load(),
+		Updates: c.updates.Load(),
+		Elapsed: elapsed,
+		Sched:   c.pool.Stats(),
+	}
+	if elapsed > 0 {
+		rep.RecordsPerSec = float64(rep.Records) / elapsed.Seconds()
+	}
+	for _, nic := range nics {
+		if nic == nil {
+			continue
+		}
+		s := nic.Stats()
+		rep.NetTxBytes += s.TxBytes
+		rep.NetTxMsgs += s.TxMsgs
+	}
+	for _, be := range backends {
+		if be == nil {
+			continue
+		}
+		s := be.Stats()
+		rep.ChunksMerged += s.ChunksMerged
+		rep.BytesMerged += s.BytesMerged
+		rep.WindowsOutput += s.WindowsOutput
+	}
+	return rep, nil
+}
+
+// closeProducers closes every producer endpoint (idempotent).
+func (c *Controller) closeProducers() {
+	c.mu.Lock()
+	var ps []*channel.Producer
+	for _, row := range c.producers {
+		for _, p := range row {
+			if p != nil {
+				ps = append(ps, p)
+			}
+		}
+	}
+	c.mu.Unlock()
+	for _, p := range ps {
+		p.Close()
+	}
+}
+
+// Generation returns the current partition-map generation.
+func (c *Controller) Generation() uint64 { return c.pmap.CurrentGen() }
+
+// Err returns the first failure of the run, if any, without waiting —
+// orchestration loops poll it so they stop waiting on a run that died.
+func (c *Controller) Err() error { return c.run.err() }
+
+// Reconfigs returns a snapshot of every membership change so far.
+func (c *Controller) Reconfigs() []Reconfig {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Reconfig, len(c.reconfigs))
+	for i, r := range c.reconfigs {
+		out[i] = *r
+		out[i].Nodes = append([]int(nil), r.Nodes...)
+	}
+	return out
+}
+
+// SourcesDone reports whether every source thread of node finished its flow.
+func (c *Controller) SourcesDone(node int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return node < len(c.sources) && sourcesDone(c.sources[node])
+}
+
+func sourcesDone(sts []*sourceTask) bool {
+	if sts == nil {
+		return false
+	}
+	for _, st := range sts {
+		if !st.done.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// Quiesced reports whether every source task is paused with no unflushed
+// fragment (or finished) — the epoch-aligned barrier condition.
+func (c *Controller) Quiesced() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sts := range c.sources {
+		for _, st := range sts {
+			if !st.done.Load() && !st.quiesced.Load() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pause gates every source task and waits until each one flushed its
+// fragments under the current generation and went idle. The deployment's
+// merge tasks keep running: in-flight chunks keep draining through the
+// ordinary late-merge path while sources hold.
+func (c *Controller) pause() error {
+	c.run.paused.Store(true)
+	for !c.Quiesced() {
+		if err := c.run.err(); err != nil {
+			c.resume()
+			return err
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	return nil
+}
+
+func (c *Controller) resume() { c.run.paused.Store(false) }
+
+// resolveCutover maps AutoCutover to one past the highest window any source
+// thread created state for (at least 1, and never below the current
+// generation's cutover). Must run at the barrier — sources quiesced or done,
+// so every thread's window high-water mark is stable and published. Callers
+// hold c.mu.
+func (c *Controller) resolveCutover(cutover uint64) uint64 {
+	if cutover != AutoCutover {
+		return cutover
+	}
+	cut := uint64(1)
+	if fw := c.pmap.Current().FromWindow; fw > cut {
+		cut = fw
+	}
+	for _, sts := range c.sources {
+		for _, st := range sts {
+			if w, ok := st.ts.MaxWindow(); ok && w+1 > cut {
+				cut = w + 1
+			}
+		}
+	}
+	return cut
+}
+
+// checkCutover verifies no live leader already triggered or merged state for
+// a window the new generation would re-route. Called while quiesced, so the
+// set of windows with state is stable. Callers hold c.mu.
+func (c *Controller) checkCutover(cutover uint64) error {
+	for _, m := range c.live {
+		be := c.backends[m]
+		if be.TriggeredAtOrAfter(cutover) || be.HasPendingAtOrAfter(cutover) {
+			return fmt.Errorf("%w: node %d has state at or past window %d", ErrCutoverInPast, m, cutover)
+		}
+	}
+	return nil
+}
+
+// inflightChunks sums channel backlogs across the mesh. Callers hold c.mu.
+func (c *Controller) inflightChunks() int {
+	total := 0
+	for _, cs := range c.consumers {
+		for _, cons := range cs {
+			total += cons.Backlog()
+		}
+	}
+	return total
+}
+
+// AddNode joins one node; see AddNodes.
+func (c *Controller) AddNode(flows []Flow, cutover uint64) (int, error) {
+	ids, err := c.AddNodes([][]Flow{flows}, cutover)
+	if err != nil {
+		return -1, err
+	}
+	return ids[0], nil
+}
+
+// AddNodes joins len(flowGroups) nodes in one reconfiguration: one barrier,
+// one partition-map generation taking effect at window id cutover. Joining
+// is fully online — running sources pause only for the flush barrier, and
+// the returned node ids ingest their flows as soon as the barrier lifts. The
+// cutover must be a window no leader has state for yet (pass AutoCutover to
+// pick the earliest such window at the barrier): the join redistributes only
+// future windows, so no state moves (§7.2, §8). Joining flows should carry
+// records for windows at or after the cutover — earlier windows may already
+// have fired and would reject the late data.
+func (c *Controller) AddNodes(flowGroups [][]Flow, cutover uint64) ([]int, error) {
+	c.reconfigMu.Lock()
+	defer c.reconfigMu.Unlock()
+
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return nil, ErrNotRunning
+	}
+	k := len(flowGroups)
+	if k == 0 {
+		c.mu.Unlock()
+		return nil, errors.New("core: no nodes to add")
+	}
+	for i, fs := range flowGroups {
+		if len(fs) != c.cfg.ThreadsPerNode {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("core: joining node %d has %d flows, want %d", i, len(fs), c.cfg.ThreadsPerNode)
+		}
+	}
+	if c.used+k > c.cfg.MaxNodes {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d nodes joined of %d capacity, %d more requested",
+			ErrCapacity, c.used, c.cfg.MaxNodes, k)
+	}
+	c.mu.Unlock()
+
+	start := time.Now()
+	if err := c.pause(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	cutover = c.resolveCutover(cutover)
+	if err := c.checkCutover(cutover); err != nil {
+		c.mu.Unlock()
+		c.resume()
+		return nil, err
+	}
+	inflight := c.inflightChunks()
+	ids := make([]int, k)
+	for i := range ids {
+		ids[i] = c.used + i
+		if err := c.buildNode(ids[i], flowGroups[i]); err != nil {
+			c.mu.Unlock()
+			c.resume()
+			c.run.fail(err)
+			return nil, err
+		}
+	}
+	c.used += k
+	// Activate clock entries before the install and before any new source
+	// ingests: a window the joiners can still contribute to must not
+	// trigger without them (P1 across membership changes). Existing nodes'
+	// live threads are (re-)activated on the new backends; threads that
+	// already finished stay retired everywhere — their +inf watermarks
+	// were final.
+	for _, be := range c.backends {
+		if be == nil {
+			continue
+		}
+		for _, m := range c.live {
+			for th := 0; th < c.cfg.ThreadsPerNode; th++ {
+				isNew := m >= c.used-k
+				if isNew || !c.sources[m][th].done.Load() {
+					be.Clock().Activate(m*c.cfg.ThreadsPerNode + th)
+				}
+			}
+		}
+		be.SetPeers(c.live)
+	}
+	active := append(c.pmap.Current().Active, ids...)
+	gen := c.pmap.CurrentGen() + 1
+	if err := c.pmap.Install(ssb.Generation{Gen: gen, FromWindow: cutover, Active: active}); err != nil {
+		c.mu.Unlock()
+		c.resume()
+		c.run.fail(err)
+		return nil, err
+	}
+	rec := &Reconfig{Kind: "add", Gen: gen, Cutover: cutover, Nodes: ids,
+		Duration: time.Since(start), InflightChunks: inflight}
+	c.reconfigs = append(c.reconfigs, rec)
+	c.observeReconfig(rec)
+	c.mu.Unlock()
+	c.resume()
+	return ids, nil
+}
+
+// RemoveNode removes one node; see RemoveNodes.
+func (c *Controller) RemoveNode(id int, cutover uint64) error {
+	return c.RemoveNodes([]int{id}, cutover)
+}
+
+// RemoveNodes retires the given nodes in one reconfiguration: windows from
+// id cutover on route to the remaining membership, while the leaving
+// leaders keep merging their pre-cutover windows until the cluster's vector
+// clock covers them — late merging absorbs the remainder, no state is
+// copied (§7.2, §8). The nodes' source threads must have finished their
+// flows (drain-then-leave); each leaving leader detaches from the mesh the
+// moment its last window fires.
+func (c *Controller) RemoveNodes(ids []int, cutover uint64) error {
+	c.reconfigMu.Lock()
+	defer c.reconfigMu.Unlock()
+
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return ErrNotRunning
+	}
+	if len(ids) == 0 {
+		c.mu.Unlock()
+		return errors.New("core: no nodes to remove")
+	}
+	if cutover == 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: cutover window 0", ErrCutoverInPast)
+	}
+	cur := c.pmap.Current()
+	leaving := map[int]bool{}
+	for _, id := range ids {
+		if leaving[id] {
+			c.mu.Unlock()
+			return fmt.Errorf("core: node %d listed twice", id)
+		}
+		leaving[id] = true
+		if !cur.Contains(id) {
+			c.mu.Unlock()
+			return fmt.Errorf("core: node %d is not in the active set", id)
+		}
+		if !sourcesDone(c.sources[id]) {
+			c.mu.Unlock()
+			return fmt.Errorf("%w: node %d", ErrSourcesActive, id)
+		}
+	}
+	var remaining []int
+	for _, n := range cur.Active {
+		if !leaving[n] {
+			remaining = append(remaining, n)
+		}
+	}
+	if len(remaining) == 0 {
+		c.mu.Unlock()
+		return errors.New("core: cannot remove every node")
+	}
+	c.mu.Unlock()
+
+	start := time.Now()
+	if err := c.pause(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	cutover = c.resolveCutover(cutover)
+	if err := c.checkCutover(cutover); err != nil {
+		c.mu.Unlock()
+		c.resume()
+		return err
+	}
+	inflight := c.inflightChunks()
+	gen := c.pmap.CurrentGen() + 1
+	if err := c.pmap.Install(ssb.Generation{Gen: gen, FromWindow: cutover, Active: remaining}); err != nil {
+		c.mu.Unlock()
+		c.resume()
+		c.run.fail(err)
+		return err
+	}
+	rec := &Reconfig{Kind: "remove", Gen: gen, Cutover: cutover,
+		Nodes: append([]int(nil), ids...), InflightChunks: inflight}
+	c.reconfigs = append(c.reconfigs, rec)
+	batch := &retireBatch{rec: rec, remaining: len(ids), start: start}
+	retireEnd := c.q.Window.End(cutover - 1)
+	for _, id := range ids {
+		c.retiring[id] = batch
+		c.merges[id].retire(retireEnd)
+	}
+	if c.mGen != nil {
+		c.mGen.Set(int64(gen))
+	}
+	if c.mInflight != nil {
+		c.mInflight.SetMax(int64(inflight))
+	}
+	c.mu.Unlock()
+	c.resume()
+	return nil
+}
+
+// observeReconfig updates the reconfiguration metrics. Callers hold c.mu.
+func (c *Controller) observeReconfig(rec *Reconfig) {
+	if c.mGen != nil {
+		c.mGen.Set(int64(rec.Gen))
+	}
+	if c.mInflight != nil {
+		c.mInflight.SetMax(int64(rec.InflightChunks))
+	}
+	if c.reg != nil {
+		c.reg.Counter(fmt.Sprintf(`core_reconfigs_total{kind=%q}`, rec.Kind)).Inc()
+		c.reg.Histogram(fmt.Sprintf(`core_reconfig_duration_ns{kind=%q}`, rec.Kind)).ObserveDuration(rec.Duration)
+	}
+}
+
+// nodeRetired runs on a leaving leader's worker the moment the leader
+// drained: it detaches the node from the mesh (heartbeats to it are dropped,
+// its channels close) and narrows every backend's heartbeat peer set.
+func (c *Controller) nodeRetired(node int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	liveNow := c.live[:0:0]
+	for _, m := range c.live {
+		if m != node {
+			liveNow = append(liveNow, m)
+		}
+	}
+	c.live = liveNow
+	for _, row := range c.senders {
+		if s := row[node]; s != nil {
+			s.detach()
+		}
+	}
+	for _, s := range c.senders[node] {
+		if s != nil {
+			s.detach()
+		}
+	}
+	for _, m := range c.live {
+		c.backends[m].SetPeers(c.live)
+	}
+	if batch := c.retiring[node]; batch != nil {
+		delete(c.retiring, node)
+		batch.remaining--
+		if batch.remaining == 0 {
+			batch.rec.Duration = time.Since(batch.start)
+			c.observeReconfig(batch.rec)
+		}
+	}
+}

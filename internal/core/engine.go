@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"github.com/slash-stream/slash/internal/channel"
-	"github.com/slash-stream/slash/internal/crdt"
 	"github.com/slash-stream/slash/internal/metrics"
 	"github.com/slash-stream/slash/internal/rdma"
 	"github.com/slash-stream/slash/internal/sched"
@@ -22,6 +21,12 @@ import (
 type Config struct {
 	// Nodes is the number of executors (one per simulated node).
 	Nodes int
+	// MaxNodes is the deployment capacity for elastic runs (§7.2, §8):
+	// the number of node-id slots the vector clocks and sender tables are
+	// sized for. Controller.AddNodes can grow the deployment up to this
+	// many distinct node ids over the run's lifetime (ids are never
+	// reused). Zero defaults to Nodes — a static deployment.
+	MaxNodes int
 	// ThreadsPerNode is the number of source worker threads per executor.
 	ThreadsPerNode int
 	// Fabric configures the simulated RDMA interconnect.
@@ -49,6 +54,12 @@ func (c *Config) fill() error {
 	}
 	if c.ThreadsPerNode < 1 {
 		return fmt.Errorf("core: %d threads per node", c.ThreadsPerNode)
+	}
+	if c.MaxNodes == 0 {
+		c.MaxNodes = c.Nodes
+	}
+	if c.MaxNodes < c.Nodes {
+		return fmt.Errorf("core: capacity %d below %d nodes", c.MaxNodes, c.Nodes)
 	}
 	if c.ChunkSize == 0 {
 		c.ChunkSize = ssb.DefaultChunkSize
@@ -99,199 +110,30 @@ type Report struct {
 // Run executes query q over the given per-node, per-thread flows on a fresh
 // simulated cluster and reports execution statistics. flows must be
 // [Nodes][ThreadsPerNode]. Results stream into sink; pass nil to discard.
+//
+// Run is the static special case of the elastic deployment: it builds a
+// Controller over the initial membership, starts it, and waits. Use
+// NewController directly to reconfigure mid-run (§7.2, §8).
 func Run(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Report, error) {
-	if err := cfg.fill(); err != nil {
+	c, err := NewController(cfg, q, flows, sink)
+	if err != nil {
 		return nil, err
 	}
-	if err := q.validate(); err != nil {
-		return nil, err
-	}
-	if len(flows) != cfg.Nodes {
-		return nil, fmt.Errorf("core: %d flow groups for %d nodes", len(flows), cfg.Nodes)
-	}
-	for i, fs := range flows {
-		if len(fs) != cfg.ThreadsPerNode {
-			return nil, fmt.Errorf("core: node %d has %d flows, want %d", i, len(fs), cfg.ThreadsPerNode)
-		}
-	}
-	if sink == nil {
-		sink = &CountingSink{}
-	}
-
-	if cfg.Metrics != nil && cfg.Fabric.Metrics == nil {
-		cfg.Fabric.Metrics = cfg.Metrics
-	}
-	reg := cfg.Metrics
-	if reg == nil {
-		reg = cfg.Fabric.Metrics
-	}
-
-	fabric := rdma.NewFabric(cfg.Fabric)
-	nics := make([]*rdma.NIC, cfg.Nodes)
-	for i := range nics {
-		nics[i] = fabric.MustNIC(fmt.Sprintf("node%d", i))
-	}
-
-	// Setup phase of the SSB epoch protocol: every executor connects to
-	// every other executor — n·(n-1) directed channels (§7.2.2).
-	producers := make([][]*channel.Producer, cfg.Nodes)
-	consumers := make([][]inbound, cfg.Nodes) // consumers[dst] = inbound links
-	for i := range producers {
-		producers[i] = make([]*channel.Producer, cfg.Nodes)
-	}
-	for src := 0; src < cfg.Nodes; src++ {
-		for dst := 0; dst < cfg.Nodes; dst++ {
-			if src == dst {
-				continue
-			}
-			p, c, err := channel.New(nics[src], nics[dst], cfg.Channel)
-			if err != nil {
-				return nil, fmt.Errorf("core: channel %d->%d: %w", src, dst, err)
-			}
-			producers[src][dst] = p
-			consumers[dst] = append(consumers[dst], inbound{src: src, cons: c})
-		}
-	}
-	defer func() {
-		for src := range producers {
-			for _, p := range producers[src] {
-				if p != nil {
-					p.Close()
-				}
-			}
-		}
-		for _, cs := range consumers {
-			for _, in := range cs {
-				in.cons.Close()
-			}
-		}
-	}()
-
-	var agg crdt.Aggregate
-	if !q.holistic() {
-		agg = q.Agg
-	}
-	backends := make([]*ssb.Backend, cfg.Nodes)
-	for i := 0; i < cfg.Nodes; i++ {
-		senders := make([]ssb.Sender, cfg.Nodes)
-		for j := 0; j < cfg.Nodes; j++ {
-			if j != i {
-				senders[j] = &chanSender{src: i, dst: j, prod: producers[i][j]}
-			}
-		}
-		be, err := ssb.New(ssb.Config{
-			Node:           i,
-			Nodes:          cfg.Nodes,
-			ThreadsPerNode: cfg.ThreadsPerNode,
-			Agg:            agg,
-			ChunkSize:      cfg.ChunkSize,
-			EpochBytes:     cfg.EpochBytes,
-			WindowEnd:      q.Window.End,
-		}, senders)
-		if err != nil {
-			return nil, err
-		}
-		backends[i] = be
-	}
-
-	// One worker per source thread plus one service worker per node that
-	// interleaves RDMA polling, merging, and triggering (§5.3).
-	workersPerNode := cfg.ThreadsPerNode + 1
-	pool := sched.NewPool(cfg.Nodes * workersPerNode)
-	run := &runState{pool: pool, sink: sink}
-	// On failure, closing the producers unblocks any sender spinning for
-	// credit from a consumer that will never poll again.
-	run.onFail = func() {
-		for src := range producers {
-			for _, p := range producers[src] {
-				if p != nil {
-					p.Close()
-				}
-			}
-		}
-	}
-
-	var records, updates atomic.Int64
-	// One histogram per task kind, shared across nodes: step latency is a
-	// property of the operator pipeline, not of any one node.
-	var mSourceStep, mMergeStep *metrics.Histogram
-	if reg != nil {
-		mSourceStep = reg.Histogram(`core_step_ns{task="source"}`)
-		mMergeStep = reg.Histogram(`core_step_ns{task="merge"}`)
-	}
-	for node := 0; node < cfg.Nodes; node++ {
-		for th := 0; th < cfg.ThreadsPerNode; th++ {
-			st := &sourceTask{
-				run:     run,
-				q:       q,
-				flow:    flows[node][th],
-				ts:      backends[node].Thread(th),
-				batch:   cfg.BatchRecords,
-				recSize: q.Codec.Size(),
-				records: &records,
-				updates: &updates,
-				mStep:   mSourceStep,
-			}
-			pool.Worker(node*workersPerNode + th).Add(st)
-		}
-		mt := &mergeTask{
-			run:   run,
-			node:  node,
-			be:    backends[node],
-			cons:  consumers[node],
-			q:     q,
-			mStep: mMergeStep,
-		}
-		// Stagger each node's initial rotation so the cluster's merge tasks
-		// do not all start their round-robin on the same peer.
-		if len(mt.cons) > 0 {
-			mt.rr = node % len(mt.cons)
-		}
-		if reg != nil {
-			mt.mBacklog = reg.Gauge(fmt.Sprintf(`core_merge_backlog_slots_max{node="%d"}`, node))
-		}
-		pool.Worker(node*workersPerNode + cfg.ThreadsPerNode).Add(mt)
-	}
-
-	start := time.Now()
-	pool.Run()
-	elapsed := time.Since(start)
-	if err := run.err(); err != nil {
-		return nil, err
-	}
-
-	rep := &Report{
-		Query:   q.Name,
-		Nodes:   cfg.Nodes,
-		Threads: cfg.ThreadsPerNode,
-		Records: records.Load(),
-		Updates: updates.Load(),
-		Elapsed: elapsed,
-		Sched:   pool.Stats(),
-	}
-	if elapsed > 0 {
-		rep.RecordsPerSec = float64(rep.Records) / elapsed.Seconds()
-	}
-	for _, nic := range nics {
-		s := nic.Stats()
-		rep.NetTxBytes += s.TxBytes
-		rep.NetTxMsgs += s.TxMsgs
-	}
-	for _, be := range backends {
-		s := be.Stats()
-		rep.ChunksMerged += s.ChunksMerged
-		rep.BytesMerged += s.BytesMerged
-		rep.WindowsOutput += s.WindowsOutput
-	}
-	return rep, nil
+	c.Start()
+	return c.Wait()
 }
 
 // runState carries cross-task execution state: first error wins and stops
 // the pool so no task spins forever after a failure.
 type runState struct {
-	pool    *sched.Pool
-	sink    Sink
-	onFail  func()
+	pool   *sched.Pool
+	sink   Sink
+	onFail func()
+	// paused gates every source task for the epoch-aligned reconfiguration
+	// barrier (§7.2): while set, sources flush their fragments under the
+	// pre-barrier partition-map generation and idle; merge tasks keep
+	// draining. See Controller.pause.
+	paused  atomic.Bool
 	errOnce sync.Once
 	errVal  atomic.Value
 }

@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/slash-stream/slash/internal/crdt"
 	"github.com/slash-stream/slash/internal/stream"
@@ -107,3 +108,70 @@ type FuncFlow func(rec *stream.Record) bool
 
 // Next implements Flow.
 func (f FuncFlow) Next(rec *stream.Record) bool { return f(rec) }
+
+// ReadyFlow is an optional Flow extension for flows that can be temporarily
+// out of records without being finished. A source task whose flow reports
+// !Ready() parks (scheduler Idle) instead of calling Next, so a gated flow
+// never ends the stream early. The elastic harness uses this to phase input
+// around reconfigurations.
+type ReadyFlow interface {
+	Flow
+	// Ready reports whether Next can currently produce a record. A finished
+	// flow reports true: Next itself signals end of flow.
+	Ready() bool
+}
+
+// GatedFlow replays a record slice but withholds records at or past a
+// sequence of fence timestamps until the matching Open call: records with
+// Time >= fences[k] wait until Open has been called k+1 times. Fencing a
+// deployment's pre-existing flows at a phase boundary pins where a
+// reconfiguration cutover lands (see AutoCutover) without coordinating
+// clocks: the sources drain phase k, park, the controller reconfigures at
+// the barrier, then Open releases phase k+1.
+type GatedFlow struct {
+	recs   []stream.Record
+	fences []int64
+	pos    atomic.Int64
+	stage  atomic.Int32
+}
+
+// NewGatedFlow wraps recs (timestamps non-decreasing, as for every Flow)
+// with the given fence timestamps in increasing order.
+func NewGatedFlow(recs []stream.Record, fences ...int64) *GatedFlow {
+	return &GatedFlow{recs: recs, fences: fences}
+}
+
+// Next implements Flow.
+func (g *GatedFlow) Next(rec *stream.Record) bool {
+	p := g.pos.Load()
+	if p >= int64(len(g.recs)) {
+		return false
+	}
+	*rec = g.recs[p]
+	g.pos.Store(p + 1)
+	return true
+}
+
+// Ready implements ReadyFlow: false while the next record is fenced.
+func (g *GatedFlow) Ready() bool {
+	p := g.pos.Load()
+	if p >= int64(len(g.recs)) {
+		return true
+	}
+	s := int(g.stage.Load())
+	return s >= len(g.fences) || g.recs[p].Time < g.fences[s]
+}
+
+// Open releases the next fence. Safe to call from any goroutine.
+func (g *GatedFlow) Open() { g.stage.Add(1) }
+
+// AtFence reports whether the flow consumed everything below fence k
+// (0-based) and is parked on it. Harnesses poll this to learn when a phase
+// fully drained before reconfiguring.
+func (g *GatedFlow) AtFence(k int) bool {
+	if k >= len(g.fences) || int(g.stage.Load()) != k {
+		return false
+	}
+	p := g.pos.Load()
+	return p >= int64(len(g.recs)) || g.recs[p].Time >= g.fences[k]
+}

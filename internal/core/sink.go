@@ -8,8 +8,10 @@ import (
 	"github.com/slash-stream/slash/internal/crdt"
 )
 
-// Sink receives triggered window results. Implementations must be safe for
-// concurrent emission from every node's merge task.
+// Sink receives triggered window results — the output side of the P1
+// trigger rule (§5.1): a window is emitted by its partition leader only
+// once every thread's watermark has passed its end. Implementations must
+// be safe for concurrent emission from every node's merge task.
 type Sink interface {
 	// EmitAgg delivers one aggregate group of a triggered window.
 	EmitAgg(node int, win, key uint64, value int64)

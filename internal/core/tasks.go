@@ -23,6 +23,14 @@ type chanSender struct {
 	mu       sync.Mutex
 	src, dst int
 	prod     *channel.Producer
+	// detached flips when dst retired from the deployment (§7.2/§8 elastic
+	// scale-in): heartbeats to it are silently dropped — a retired leader
+	// already covered every window it owns, so no trigger can depend on
+	// them — while a data chunk is a routing-invariant violation and fails
+	// the run loudly. Checked without s.mu so a detach can interrupt a
+	// sender blocked in Acquire (detach closes the producer, which unblocks
+	// Acquire with nil).
+	detached atomic.Bool
 }
 
 // Send implements ssb.Sender. It encodes the chunk directly into the
@@ -31,6 +39,12 @@ type chanSender struct {
 // channel killed it; the underlying *rdma.QPFailure (when the queue pair
 // itself died) stays reachable through errors.As — see FailedQP.
 func (s *chanSender) Send(c *ssb.Chunk) error {
+	if s.detached.Load() {
+		if c.Kind == ssb.ChunkHeartbeat {
+			return nil
+		}
+		return s.wrap(fmt.Errorf("data chunk to retired node: %w", channel.ErrClosed))
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Size-check before acquiring: bailing out after Acquire would leave the
@@ -40,6 +54,11 @@ func (s *chanSender) Send(c *ssb.Chunk) error {
 	}
 	sb := s.prod.Acquire()
 	if sb == nil {
+		// A detach that raced this send closed the producer under us; a
+		// heartbeat to the newly-retired node is droppable (see detach).
+		if s.detached.Load() && c.Kind == ssb.ChunkHeartbeat {
+			return nil
+		}
 		// Acquire returns nil both on a graceful close and on asynchronous
 		// transfer failures (bad rkey, CQ overrun, retry exhaustion, credit
 		// timeout); prefer the real cause.
@@ -60,6 +79,14 @@ func (s *chanSender) wrap(err error) error {
 	return fmt.Errorf("core: state channel node%d->node%d: %w", s.src, s.dst, err)
 }
 
+// detach marks dst retired and closes the producer. Safe while other threads
+// send: the flag is observed before (or after a nil Acquire inside) Send, and
+// closing the producer unblocks a send currently spinning for credit.
+func (s *chanSender) detach() {
+	s.detached.Store(true)
+	s.prod.Close()
+}
+
 // sourceTask is the stateful operator pipeline of one executor thread: it
 // ingests its physical data flow, applies the fused filter/map operators,
 // assigns windows, and eagerly updates thread-local SSB fragments — the
@@ -68,6 +95,7 @@ type sourceTask struct {
 	run     *runState
 	q       *Query
 	flow    Flow
+	gate    ReadyFlow // flow, when it implements ReadyFlow; else nil
 	ts      *ssb.ThreadState
 	batch   int
 	recSize int
@@ -76,6 +104,15 @@ type sourceTask struct {
 	records *atomic.Int64
 	updates *atomic.Int64
 	mStep   *metrics.Histogram
+
+	// quiesced reports that the task honoured a pause: it flushed every
+	// thread-local fragment under the pre-pause partition-map generation and
+	// is idling. done reports the flow finished (FinishStream completed).
+	// Together they form the epoch-aligned reconfiguration barrier (§7.2):
+	// the controller installs a new generation only once every source task
+	// is quiesced or done, so no fragment is held across a cutover.
+	quiesced atomic.Bool
+	done     atomic.Bool
 
 	localRecords int64
 	localUpdates int64
@@ -89,18 +126,42 @@ func (t *sourceTask) Name() string {
 // Step implements sched.Task: process one batch of records, flushing state
 // at epoch boundaries.
 func (t *sourceTask) Step() sched.Status {
+	if t.run.paused.Load() {
+		if !t.quiesced.Load() {
+			if t.ts.Dirty() {
+				if err := t.ts.Flush(); err != nil {
+					t.run.fail(err)
+					t.done.Store(true)
+					return sched.Done
+				}
+			}
+			t.quiesced.Store(true)
+		}
+		return sched.Idle
+	}
+	t.quiesced.Store(false)
+	if t.gate != nil && !t.gate.Ready() {
+		// The flow is fenced (see GatedFlow): park without ending the stream.
+		return sched.Idle
+	}
 	if t.mStep != nil {
 		start := time.Now()
 		defer func() { t.mStep.Observe(time.Since(start).Nanoseconds()) }()
 	}
 	var rec stream.Record
-	for i := 0; i < t.batch; i++ {
+	n := 0
+	for ; n < t.batch; n++ {
+		if t.gate != nil && !t.gate.Ready() {
+			// The fence can land mid-batch; stop at it, never past it.
+			break
+		}
 		if !t.flow.Next(&rec) {
 			t.records.Add(t.localRecords)
 			t.updates.Add(t.localUpdates)
 			if err := t.ts.FinishStream(); err != nil {
 				t.run.fail(err)
 			}
+			t.done.Store(true)
 			return sched.Done
 		}
 		t.localRecords++
@@ -123,15 +184,20 @@ func (t *sourceTask) Step() sched.Status {
 			}
 			if err != nil {
 				t.run.fail(err)
+				t.done.Store(true)
 				return sched.Done
 			}
 			t.localUpdates++
 		}
 	}
-	if t.ts.Ingest(t.batch * t.recSize) {
+	if n == 0 {
+		return sched.Idle
+	}
+	if t.ts.Ingest(n * t.recSize) {
 		// Epoch boundary: run the synchronization phase (§7.2.2).
 		if err := t.ts.Flush(); err != nil {
 			t.run.fail(err)
+			t.done.Store(true)
 			return sched.Done
 		}
 	}
@@ -163,6 +229,22 @@ type mergeTask struct {
 	// rotates round-robin across peers instead of always feeding the
 	// lowest-numbered ones first.
 	rr int
+
+	// addMu/added stage inbound links from executors that joined after this
+	// task started (§7.2 scale-out): the controller appends, Step adopts.
+	addMu sync.Mutex
+	added []inbound
+
+	// retiring marks this node as removed from the partition map at cutover
+	// window retireCut: once the clock covers retireEnd — the end timestamp
+	// of the last window this leader still owns — and every owned window
+	// fired, the task calls onRetire (detach from the mesh) and exits early
+	// instead of waiting for the whole stream to finish (§7.2/§8 scale-in
+	// with zero state copy: the remainder drains through ordinary late
+	// merging).
+	retiring  atomic.Bool
+	retireEnd atomic.Int64
+	onRetire  func(node int)
 }
 
 // chunksPerMergeStep bounds total merge work per scheduler step to keep the
@@ -180,6 +262,12 @@ func (t *mergeTask) Step() sched.Status {
 		start := time.Now()
 		defer func() { t.mStep.Observe(time.Since(start).Nanoseconds()) }()
 	}
+	t.addMu.Lock()
+	if len(t.added) > 0 {
+		t.cons = append(t.cons, t.added...)
+		t.added = t.added[:0]
+	}
+	t.addMu.Unlock()
 	progress := false
 	budget := chunksPerMergeStep
 	for i := 0; i < len(t.cons) && budget > 0; i++ {
@@ -218,13 +306,43 @@ func (t *mergeTask) Step() sched.Status {
 	if n := t.be.TriggerReady(t.emitAgg, t.emitBag); n > 0 {
 		progress = true
 	}
-	if t.be.Clock().Covers(math.MaxInt64) && t.be.PendingWindows() == 0 {
-		return sched.Done
+	if t.be.PendingWindows() == 0 {
+		if t.be.Clock().Covers(math.MaxInt64) {
+			if t.retiring.Load() && t.onRetire != nil {
+				t.onRetire(t.node)
+			}
+			return sched.Done
+		}
+		// A retired leader owns no window at or past the cutover, so it can
+		// leave as soon as the cluster covered the last window it does own —
+		// FIFO channels plus the heartbeat-after-data flush order guarantee
+		// no data chunk for a covered window is still in flight to it.
+		if t.retiring.Load() && t.be.Clock().Covers(stream.Watermark(t.retireEnd.Load())) {
+			if t.onRetire != nil {
+				t.onRetire(t.node)
+			}
+			return sched.Done
+		}
 	}
 	if progress {
 		return sched.Ready
 	}
 	return sched.Idle
+}
+
+// AddInbound hands the task a consumer endpoint from a newly-joined
+// executor; the task adopts it at its next step.
+func (t *mergeTask) AddInbound(in inbound) {
+	t.addMu.Lock()
+	t.added = append(t.added, in)
+	t.addMu.Unlock()
+}
+
+// retire schedules early exit: this node's last owned window is the one
+// ending at end (see mergeTask.retiring).
+func (t *mergeTask) retire(end stream.Watermark) {
+	t.retireEnd.Store(int64(end))
+	t.retiring.Store(true)
 }
 
 // wrap names the inbound link a consumer-side failure arrived on. Errors

@@ -122,6 +122,7 @@ func Experiments() []Experiment {
 		{"credits", "§8.3.2: credit sweep c ∈ {4,8,16,64}", CreditSweep},
 		{"ablations", "Design ablations: WRITE vs READ transfer, polling, epoch length", Ablations},
 		{"chaos", "Failure semantics: seeded fault injection (drops, flaps, link kill)", Chaos},
+		{"elastic", "§7.2/§8: elastic 4->8->4 scale at epoch-aligned cutovers, zero state migration", Elastic},
 	}
 }
 

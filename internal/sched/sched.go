@@ -159,19 +159,26 @@ func (w *Worker) run() {
 	}
 }
 
-// Pool is a set of workers, one goroutine each.
+// Pool is a set of workers, one goroutine each. Pools grow while running —
+// an elastic deployment (§7.2, §8) adds workers for joining executors with
+// AddWorker — so completion is tracked with a condition-variable count
+// rather than a WaitGroup (whose reuse after reaching zero is unsafe).
 type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
 	workers []*Worker
-	started atomic.Bool
-	wg      sync.WaitGroup
+	running int
+	started bool
 }
 
-// NewPool creates a pool with n workers.
+// NewPool creates a pool with n workers. n may be zero: an elastic
+// controller can start empty and add workers as nodes join.
 func NewPool(n int) *Pool {
-	if n < 1 {
-		panic("sched: pool needs at least one worker")
+	if n < 0 {
+		panic("sched: negative worker count")
 	}
 	p := &Pool{workers: make([]*Worker, n)}
+	p.cond = sync.NewCond(&p.mu)
 	for i := range p.workers {
 		p.workers[i] = &Worker{id: i}
 	}
@@ -179,28 +186,88 @@ func NewPool(n int) *Pool {
 }
 
 // Size returns the number of workers.
-func (p *Pool) Size() int { return len(p.workers) }
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workers)
+}
 
 // Worker returns worker i.
-func (p *Pool) Worker(i int) *Worker { return p.workers[i] }
+func (p *Pool) Worker(i int) *Worker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.workers[i]
+}
+
+// launch starts one worker goroutine. Callers must hold p.mu.
+func (p *Pool) launch(w *Worker) {
+	p.running++
+	go func() {
+		w.run()
+		p.mu.Lock()
+		p.running--
+		if p.running == 0 {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}()
+}
+
+// Start launches every worker and returns immediately. Use Wait to block
+// for completion; Run combines the two for static deployments.
+func (p *Pool) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		panic("sched: pool already started")
+	}
+	p.started = true
+	for _, w := range p.workers {
+		p.launch(w)
+	}
+	// Wake waiters blocked on "not started" (they re-sleep while workers
+	// run); also covers starting an empty pool, which is immediately drained.
+	p.cond.Broadcast()
+}
+
+// AddWorker appends a worker carrying the given tasks and, if the pool is
+// running, launches it immediately — how a joining executor's threads enter
+// a live deployment. Tasks are enqueued before the worker goroutine starts,
+// so the worker cannot observe an empty queue and exit before its work
+// arrives. Adding a worker to a drained-but-unfinished pool races Wait;
+// callers add workers while some existing worker still runs.
+func (p *Pool) AddWorker(tasks ...Task) *Worker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w := &Worker{id: len(p.workers)}
+	w.pending = append(w.pending, tasks...)
+	p.workers = append(p.workers, w)
+	if p.started {
+		p.launch(w)
+	}
+	return w
+}
+
+// Wait blocks until the pool was started and every launched worker drained
+// its queue and exited.
+func (p *Pool) Wait() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for !p.started || p.running > 0 {
+		p.cond.Wait()
+	}
+}
 
 // Run starts every worker and blocks until all of them drain their queues.
 func (p *Pool) Run() {
-	if !p.started.CompareAndSwap(false, true) {
-		panic("sched: pool already started")
-	}
-	for _, w := range p.workers {
-		p.wg.Add(1)
-		go func(w *Worker) {
-			defer p.wg.Done()
-			w.run()
-		}(w)
-	}
-	p.wg.Wait()
+	p.Start()
+	p.Wait()
 }
 
 // Stop asks every worker to exit after its current pass.
 func (p *Pool) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, w := range p.workers {
 		w.stopped.Store(true)
 	}
@@ -208,8 +275,11 @@ func (p *Pool) Stop() {
 
 // Stats aggregates worker stats.
 func (p *Pool) Stats() WorkerStats {
+	p.mu.Lock()
+	workers := append([]*Worker(nil), p.workers...)
+	p.mu.Unlock()
 	var s WorkerStats
-	for _, w := range p.workers {
+	for _, w := range workers {
 		ws := w.Stats()
 		s.Steps += ws.Steps
 		s.ReadySteps += ws.ReadySteps

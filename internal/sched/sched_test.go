@@ -142,3 +142,63 @@ func TestIdleRoundsCounted(t *testing.T) {
 		t.Fatalf("idle rounds not counted: %+v", st)
 	}
 }
+
+func TestAddWorkerWhileRunning(t *testing.T) {
+	// An elastic deployment grows the pool mid-run: a worker added while the
+	// pool is draining must be launched and its tasks must run to Done.
+	p := NewPool(1)
+	var grown atomic.Bool
+	var late atomic.Int64
+	gate := make(chan struct{})
+	p.Worker(0).Add(TaskFunc{TaskName: "holder", Fn: func() Status {
+		if grown.Load() {
+			<-gate
+			return Done
+		}
+		return Idle
+	}})
+	go func() {
+		p.AddWorker(TaskFunc{TaskName: "late", Fn: func() Status {
+			if late.Add(1) == 5 {
+				return Done
+			}
+			return Ready
+		}})
+		grown.Store(true)
+		close(gate)
+	}()
+	p.Run()
+	if got := late.Load(); got != 5 {
+		t.Fatalf("late task stepped %d times, want 5", got)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("Size() = %d", p.Size())
+	}
+}
+
+func TestStartWaitSplit(t *testing.T) {
+	p := NewPool(1)
+	var n int
+	p.Worker(0).Add(TaskFunc{TaskName: "count", Fn: func() Status {
+		n++
+		if n == 3 {
+			return Done
+		}
+		return Ready
+	}})
+	p.Start()
+	p.Wait()
+	if n != 3 {
+		t.Fatalf("steps = %d", n)
+	}
+}
+
+func TestEmptyPoolRuns(t *testing.T) {
+	done := make(chan struct{})
+	p := NewPool(0)
+	go func() {
+		p.Run()
+		close(done)
+	}()
+	<-done
+}

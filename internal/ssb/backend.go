@@ -34,6 +34,12 @@ type Chunk struct {
 	Epoch uint64
 	// Watermark is the sender thread's event-time low watermark.
 	Watermark stream.Watermark
+	// Gen is the partition-map generation the sender routed this chunk
+	// under. Leaders reject data chunks whose generation disagrees with
+	// their map's generation for the chunk's window, so a delta routed
+	// across a membership change can never be double-counted silently
+	// (the elastic reconfiguration invariant, §7.2/§8).
+	Gen uint64
 	// Thread is the global id of the sending executor thread.
 	Thread int
 	// Partition is the destination key-space partition.
@@ -45,9 +51,9 @@ type Chunk struct {
 }
 
 // ChunkHeaderSize is the wire size of an encoded chunk header:
-// window u64 | epoch u64 | watermark i64 | thread u32 | partition u32 |
-// kind u8 | reserved [3]u8 | paylen u32.
-const ChunkHeaderSize = 40
+// window u64 | epoch u64 | watermark i64 | gen u64 | thread u32 |
+// partition u32 | kind u8 | reserved [3]u8 | paylen u32.
+const ChunkHeaderSize = 48
 
 // EncodedSize returns the wire size of the chunk.
 func (c *Chunk) EncodedSize() int { return ChunkHeaderSize + len(c.Payload) }
@@ -57,11 +63,12 @@ func (c *Chunk) Encode(dst []byte) int {
 	putU64(dst[0:], c.Window)
 	putU64(dst[8:], c.Epoch)
 	putU64(dst[16:], uint64(c.Watermark))
-	putU32(dst[24:], uint32(c.Thread))
-	putU32(dst[28:], uint32(c.Partition))
-	dst[32] = byte(c.Kind)
-	dst[33], dst[34], dst[35] = 0, 0, 0
-	putU32(dst[36:], uint32(len(c.Payload)))
+	putU64(dst[24:], c.Gen)
+	putU32(dst[32:], uint32(c.Thread))
+	putU32(dst[36:], uint32(c.Partition))
+	dst[40] = byte(c.Kind)
+	dst[41], dst[42], dst[43] = 0, 0, 0
+	putU32(dst[44:], uint32(len(c.Payload)))
 	copy(dst[ChunkHeaderSize:], c.Payload)
 	return ChunkHeaderSize + len(c.Payload)
 }
@@ -76,14 +83,15 @@ func DecodeChunk(src []byte) (Chunk, error) {
 		Window:    getU64(src[0:]),
 		Epoch:     getU64(src[8:]),
 		Watermark: stream.Watermark(getU64(src[16:])),
-		Thread:    int(getU32(src[24:])),
-		Partition: int(getU32(src[28:])),
-		Kind:      ChunkKind(src[32]),
+		Gen:       getU64(src[24:]),
+		Thread:    int(getU32(src[32:])),
+		Partition: int(getU32(src[36:])),
+		Kind:      ChunkKind(src[40]),
 	}
 	if c.Kind != ChunkData && c.Kind != ChunkHeartbeat {
 		return Chunk{}, fmt.Errorf("%w: kind %d", ErrChunkFormat, c.Kind)
 	}
-	plen := int(getU32(src[36:]))
+	plen := int(getU32(src[44:]))
 	if ChunkHeaderSize+plen > len(src) {
 		return Chunk{}, fmt.Errorf("%w: payload overflows buffer", ErrChunkFormat)
 	}
@@ -101,8 +109,21 @@ type Sender interface {
 type Config struct {
 	// Node is this executor's id; it is the leader of partition Node.
 	Node int
-	// Nodes is the number of executors (= number of primary partitions).
+	// Nodes is the number of executors at construction time (= number of
+	// primary partitions in a static deployment).
 	Nodes int
+	// MaxNodes is the deployment capacity: the number of node slots the
+	// vector clock, epoch table, and sender table are sized for. An
+	// elastic deployment (§7.2, §8: workers join and leave without state
+	// migration) sets it above Nodes; zero defaults to Nodes (static).
+	MaxNodes int
+	// Map is the shared, generation-stamped partition map routing
+	// (window, key) pairs to leader executors. Nil builds a private
+	// static map over nodes 0..Nodes-1 and activates all their clock
+	// entries — the fixed deployment of the paper's evaluation (§8).
+	// Non-nil marks an elastic deployment: the controller owns membership
+	// and must activate clock entries explicitly (see ActivateNode).
+	Map *PartitionMap
 	// ThreadsPerNode is the worker thread count per executor; vector
 	// clocks carry one entry per thread cluster-wide.
 	ThreadsPerNode int
@@ -128,9 +149,22 @@ const DefaultEpochBytes = 1 << 20
 
 // Errors surfaced by the protocol.
 var (
-	ErrStaleEpoch     = errors.New("ssb: chunk epoch regressed")
-	ErrLateChunk      = errors.New("ssb: data chunk for an already-triggered window")
+	// ErrStaleEpoch reports a chunk whose epoch counter regressed — the
+	// FIFO channel contract (§6.2) makes this impossible on a healthy
+	// deployment, so it indicates corruption or a routing bug.
+	ErrStaleEpoch = errors.New("ssb: chunk epoch regressed")
+	// ErrLateChunk reports a data chunk for a window the leader already
+	// triggered — a violation of property P1 (§5.1).
+	ErrLateChunk = errors.New("ssb: data chunk for an already-triggered window")
+	// ErrBadDestination reports a chunk delivered to an executor that is
+	// not the leader of the chunk's partition.
 	ErrBadDestination = errors.New("ssb: chunk routed to wrong leader")
+	// ErrStaleGeneration reports a data chunk routed under a partition-map
+	// generation that no longer governs its window: the sender held
+	// unflushed fragments across a reconfiguration cutover instead of
+	// flushing at the epoch-aligned barrier. Rejecting the chunk turns a
+	// silent double-count into a loud failure (§7.2/§8 elasticity).
+	ErrStaleGeneration = errors.New("ssb: chunk generation does not govern its window")
 )
 
 // Backend is one executor's state backend instance. It plays two roles:
@@ -138,8 +172,14 @@ var (
 // partition, and the leader side merges inbound deltas of its own primary
 // partition and triggers windows.
 type Backend struct {
-	cfg     Config
+	cfg  Config
+	pmap *PartitionMap
+
+	// sendMu guards the sender and heartbeat-peer tables, which an elastic
+	// controller rewrites while helper threads flush (§7.2/§8).
+	sendMu  sync.RWMutex
 	senders []Sender
+	peers   []int
 
 	mu        sync.Mutex
 	primary   map[uint64]*Table
@@ -155,10 +195,19 @@ type Backend struct {
 }
 
 // New creates a backend. senders[i] must ship chunks to executor i; the
-// entry for the own node may be nil (local flushes short-circuit).
+// entry for the own node may be nil (local flushes short-circuit). senders
+// must have MaxNodes entries (Nodes when MaxNodes is zero) and is aliased,
+// not copied — callers may fill entries after construction, but once threads
+// flush concurrently they must go through SetSender.
 func New(cfg Config, senders []Sender) (*Backend, error) {
-	if cfg.Nodes < 1 || cfg.Node < 0 || cfg.Node >= cfg.Nodes {
-		return nil, fmt.Errorf("ssb: invalid node %d of %d", cfg.Node, cfg.Nodes)
+	if cfg.MaxNodes == 0 {
+		cfg.MaxNodes = cfg.Nodes
+	}
+	if cfg.Nodes < 1 || cfg.MaxNodes < cfg.Nodes {
+		return nil, fmt.Errorf("ssb: invalid deployment %d nodes of %d capacity", cfg.Nodes, cfg.MaxNodes)
+	}
+	if cfg.Node < 0 || cfg.Node >= cfg.MaxNodes {
+		return nil, fmt.Errorf("ssb: invalid node %d of %d", cfg.Node, cfg.MaxNodes)
 	}
 	if cfg.ThreadsPerNode < 1 {
 		return nil, fmt.Errorf("ssb: invalid threads per node %d", cfg.ThreadsPerNode)
@@ -172,22 +221,129 @@ func New(cfg Config, senders []Sender) (*Backend, error) {
 	if cfg.WindowEnd == nil {
 		return nil, errors.New("ssb: WindowEnd is required")
 	}
-	if len(senders) != cfg.Nodes {
-		return nil, fmt.Errorf("ssb: %d senders for %d nodes", len(senders), cfg.Nodes)
+	if len(senders) != cfg.MaxNodes {
+		return nil, fmt.Errorf("ssb: %d senders for capacity %d", len(senders), cfg.MaxNodes)
 	}
-	return &Backend{
+	static := cfg.Map == nil
+	if static {
+		cfg.Map = StaticPartitionMap(cfg.Nodes)
+	}
+	b := &Backend{
 		cfg:       cfg,
+		pmap:      cfg.Map,
 		senders:   senders,
 		primary:   make(map[uint64]*Table),
 		triggered: make(map[uint64]bool),
-		clock:     vclock.New(cfg.Nodes * cfg.ThreadsPerNode),
-		lastEpoch: make([]uint64, cfg.Nodes*cfg.ThreadsPerNode),
-	}, nil
+		clock:     vclock.NewRetired(cfg.MaxNodes * cfg.ThreadsPerNode),
+		lastEpoch: make([]uint64, cfg.MaxNodes*cfg.ThreadsPerNode),
+	}
+	// Every clock entry starts retired (+inf: never holds a trigger back);
+	// membership activation flips a node's entries live. A static
+	// deployment activates all of its nodes here; an elastic controller
+	// activates nodes as they join (ActivateNode) before they ingest.
+	if static {
+		for n := 0; n < cfg.Nodes; n++ {
+			b.ActivateNode(n)
+		}
+		b.peers = b.pmap.Current().Active
+	}
+	return b, nil
 }
 
-// Partition maps a key to its primary partition (and thus leader executor).
+// Partition maps a key to its primary partition (and thus leader executor)
+// under the latest partition-map generation, using the multiply-shift hash
+// with a high-bits range reduction. The previous modulo-based mapping
+// concentrated strided key populations (YSB campaign ids are dense
+// multiples, §8.2.1) onto few partitions; see TestPartitionDistribution.
+// Elastic routing is per window — use Owner for window-aware placement.
 func (b *Backend) Partition(key uint64) int {
-	return int(mix64(key) % uint64(b.cfg.Nodes))
+	g := b.pmap.Current()
+	return g.Active[partitionIndex(PartitionHash(key), len(g.Active))]
+}
+
+// Owner routes (win, key) to its leader executor and reports the governing
+// partition-map generation — the placement decision of the stateful fast
+// path (§7.1.2), stable per (window, key) across reconfigurations.
+func (b *Backend) Owner(win, key uint64) (node int, gen uint64) {
+	return b.pmap.Owner(win, key)
+}
+
+// Map exposes the backend's partition map.
+func (b *Backend) Map() *PartitionMap { return b.pmap }
+
+// ActivateNode flips a node's vector-clock entries from retired (+inf) to
+// live (no watermark). An elastic controller calls it on every backend when
+// the node joins, before the node ingests a single record, so windows the
+// new node can still contribute to cannot trigger early (§5.1 property P1
+// across membership changes).
+func (b *Backend) ActivateNode(node int) {
+	base := node * b.cfg.ThreadsPerNode
+	for i := 0; i < b.cfg.ThreadsPerNode; i++ {
+		b.clock.Activate(base + i)
+	}
+}
+
+// SetSender installs the sender shipping chunks to executor node — the
+// data-plane half of a node join (§7.2.2 setup phase, performed online).
+func (b *Backend) SetSender(node int, s Sender) {
+	b.sendMu.Lock()
+	b.senders[node] = s
+	b.sendMu.Unlock()
+}
+
+// SetPeers replaces the heartbeat target set: the executors every flush
+// sends a watermark to. The controller narrows it when a node retires so
+// no traffic targets a torn-down channel.
+func (b *Backend) SetPeers(peers []int) {
+	p := append([]int(nil), peers...)
+	sort.Ints(p)
+	b.sendMu.Lock()
+	b.peers = p
+	b.sendMu.Unlock()
+}
+
+// Peers returns the current heartbeat target set.
+func (b *Backend) Peers() []int {
+	b.sendMu.RLock()
+	defer b.sendMu.RUnlock()
+	return append([]int(nil), b.peers...)
+}
+
+// sender returns the sender for node, or nil.
+func (b *Backend) sender(node int) Sender {
+	b.sendMu.RLock()
+	defer b.sendMu.RUnlock()
+	return b.senders[node]
+}
+
+// TriggeredAtOrAfter reports whether any window with id >= win has already
+// triggered — the controller's guard that a reconfiguration cutover still
+// lies in the future of every leader (ErrCutoverInPast in core).
+func (b *Backend) TriggeredAtOrAfter(win uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for w := range b.triggered {
+		if w >= win {
+			return true
+		}
+	}
+	return false
+}
+
+// HasPendingAtOrAfter reports whether this leader holds un-triggered state
+// for any window with id >= win. Together with TriggeredAtOrAfter it lets
+// the controller verify a reconfiguration cutover lies strictly in the
+// future: data already merged at or past the cutover means the barrier came
+// too late (the generation stamp would split the window across two owners).
+func (b *Backend) HasPendingAtOrAfter(win uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for w := range b.primary {
+		if w >= win {
+			return true
+		}
+	}
+	return false
 }
 
 // Clock exposes the leader's progress clock (for diagnostics and tests).
@@ -229,7 +385,7 @@ func (b *Backend) putTable(t *Table) {
 func (b *Backend) HandleChunk(c *Chunk) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if c.Thread < 0 || c.Thread >= b.cfg.Nodes*b.cfg.ThreadsPerNode {
+	if c.Thread < 0 || c.Thread >= b.cfg.MaxNodes*b.cfg.ThreadsPerNode {
 		return fmt.Errorf("%w: thread %d", ErrChunkFormat, c.Thread)
 	}
 	if c.Epoch < b.lastEpoch[c.Thread] {
@@ -239,6 +395,9 @@ func (b *Backend) HandleChunk(c *Chunk) error {
 	if c.Kind == ChunkData {
 		if c.Partition != b.cfg.Node {
 			return fmt.Errorf("%w: partition %d at leader %d", ErrBadDestination, c.Partition, b.cfg.Node)
+		}
+		if g := b.pmap.GenFor(c.Window); c.Gen != g {
+			return fmt.Errorf("%w: window %d carries gen %d, map says %d", ErrStaleGeneration, c.Window, c.Gen, g)
 		}
 		if b.triggered[c.Window] {
 			return fmt.Errorf("%w: window %d", ErrLateChunk, c.Window)
@@ -325,9 +484,14 @@ func (b *Backend) Stats() Stats {
 	return Stats{ChunksMerged: b.chunksMerged, BytesMerged: b.bytesMerged, WindowsOutput: b.windowsOutput}
 }
 
-// tableKey identifies one helper fragment: a window bucket of one partition.
+// tableKey identifies one helper fragment: a window bucket of one partition
+// under one partition-map generation. The generation is part of the key so
+// a flush after a reconfiguration stamps each delta with the generation
+// that actually routed it — a fragment held across a cutover is rejected by
+// its leader (ErrStaleGeneration) instead of being merged twice.
 type tableKey struct {
 	win  uint64
+	gen  uint64
 	part int
 }
 
@@ -343,15 +507,25 @@ type ThreadState struct {
 	pool   []*Table
 	// cache is a small direct-mapped (window → per-partition tables)
 	// cache that keeps the per-record fast path off the Go map for the
-	// common case of consecutive records hitting the same few windows.
+	// common case of consecutive records hitting the same few windows. An
+	// entry is valid for one partition-map generation: a reconfiguration
+	// changes gen and the stale entry misses, falling back to the map.
 	cache [tableCacheSlots]struct {
 		win    uint64
+		gen    uint64
 		valid  bool
 		tables []*Table
 	}
 	wm    stream.Watermark
 	epoch uint64
 	pend  int64 // bytes ingested since last flush
+
+	// maxWin is the highest window id this thread ever created state for
+	// (hasWin guards window 0). The controller reads it at the quiesce
+	// barrier to resolve an automatic reconfiguration cutover; the
+	// quiesced/done atomics on the source task publish it across goroutines.
+	maxWin uint64
+	hasWin bool
 
 	// statistics for the drill-down experiments
 	updates      uint64
@@ -383,24 +557,29 @@ func (ts *ThreadState) Watermark() stream.Watermark { return ts.wm }
 // in-flight windows of tumbling and small sliding assigners).
 const tableCacheSlots = 4
 
-func (ts *ThreadState) table(win uint64, part int) *Table {
+func (ts *ThreadState) table(win, gen uint64, part int) *Table {
+	if !ts.hasWin || win > ts.maxWin {
+		ts.maxWin = win
+		ts.hasWin = true
+	}
 	c := &ts.cache[win%tableCacheSlots]
-	if c.valid && c.win == win {
+	if c.valid && c.win == win && c.gen == gen {
 		if t := c.tables[part]; t != nil {
 			return t
 		}
 	} else {
 		c.win = win
+		c.gen = gen
 		c.valid = true
 		if c.tables == nil {
-			c.tables = make([]*Table, ts.be.cfg.Nodes)
+			c.tables = make([]*Table, ts.be.cfg.MaxNodes)
 		} else {
 			for i := range c.tables {
 				c.tables[i] = nil
 			}
 		}
 	}
-	k := tableKey{win: win, part: part}
+	k := tableKey{win: win, gen: gen, part: part}
 	t := ts.tables[k]
 	if t == nil {
 		if n := len(ts.pool); n > 0 {
@@ -423,23 +602,26 @@ func (ts *ThreadState) invalidateCache() {
 }
 
 // UpdateAgg is the stateful fast path for aggregations: fold rec into the
-// thread-local fragment of rec.Key's partition.
+// thread-local fragment of rec.Key's partition (§7.1.2 — the common case
+// never leaves thread-local memory).
 func (ts *ThreadState) UpdateAgg(win uint64, rec *stream.Record) error {
 	ts.updates++
 	if rec.Time > ts.wm {
 		ts.wm = rec.Time
 	}
-	return ts.table(win, ts.be.Partition(rec.Key)).UpdateAgg(rec)
+	part, gen := ts.be.Owner(win, rec.Key)
+	return ts.table(win, gen, part).UpdateAgg(rec)
 }
 
 // AppendBag is the stateful fast path for holistic state: append an element
-// to key's bag in the thread-local fragment.
+// to key's bag in the thread-local fragment (§7.1.2).
 func (ts *ThreadState) AppendBag(win uint64, key uint64, e *crdt.BagElem) error {
 	ts.updates++
 	if e.Time > ts.wm {
 		ts.wm = e.Time
 	}
-	return ts.table(win, ts.be.Partition(key)).AppendBag(key, e)
+	part, gen := ts.be.Owner(win, key)
+	return ts.table(win, gen, part).AppendBag(key, e)
 }
 
 // ObserveTime advances the thread watermark for records that did not update
@@ -496,6 +678,7 @@ func (ts *ThreadState) Flush() error {
 			Window:    key.win,
 			Epoch:     ts.epoch,
 			Watermark: stream.NoWatermark,
+			Gen:       key.gen,
 			Thread:    ts.gtid,
 			Partition: key.part,
 			Kind:      ChunkData,
@@ -520,15 +703,31 @@ func (ts *ThreadState) Flush() error {
 		}
 		delete(ts.tables, k)
 	}
-	// Heartbeats carry the watermark to every leader.
-	hb := Chunk{Epoch: ts.epoch, Watermark: ts.wm, Thread: ts.gtid, Kind: ChunkHeartbeat}
-	for part := 0; part < ts.be.cfg.Nodes; part++ {
+	// Heartbeats carry the watermark to every live leader. The peer set —
+	// not the partition map — decides who hears heartbeats: a retired
+	// leader keeps draining pre-cutover windows but is removed from the
+	// peer set once covered, so no traffic targets a torn-down channel.
+	hb := Chunk{Epoch: ts.epoch, Watermark: ts.wm, Gen: ts.be.pmap.CurrentGen(), Thread: ts.gtid, Kind: ChunkHeartbeat}
+	for _, part := range ts.be.Peers() {
 		hb.Partition = part
 		if err := ts.deliver(&hb, part); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// MaxWindow returns the highest window id this thread ingested state into
+// and whether any window was touched at all. Only meaningful while the
+// owning source task is quiesced or done (the controller's reconfiguration
+// barrier) — those atomics order the cross-goroutine read.
+func (ts *ThreadState) MaxWindow() (uint64, bool) { return ts.maxWin, ts.hasWin }
+
+// Dirty reports whether the thread holds unflushed fragments or unaccounted
+// epoch bytes — the controller's quiescence check before a reconfiguration
+// cutover (a dirty thread could stamp a stale generation on a later flush).
+func (ts *ThreadState) Dirty() bool {
+	return len(ts.tables) > 0 || ts.pend > 0
 }
 
 // FinishStream flushes remaining state with a watermark of +infinity,
@@ -543,7 +742,7 @@ func (ts *ThreadState) deliver(c *Chunk, dest int) error {
 		// Loopback: the local leader merges directly; no network transfer.
 		return ts.be.HandleChunk(c)
 	}
-	s := ts.be.senders[dest]
+	s := ts.be.sender(dest)
 	if s == nil {
 		return fmt.Errorf("ssb: no sender for node %d", dest)
 	}

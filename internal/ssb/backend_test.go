@@ -58,9 +58,9 @@ func newCluster(t *testing.T, n, threads int, agg crdt.Aggregate, winEnd func(ui
 func fixedWindowEnd(win uint64) stream.Watermark { return stream.Watermark(win+1) * 1000 }
 
 func TestChunkEncodeDecode(t *testing.T) {
-	prop := func(win, epoch uint64, wm int64, thread, part uint16, payload []byte) bool {
+	prop := func(win, epoch, gen uint64, wm int64, thread, part uint16, payload []byte) bool {
 		in := Chunk{
-			Window: win, Epoch: epoch, Watermark: wm,
+			Window: win, Epoch: epoch, Watermark: wm, Gen: gen,
 			Thread: int(thread), Partition: int(part),
 			Kind: ChunkData, Payload: payload,
 		}
@@ -73,7 +73,8 @@ func TestChunkEncodeDecode(t *testing.T) {
 			return false
 		}
 		if out.Window != in.Window || out.Epoch != in.Epoch || out.Watermark != in.Watermark ||
-			out.Thread != in.Thread || out.Partition != in.Partition || out.Kind != in.Kind {
+			out.Gen != in.Gen || out.Thread != in.Thread || out.Partition != in.Partition ||
+			out.Kind != in.Kind {
 			return false
 		}
 		if len(out.Payload) != len(in.Payload) {
@@ -96,12 +97,12 @@ func TestDecodeChunkErrors(t *testing.T) {
 		t.Fatalf("short chunk err = %v", err)
 	}
 	buf := make([]byte, ChunkHeaderSize)
-	buf[32] = 99 // invalid kind
+	buf[40] = 99 // invalid kind
 	if _, err := DecodeChunk(buf); !errors.Is(err, ErrChunkFormat) {
 		t.Fatalf("bad kind err = %v", err)
 	}
-	buf[32] = byte(ChunkData)
-	putU32(buf[36:], 100) // payload overflows
+	buf[40] = byte(ChunkData)
+	putU32(buf[44:], 100) // payload overflows
 	if _, err := DecodeChunk(buf); !errors.Is(err, ErrChunkFormat) {
 		t.Fatalf("overflow err = %v", err)
 	}

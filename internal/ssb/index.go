@@ -73,6 +73,7 @@ func (ix *index) set(key uint64, off int32) {
 	b := &ix.buckets[ix.bucketFor(key)]
 	var free *bucket
 	freeSlot := -1
+	tail := int32(0) // 1-based overflow position of b; 0 = b is the main bucket
 	for {
 		for s := 0; s < slotsPerBucket; s++ {
 			if b.occupied&(1<<s) != 0 {
@@ -87,11 +88,19 @@ func (ix *index) set(key uint64, off int32) {
 		if b.next == 0 {
 			break
 		}
+		tail = b.next
 		b = &ix.overflow[b.next-1]
 	}
 	if freeSlot < 0 {
-		// Chain a fresh overflow bucket off the tail.
+		// Chain a fresh overflow bucket off the tail. The append may move the
+		// overflow array, so when the tail is itself an overflow bucket the
+		// link must be written through the array's new backing store — a write
+		// through the stale pointer would orphan the new bucket (and its key)
+		// from every chain walk, including grow's rehash.
 		ix.overflow = append(ix.overflow, bucket{})
+		if tail != 0 {
+			b = &ix.overflow[tail-1]
+		}
 		b.next = int32(len(ix.overflow))
 		free, freeSlot = &ix.overflow[len(ix.overflow)-1], 0
 	}
@@ -112,6 +121,7 @@ func (ix *index) lookupOrReserve(key uint64) (off *int32, found bool) {
 	b := &ix.buckets[ix.bucketFor(key)]
 	var free *bucket
 	freeSlot := -1
+	tail := int32(0) // 1-based overflow position of b; 0 = b is the main bucket
 	for {
 		for s := 0; s < slotsPerBucket; s++ {
 			if b.occupied&(1<<s) != 0 {
@@ -125,10 +135,15 @@ func (ix *index) lookupOrReserve(key uint64) (off *int32, found bool) {
 		if b.next == 0 {
 			break
 		}
+		tail = b.next
 		b = &ix.overflow[b.next-1]
 	}
 	if freeSlot < 0 {
+		// See set: re-resolve the tail after append before linking.
 		ix.overflow = append(ix.overflow, bucket{})
+		if tail != 0 {
+			b = &ix.overflow[tail-1]
+		}
 		b.next = int32(len(ix.overflow))
 		free, freeSlot = &ix.overflow[len(ix.overflow)-1], 0
 	}

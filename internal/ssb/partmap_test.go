@@ -1,0 +1,167 @@
+package ssb
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/stream"
+)
+
+// TestPartitionDistribution is the regression test for the modulo→multiply-
+// shift bugfix: strided key populations (YSB campaign ids are dense small
+// integers and multiples, §8.2.1) must spread evenly over every partition
+// count, including the non-power-of-two ones a plain `key % n` of strided
+// keys collapses on.
+func TestPartitionDistribution(t *testing.T) {
+	const keys = 100000
+	populations := map[string]func(i int) uint64{
+		"sequential": func(i int) uint64 { return uint64(i) },
+		"stride16":   func(i int) uint64 { return uint64(i) * 16 },
+		"stride1000": func(i int) uint64 { return uint64(i) * 1000 },
+		"uniform": func() func(i int) uint64 {
+			rng := rand.New(rand.NewSource(7))
+			return func(int) uint64 { return rng.Uint64() }
+		}(),
+	}
+	for _, n := range []int{3, 4, 5, 7, 8, 16} {
+		for name, gen := range populations {
+			counts := make([]int, n)
+			for i := 0; i < keys; i++ {
+				p := partitionIndex(PartitionHash(gen(i)), n)
+				if p < 0 || p >= n {
+					t.Fatalf("n=%d %s: index %d out of range", n, name, p)
+				}
+				counts[p]++
+			}
+			want := float64(keys) / float64(n)
+			for p, c := range counts {
+				if dev := float64(c)/want - 1; dev > 0.05 || dev < -0.05 {
+					t.Errorf("n=%d %s: partition %d holds %d of %d keys (%.1f%% off uniform)",
+						n, name, p, c, keys, dev*100)
+				}
+			}
+		}
+	}
+}
+
+// TestModuloSkewMotivation documents the bug the hash fixes: with 16-strided
+// keys, `key % 16` maps everything to partition 0.
+func TestModuloSkewMotivation(t *testing.T) {
+	const n = 16
+	counts := make([]int, n)
+	for i := 0; i < 1000; i++ {
+		counts[(uint64(i)*16)%n]++
+	}
+	if counts[0] != 1000 {
+		t.Fatalf("modulo of stride-16 keys should collapse onto partition 0, got %v", counts)
+	}
+	// The multiply-shift hash does not collapse.
+	counts = make([]int, n)
+	for i := 0; i < 1000; i++ {
+		counts[partitionIndex(PartitionHash(uint64(i)*16), n)]++
+	}
+	for p, c := range counts {
+		if c == 1000 {
+			t.Fatalf("multiply-shift collapsed stride-16 keys onto partition %d", p)
+		}
+	}
+}
+
+func TestPartitionMapInstallOrdering(t *testing.T) {
+	m := StaticPartitionMap(4)
+	if g := m.Current(); g.Gen != 0 || g.FromWindow != 0 || len(g.Active) != 4 {
+		t.Fatalf("static map current = %+v", g)
+	}
+	if err := m.Install(Generation{Gen: 2, FromWindow: 5, Active: []int{0, 1}}); !errors.Is(err, ErrGenOrder) {
+		t.Fatalf("gen skip err = %v", err)
+	}
+	if err := m.Install(Generation{Gen: 1, FromWindow: 5, Active: nil}); !errors.Is(err, ErrEmptyGeneration) {
+		t.Fatalf("empty gen err = %v", err)
+	}
+	if err := m.Install(Generation{Gen: 1, FromWindow: 5, Active: []int{0, 1, 2, 3, 4, 5}}); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if err := m.Install(Generation{Gen: 2, FromWindow: 3, Active: []int{0, 1}}); !errors.Is(err, ErrGenOrder) {
+		t.Fatalf("cutover regression err = %v", err)
+	}
+	if err := m.Install(Generation{Gen: 2, FromWindow: 5, Active: []int{0, 1, 2, 3}}); err != nil {
+		t.Fatalf("same-cutover install: %v", err)
+	}
+	if got := m.CurrentGen(); got != 2 {
+		t.Fatalf("CurrentGen = %d", got)
+	}
+	if got := len(m.Snapshot()); got != 3 {
+		t.Fatalf("Snapshot len = %d", got)
+	}
+}
+
+// TestOwnerStableAcrossInstalls is the zero-migration property: once a
+// window's governing generation is fixed, installing later generations never
+// changes any (window, key) owner below the new cutover.
+func TestOwnerStableAcrossInstalls(t *testing.T) {
+	m := StaticPartitionMap(4)
+	type wk struct{ win, key uint64 }
+	before := map[wk]int{}
+	for win := uint64(0); win < 10; win++ {
+		for key := uint64(0); key < 200; key++ {
+			n, gen := m.Owner(win, key)
+			if gen != 0 {
+				t.Fatalf("pre-install gen = %d", gen)
+			}
+			before[wk{win, key}] = n
+		}
+	}
+	if err := m.Install(Generation{Gen: 1, FromWindow: 6, Active: []int{0, 1, 2, 3, 4, 5, 6, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	for win := uint64(0); win < 6; win++ {
+		for key := uint64(0); key < 200; key++ {
+			n, gen := m.Owner(win, key)
+			if gen != 0 || n != before[wk{win, key}] {
+				t.Fatalf("window %d key %d moved: %d→%d (gen %d)", win, key, before[wk{win, key}], n, gen)
+			}
+		}
+	}
+	moved := false
+	for key := uint64(0); key < 200; key++ {
+		n, gen := m.Owner(7, key)
+		if gen != 1 {
+			t.Fatalf("post-cutover gen = %d", gen)
+		}
+		if n != before[wk{7, key}] {
+			moved = true
+		}
+		if !m.ActiveIn(7, n) {
+			t.Fatalf("owner %d not active in window 7", n)
+		}
+	}
+	if !moved {
+		t.Fatal("doubling the node set moved no post-cutover key")
+	}
+	if m.GenFor(5) != 0 || m.GenFor(6) != 1 {
+		t.Fatalf("GenFor boundary: %d %d", m.GenFor(5), m.GenFor(6))
+	}
+}
+
+// TestBackendStaleGeneration checks the loud-failure invariant: a data chunk
+// stamped with a generation that no longer governs its window is rejected.
+func TestBackendStaleGeneration(t *testing.T) {
+	bs := newCluster(t, 2, 1, crdt.Sum{}, fixedWindowEnd)
+	ts := bs[0].Thread(0)
+	if err := ts.UpdateAgg(3, &stream.Record{Key: 1, V0: 1, Time: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Install a generation cutting over at window 0 on every map while the
+	// fragment is still unflushed: the flush must be rejected loudly.
+	for _, b := range bs {
+		if err := b.Map().Install(Generation{Gen: 1, FromWindow: 0, Active: []int{0, 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := ts.Flush()
+	if err == nil || !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("stale flush err = %v, want ErrStaleGeneration", err)
+	}
+}

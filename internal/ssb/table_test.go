@@ -62,6 +62,55 @@ func TestIndexGrowthAndOverflow(t *testing.T) {
 	}
 }
 
+// TestIndexOverflowChainRealloc regression-tests the overflow-array realloc
+// hazard: when a chain already spans overflow buckets and appending the next
+// one moves the array, the chain link must be written through the new backing
+// store. The stale-pointer variant orphaned the appended bucket, silently
+// losing its key from get, forEach, and grow's rehash — which surfaced as
+// nondeterministic missing keys in triggered windows (leader tables are the
+// only ones dense enough to chain).
+func TestIndexOverflowChainRealloc(t *testing.T) {
+	// Keys that collide in one bucket of the minimum-sized table. Staying far
+	// below the grow threshold keeps the bucket count (and thus the collision
+	// set) stable for the whole test.
+	var keys []uint64
+	target := mix64(0) & uint64(minBuckets-1)
+	for k := uint64(0); len(keys) < 24; k++ {
+		if mix64(k)&uint64(minBuckets-1) == target {
+			keys = append(keys, k)
+		}
+	}
+	for name, insert := range map[string]func(ix *index, key uint64, off int32){
+		"set": func(ix *index, key uint64, off int32) { ix.set(key, off) },
+		"lookupOrReserve": func(ix *index, key uint64, off int32) {
+			slot, found := ix.lookupOrReserve(key)
+			if found {
+				t.Fatalf("key %d already present", key)
+			}
+			*slot = off
+		},
+	} {
+		ix := newIndex()
+		for i, k := range keys {
+			insert(ix, k, int32(i))
+		}
+		if ix.len() != len(keys) {
+			t.Fatalf("%s: len = %d, want %d", name, ix.len(), len(keys))
+		}
+		for i, k := range keys {
+			off, ok := ix.get(k)
+			if !ok || off != int32(i) {
+				t.Fatalf("%s: key %d: off=%d ok=%v, want %d", name, k, off, ok, i)
+			}
+		}
+		seen := 0
+		ix.forEach(func(uint64, int32) { seen++ })
+		if seen != len(keys) {
+			t.Fatalf("%s: forEach visited %d of %d keys", name, seen, len(keys))
+		}
+	}
+}
+
 func TestIndexQuickMapEquivalence(t *testing.T) {
 	prop := func(ops []struct {
 		Key uint64

@@ -7,11 +7,19 @@ package vclock
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 
 	"github.com/slash-stream/slash/internal/stream"
 )
+
+// Retired is the entry value of an executor slot that is not participating:
+// +infinity, so it never holds a window trigger back. Elastic deployments
+// (§7.2, §8: workers join and leave without state migration) size clocks for
+// the deployment capacity and Activate entries as nodes join; a leaving
+// node's final flush carries +infinity and retires its entries again.
+const Retired = stream.Watermark(math.MaxInt64)
 
 // Clock is a vector of per-executor low watermarks. It is safe for
 // concurrent use: executors observe their own progress while merge tasks
@@ -28,6 +36,29 @@ func New(n int) *Clock {
 		c.entries[i] = stream.NoWatermark
 	}
 	return c
+}
+
+// NewRetired creates a clock for n executor slots with every entry Retired.
+// No slot holds triggers back until it is activated — the capacity-sized
+// clock of an elastic deployment.
+func NewRetired(n int) *Clock {
+	c := &Clock{entries: make([]stream.Watermark, n)}
+	for i := range c.entries {
+		c.entries[i] = Retired
+	}
+	return c
+}
+
+// Activate resets executor e's entry from Retired to NoWatermark so the slot
+// participates in — and can hold back — window triggers. Activating a live
+// entry is a no-op: watermarks never regress, so a duplicate activation
+// cannot un-cover a window.
+func (c *Clock) Activate(e int) {
+	c.mu.Lock()
+	if c.entries[e] == Retired {
+		c.entries[e] = stream.NoWatermark
+	}
+	c.mu.Unlock()
 }
 
 // Size returns the number of executor entries.

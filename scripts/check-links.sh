@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# check-links.sh — verify that every relative markdown link in the repo's
+# documentation points at a file that exists. Pure bash + grep, no
+# dependencies; run from anywhere inside the repo.
+#
+#   scripts/check-links.sh            # check all tracked *.md files
+#   scripts/check-links.sh README.md  # check specific files
+#
+# External links (http/https/mailto) are not fetched — this is a
+# referential-integrity check, not a liveness check. Pure in-page anchors
+# ("#section") are skipped; "file.md#anchor" checks that file.md exists.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    # SNIPPETS.md quotes excerpts of third-party repos verbatim, links and
+    # all; those targets intentionally do not exist here.
+    while IFS= read -r f; do
+        case "$f" in SNIPPETS.md) continue ;; esac
+        files+=("$f")
+    done < <(git ls-files '*.md' 2>/dev/null || find . -name '*.md' -not -path './.git/*')
+fi
+
+fail=0
+checked=0
+for f in "${files[@]}"; do
+    [ -f "$f" ] || { echo "check-links: no such file: $f" >&2; fail=1; continue; }
+    dir=$(dirname "$f")
+    # Inline links: [text](target). grep -o isolates each link; the sed
+    # strips down to the target. Images ![alt](target) match the same shape.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;   # external
+            '#'*) continue ;;                          # same-page anchor
+            '') continue ;;
+        esac
+        path="${target%%#*}"                           # drop "#anchor"
+        path="${path%% *}"                             # drop '"title"' suffix
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "$f: broken link -> $target" >&2
+            fail=1
+        fi
+    done < <(grep -o '\[[^][]*\]([^()]*)' "$f" | sed 's/^\[[^][]*\](//; s/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check-links: FAILED" >&2
+    exit 1
+fi
+echo "check-links: OK ($checked relative links across ${#files[@]} files)"
