@@ -22,6 +22,7 @@ import (
 	"github.com/slash-stream/slash/internal/core"
 	"github.com/slash-stream/slash/internal/metrics"
 	"github.com/slash-stream/slash/internal/rdma"
+	"github.com/slash-stream/slash/internal/recovery"
 	"github.com/slash-stream/slash/internal/workload"
 )
 
@@ -38,6 +39,8 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		withMx   = flag.Bool("metrics", false, "print a metrics snapshot after the report")
 		mxAddr   = flag.String("metrics-addr", "", "serve /metrics (plaintext) and /metrics.json on this address, e.g. :9090")
+		ckptDir  = flag.String("checkpoint-dir", "", "arm the recovery plane, journaling epoch-aligned checkpoints under this directory")
+		ckptIval = flag.Int("checkpoint-interval", 0, "checkpoint cadence in epoch commits per leader (0 = default 32; needs -checkpoint-dir)")
 	)
 	flag.Parse()
 
@@ -58,6 +61,26 @@ func main() {
 			BaseLatency:   2 * time.Microsecond,
 			Throttle:      true,
 		}
+	}
+
+	var store *recovery.DirStore
+	if *ckptDir != "" {
+		store, err = recovery.NewDirStore(*ckptDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Recovery = &core.RecoveryOptions{
+			Store:             store,
+			CheckpointCommits: *ckptIval,
+			AutoRestart:       true,
+		}
+		ival := *ckptIval
+		if ival <= 0 {
+			ival = 32
+		}
+		fmt.Fprintf(os.Stderr, "slashd: checkpointing to %s every %d epoch commits\n", store.Dir(), ival)
+	} else if *ckptIval != 0 {
+		fatal(fmt.Errorf("-checkpoint-interval needs -checkpoint-dir"))
 	}
 
 	var reg *metrics.Registry
@@ -96,6 +119,13 @@ func main() {
 	fmt.Printf("SSB:              %d delta chunks (%.1f MB) merged, %d windows triggered\n",
 		rep.ChunksMerged, float64(rep.BytesMerged)/1e6, rep.WindowsOutput)
 	fmt.Printf("scheduler:        %d task steps, %d idle rounds\n", rep.Sched.Steps, rep.Sched.IdleRounds)
+	if store != nil {
+		if err := store.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recovery:         journals in %s; %d restarts, %d chunks replayed, %d deduped\n",
+			store.Dir(), len(rep.Recoveries), rep.ReplayedChunks, rep.ChunksDeduped)
+	}
 
 	aggs := col.Aggs()
 	joins := col.Joins()

@@ -602,6 +602,42 @@ func (c *Consumer) Err() error { return c.err.get() }
 // Received returns the number of buffers polled so far.
 func (c *Consumer) Received() uint64 { return c.received.Load() }
 
+// DiscardBacklog polls and releases every buffer that has landed in the ring
+// but was never consumed, returning how many were dropped. This is the
+// fence-teardown path of the recovery plane: chunks queued toward a node
+// being torn down are discarded — replay from upstream journals regenerates
+// them — but the controller still needs the count for replay accounting.
+// Credit-return failures are swallowed (not latched) because the peer of a
+// fenced link is typically already dead and the slots will never be reused.
+func (c *Consumer) DiscardBacklog() int {
+	n := 0
+	for c.Backlog() > 0 {
+		b, ok := c.TryPoll()
+		if !ok {
+			break
+		}
+		b.done = true
+		c.released.Add(1)
+		c.mReleased.Inc()
+		n++
+	}
+	if n > 0 {
+		c.flushMu.Lock()
+		rel := c.released.Load()
+		if rel != c.flushed.Load() {
+			// Best-effort credit return, bypassing flushCredits so a failed
+			// post on the dead link does not latch the sticky error.
+			if err := c.qp.PostWriteU64(rel, c.creditRKey, 0, rel, false); err == nil {
+				c.flushed.Store(rel)
+				c.creditWrites.Add(1)
+				c.mCreditWrites.Inc()
+			}
+		}
+		c.flushMu.Unlock()
+	}
+	return n
+}
+
 // Close shuts the consumer side down. Credits coalesced but not yet flushed
 // are written out and drained first, so a producer that outlives this
 // consumer observes every release that happened before Close. On a dead QP

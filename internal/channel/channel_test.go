@@ -271,3 +271,42 @@ func TestHighVolumeStress(t *testing.T) {
 		t.Fatalf("sent=%d received=%d", p.Sent(), c.Received())
 	}
 }
+
+// TestDiscardBacklog exercises the fence-teardown path: buffers that landed
+// but were never polled are dropped, counted, and their credits returned so
+// a surviving producer is not starved by a teardown.
+func TestDiscardBacklog(t *testing.T) {
+	p, c := newChannel(t, Config{Credits: 4, SlotSize: 256})
+	for i := 0; i < 3; i++ {
+		sb := p.Acquire()
+		sb.Data[0] = byte(i)
+		if err := p.Post(sb, 1); err != nil {
+			t.Fatalf("Post: %v", err)
+		}
+	}
+	// Consume one normally, leave two in the ring.
+	rb := mustRecv(t, c)
+	if err := c.Release(rb); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DiscardBacklog(); got != 2 {
+		t.Fatalf("DiscardBacklog = %d, want 2", got)
+	}
+	if c.Backlog() != 0 {
+		t.Fatalf("backlog %d after discard", c.Backlog())
+	}
+	// All credits came back: the producer can fill the whole ring again.
+	for i := 0; i < 4; i++ {
+		if sb, ok := p.TryAcquire(); !ok {
+			t.Fatalf("credit %d not returned after discard", i)
+		} else if err := p.Post(sb, 1); err != nil {
+			t.Fatalf("Post: %v", err)
+		}
+	}
+	if got := c.DiscardBacklog(); got != 4 {
+		t.Fatalf("second DiscardBacklog = %d, want 4", got)
+	}
+	if c.Err() != nil {
+		t.Fatalf("discard latched an error: %v", c.Err())
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"github.com/slash-stream/slash/internal/rdma"
 	"github.com/slash-stream/slash/internal/sched"
 	"github.com/slash-stream/slash/internal/ssb"
+	"github.com/slash-stream/slash/internal/stream"
 )
 
 // Errors surfaced by reconfiguration.
@@ -107,10 +109,11 @@ type Controller struct {
 	nics      []*rdma.NIC
 	producers [][]*channel.Producer // [src][dst]
 	senders   [][]*chanSender       // [src][dst]
-	consumers [][]*channel.Consumer // by receiving node, for teardown
+	consumers [][]consEntry         // by receiving node, for teardown and recovery unwiring
 	backends  []*ssb.Backend
 	sources   [][]*sourceTask // by node
 	merges    []*mergeTask    // by node
+	flows     [][]Flow        // by node, retained for recovery replay
 	live      []int           // nodes whose mesh row/column is up (incl. draining leavers)
 	used      int             // node ids handed out; ids are never reused
 	started   bool
@@ -118,11 +121,31 @@ type Controller struct {
 	reconfigs []*Reconfig
 	retiring  map[int]*retireBatch
 
+	// Recovery plane (rings/journals/mgr nil when Config.Recovery is nil).
+	nodeInc    []int // per-node incarnation; bumped by each restart
+	journals   []*nodeJournal
+	rings      [][]*replayRing // [src][dst]
+	mgr        *recoveryMgr
+	recoveries []Recovery
+	restarts   int
+	// Counters of NICs that died with a restarted incarnation, folded into
+	// the final Report (their live counters vanish with RemoveNIC).
+	deadTx, deadMsgs int64
+
 	records atomic.Int64
 	updates atomic.Int64
 
 	mSourceStep, mMergeStep *metrics.Histogram
 	mGen, mInflight         *metrics.Gauge
+	mCkpts, mReplayed       *metrics.Counter
+	mRecDur                 *metrics.Histogram
+}
+
+// consEntry tags a consumer endpoint with the node id it receives from, so
+// recovery can unwire exactly the dead node's links.
+type consEntry struct {
+	src  int
+	cons *channel.Consumer
 }
 
 // NewController builds a deployment of cfg.Nodes executors (capacity
@@ -170,10 +193,12 @@ func NewController(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Controller
 		nics:      make([]*rdma.NIC, cfg.MaxNodes),
 		producers: make([][]*channel.Producer, cfg.MaxNodes),
 		senders:   make([][]*chanSender, cfg.MaxNodes),
-		consumers: make([][]*channel.Consumer, cfg.MaxNodes),
+		consumers: make([][]consEntry, cfg.MaxNodes),
 		backends:  make([]*ssb.Backend, cfg.MaxNodes),
 		sources:   make([][]*sourceTask, cfg.MaxNodes),
 		merges:    make([]*mergeTask, cfg.MaxNodes),
+		flows:     make([][]Flow, cfg.MaxNodes),
+		nodeInc:   make([]int, cfg.MaxNodes),
 		retiring:  map[int]*retireBatch{},
 	}
 	for i := range c.producers {
@@ -184,11 +209,31 @@ func NewController(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Controller
 	// On failure, closing the producers unblocks any sender spinning for
 	// credit from a consumer that will never poll again.
 	c.run.onFail = func() { c.closeProducers() }
+	if cfg.Recovery != nil {
+		c.run.fenced = make([]atomic.Bool, cfg.MaxNodes)
+		c.journals = make([]*nodeJournal, cfg.MaxNodes)
+		c.rings = make([][]*replayRing, cfg.MaxNodes)
+		for i := range c.journals {
+			c.journals[i] = &nodeJournal{store: cfg.Recovery.Store, node: i}
+			c.rings[i] = make([]*replayRing, cfg.MaxNodes)
+			for j := range c.rings[i] {
+				c.rings[i][j] = newReplayRing(cfg.Recovery.ReplayRing)
+			}
+		}
+		c.mgr = newRecoveryMgr(c)
+	}
 	if reg != nil {
 		c.mSourceStep = reg.Histogram(`core_step_ns{task="source"}`)
 		c.mMergeStep = reg.Histogram(`core_step_ns{task="merge"}`)
 		c.mGen = reg.Gauge("core_generation")
 		c.mInflight = reg.Gauge("core_reconfig_inflight_chunks")
+		if cfg.Recovery != nil {
+			c.mCkpts = reg.Counter("recovery_checkpoints_total")
+			c.mReplayed = reg.Counter("recovery_replayed_chunks_total")
+			// Unitless registry; observed in nanoseconds like every engine
+			// histogram, the conventional _seconds name notwithstanding.
+			c.mRecDur = reg.Histogram("recovery_duration_seconds")
+		}
 	}
 
 	c.mu.Lock()
@@ -214,38 +259,83 @@ func NewController(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Controller
 // buildNode brings up node id's row and column of the channel mesh, its
 // backend, and its tasks (§7.2.2 setup phase, performed online for joiners:
 // NIC registration = MR registration, channel.New = QP bring-up). Callers
-// hold c.mu.
+// hold c.mu. Recovery restarts run the same pieces individually, with a
+// journal replay interposed between backend and tasks — see restartNode.
 func (c *Controller) buildNode(id int, nodeFlows []Flow) error {
-	nic, err := c.fabric.NewNIC(fmt.Sprintf("node%d", id))
+	c.flows[id] = nodeFlows
+	be, myIn, err := c.buildMesh(id)
 	if err != nil {
-		return fmt.Errorf("core: joining node %d: %w", id, err)
+		return err
+	}
+	c.activateNode(id, be)
+	if err := c.makeTasks(id, be, myIn, nodeFlows, nil); err != nil {
+		return err
+	}
+	c.launchNode(id)
+	c.live = append(c.live, id)
+	return nil
+}
+
+// nicName returns node id's fabric identity under its current incarnation.
+// Restarted incarnations get a fresh name: the old one stays fenced at the
+// fabric (RemoveNIC), and injector fault state keyed on it dies with it.
+func (c *Controller) nicName(id int) string {
+	if c.nodeInc[id] == 0 {
+		return fmt.Sprintf("node%d", id)
+	}
+	return fmt.Sprintf("node%d@%d", id, c.nodeInc[id])
+}
+
+// newSender wires one directed link's sender, tagged with both endpoints'
+// incarnations and the link's replay ring when the recovery plane is armed.
+func (c *Controller) newSender(src, dst int, p *channel.Producer) *chanSender {
+	s := &chanSender{src: src, dst: dst, prod: p}
+	if c.mgr != nil {
+		s.mgr = c.mgr
+		s.ring = c.rings[src][dst]
+		s.srcInc = c.nodeInc[src]
+		s.dstInc = c.nodeInc[dst]
+	}
+	return s
+}
+
+// buildMesh brings up node id's NIC, its row and column of the channel mesh,
+// and its backend. Callers hold c.mu.
+func (c *Controller) buildMesh(id int) (*ssb.Backend, []inbound, error) {
+	nic, err := c.fabric.NewNIC(c.nicName(id))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: joining node %d: %w", id, err)
 	}
 	c.nics[id] = nic
 	var myIn []inbound
 	for _, m := range c.live {
 		p, cons, err := channel.New(nic, c.nics[m], c.cfg.Channel)
 		if err != nil {
-			return fmt.Errorf("core: channel %d->%d: %w", id, m, err)
+			return nil, nil, fmt.Errorf("core: channel %d->%d: %w", id, m, err)
 		}
 		c.producers[id][m] = p
-		c.senders[id][m] = &chanSender{src: id, dst: m, prod: p}
-		c.consumers[m] = append(c.consumers[m], cons)
-		c.merges[m].AddInbound(inbound{src: id, cons: cons})
+		c.senders[id][m] = c.newSender(id, m, p)
+		c.consumers[m] = append(c.consumers[m], consEntry{src: id, cons: cons})
+		c.merges[m].AddInbound(inbound{src: id, inc: c.nodeInc[id], cons: cons})
 
 		p2, cons2, err := channel.New(c.nics[m], nic, c.cfg.Channel)
 		if err != nil {
-			return fmt.Errorf("core: channel %d->%d: %w", m, id, err)
+			return nil, nil, fmt.Errorf("core: channel %d->%d: %w", m, id, err)
 		}
 		c.producers[m][id] = p2
-		c.senders[m][id] = &chanSender{src: m, dst: id, prod: p2}
-		c.consumers[id] = append(c.consumers[id], cons2)
-		myIn = append(myIn, inbound{src: m, cons: cons2})
+		c.senders[m][id] = c.newSender(m, id, p2)
+		c.consumers[id] = append(c.consumers[id], consEntry{src: m, cons: cons2})
+		myIn = append(myIn, inbound{src: m, inc: c.nodeInc[m], cons: cons2})
 		c.backends[m].SetSender(id, c.senders[m][id])
 	}
 
 	sbs := make([]ssb.Sender, c.cfg.MaxNodes)
 	for _, m := range c.live {
 		sbs[m] = c.senders[id][m]
+	}
+	var jrn ssb.Journal
+	if c.journals != nil {
+		jrn = c.journals[id]
 	}
 	be, err := ssb.New(ssb.Config{
 		Node:           id,
@@ -257,18 +347,47 @@ func (c *Controller) buildNode(id int, nodeFlows []Flow) error {
 		ChunkSize:      c.cfg.ChunkSize,
 		EpochBytes:     c.cfg.EpochBytes,
 		WindowEnd:      c.q.Window.End,
+		Journal:        jrn,
 	}, sbs)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	c.backends[id] = be
+	return be, myIn, nil
+}
 
+// activateNode activates a (re)joining backend's clock entries for its own
+// threads and every live, still-ingesting thread before its merge task can
+// take a first step. A merge task launched against an all-retired (+inf)
+// clock would conclude the stream already ended and exit, leaving its
+// inbound channels undrained — wedging every sender to this node. AddNodes
+// re-runs the activation across all backends under the same barrier;
+// Activate is idempotent. For a restored node, the subsequent checkpoint
+// replay overwrites these entries with the journaled clock. Callers hold
+// c.mu (id is not yet in c.live).
+func (c *Controller) activateNode(id int, be *ssb.Backend) {
+	be.ActivateNode(id)
+	for _, m := range c.live {
+		for th := 0; th < c.cfg.ThreadsPerNode; th++ {
+			if !c.sources[m][th].done.Load() {
+				be.Clock().Activate(m*c.cfg.ThreadsPerNode + th)
+			}
+		}
+	}
+}
+
+// makeTasks builds node id's source and merge tasks. plans is nil for a
+// fresh node; a restart passes per-thread replay plans, and a thread whose
+// flow cannot rewind to its plan boundary fails typed (ErrUnrecoverable).
+// Callers hold c.mu.
+func (c *Controller) makeTasks(id int, be *ssb.Backend, myIn []inbound, nodeFlows []Flow, plans []*threadRestore) error {
 	sts := make([]*sourceTask, c.cfg.ThreadsPerNode)
 	for th := range sts {
 		gate, _ := nodeFlows[th].(ReadyFlow)
-		sts[th] = &sourceTask{
+		st := &sourceTask{
 			run:     c.run,
 			q:       c.q,
+			node:    id,
 			flow:    nodeFlows[th],
 			gate:    gate,
 			ts:      be.Thread(th),
@@ -278,6 +397,32 @@ func (c *Controller) buildNode(id int, nodeFlows []Flow) error {
 			updates: &c.updates,
 			mStep:   c.mSourceStep,
 		}
+		if c.mgr != nil {
+			st.mgr = c.mgr
+			st.jrn = c.journals[id]
+		}
+		if plans != nil {
+			pr := plans[th]
+			st.counted = pr.counted
+			st.localRecords, st.localUpdates = pr.rewind, pr.updates
+			if pr.done {
+				// The thread's finishing flush is committed cluster-wide:
+				// nothing to replay. Restore its final progress and retire
+				// the task without ever scheduling it.
+				st.ts.RestoreProgress(pr.epoch, stream.Watermark(math.MaxInt64), pr.inc)
+				st.done.Store(true)
+			} else {
+				rw, ok := nodeFlows[th].(RewindableFlow)
+				if !ok {
+					return fmt.Errorf("%w: node %d thread %d flow %T cannot rewind",
+						ErrUnrecoverable, id, th, nodeFlows[th])
+				}
+				rw.Rewind(pr.rewind)
+				st.ts.RestoreProgress(pr.epoch, stream.Watermark(pr.wm), pr.inc)
+				st.plan = append([]planFlush(nil), pr.plan...)
+			}
+		}
+		sts[th] = st
 	}
 	mt := &mergeTask{
 		run:      c.run,
@@ -287,6 +432,12 @@ func (c *Controller) buildNode(id int, nodeFlows []Flow) error {
 		q:        c.q,
 		mStep:    c.mMergeStep,
 		onRetire: c.nodeRetired,
+	}
+	if c.mgr != nil {
+		mt.mgr = c.mgr
+		mt.selfInc = c.nodeInc[id]
+		mt.ckptEvery = c.cfg.Recovery.CheckpointCommits
+		mt.onCkpt = c.onCheckpoint
 	}
 	// Stagger each node's initial rotation so the cluster's merge tasks do
 	// not all start their round-robin on the same peer.
@@ -298,30 +449,20 @@ func (c *Controller) buildNode(id int, nodeFlows []Flow) error {
 	}
 	c.sources[id] = sts
 	c.merges[id] = mt
-	// Activate this backend's clock entries for its own threads and every
-	// live, still-ingesting thread before its merge task can take a first
-	// step. A merge task launched against an all-retired (+inf) clock would
-	// conclude the stream already ended and exit, leaving its inbound
-	// channels undrained — wedging every sender to this node. AddNodes
-	// re-runs the activation across all backends under the same barrier;
-	// Activate is idempotent.
-	be.ActivateNode(id)
-	for _, m := range c.live {
-		for th := 0; th < c.cfg.ThreadsPerNode; th++ {
-			if !c.sources[m][th].done.Load() {
-				be.Clock().Activate(m*c.cfg.ThreadsPerNode + th)
-			}
+	return nil
+}
+
+// launchNode schedules node id's tasks. Workers carry their tasks from
+// birth: AddWorker enqueues before launching, so a worker added to a live
+// pool cannot drain-and-exit before its task arrives. Source threads already
+// finished (restored as done) get no worker. Callers hold c.mu.
+func (c *Controller) launchNode(id int) {
+	for _, st := range c.sources[id] {
+		if !st.done.Load() {
+			c.pool.AddWorker(st)
 		}
 	}
-	// Workers carry their tasks from birth: AddWorker enqueues before
-	// launching, so a worker added to a live pool cannot drain-and-exit
-	// before its task arrives.
-	for _, st := range sts {
-		c.pool.AddWorker(st)
-	}
-	c.pool.AddWorker(mt)
-	c.live = append(c.live, id)
-	return nil
+	c.pool.AddWorker(c.merges[id])
 }
 
 // Start launches the deployment. Use Wait for completion; reconfigure with
@@ -331,6 +472,9 @@ func (c *Controller) Start() {
 	c.started = true
 	c.startAt = time.Now()
 	c.mu.Unlock()
+	if c.mgr != nil {
+		c.mgr.start()
+	}
 	c.pool.Start()
 }
 
@@ -338,16 +482,25 @@ func (c *Controller) Start() {
 // mesh down, and reports execution statistics.
 func (c *Controller) Wait() (*Report, error) {
 	c.pool.Wait()
+	if c.mgr != nil {
+		// The failure manager re-adds workers mid-restart, so the pool can go
+		// busy again after a Wait returns. Retire the manager (it finishes any
+		// in-flight restart first), then re-wait for the tasks it scheduled.
+		c.mgr.shutdown()
+		c.pool.Wait()
+	}
 	elapsed := time.Since(c.startAt)
 	c.closeProducers()
 	c.mu.Lock()
-	consumers := append([][]*channel.Consumer(nil), c.consumers...)
+	consumers := append([][]consEntry(nil), c.consumers...)
 	nics := append([]*rdma.NIC(nil), c.nics...)
 	backends := append([]*ssb.Backend(nil), c.backends...)
+	deadTx, deadMsgs := c.deadTx, c.deadMsgs
+	recoveries := append([]Recovery(nil), c.recoveries...)
 	c.mu.Unlock()
 	for _, cs := range consumers {
-		for _, cons := range cs {
-			cons.Close()
+		for _, e := range cs {
+			e.cons.Close()
 		}
 	}
 	if err := c.run.err(); err != nil {
@@ -365,6 +518,12 @@ func (c *Controller) Wait() (*Report, error) {
 	if elapsed > 0 {
 		rep.RecordsPerSec = float64(rep.Records) / elapsed.Seconds()
 	}
+	rep.NetTxBytes += deadTx
+	rep.NetTxMsgs += deadMsgs
+	rep.Recoveries = recoveries
+	for _, r := range recoveries {
+		rep.ReplayedChunks += r.ReplayedChunks
+	}
 	for _, nic := range nics {
 		if nic == nil {
 			continue
@@ -381,6 +540,7 @@ func (c *Controller) Wait() (*Report, error) {
 		rep.ChunksMerged += s.ChunksMerged
 		rep.BytesMerged += s.BytesMerged
 		rep.WindowsOutput += s.WindowsOutput
+		rep.ChunksDeduped += be.ChunksDeduped()
 	}
 	return rep, nil
 }
@@ -460,11 +620,21 @@ func (c *Controller) Quiesced() bool {
 // merge tasks keep running: in-flight chunks keep draining through the
 // ordinary late-merge path while sources hold.
 func (c *Controller) pause() error {
+	if c.run.frozen.Load() {
+		// A node restart is tearing the mesh down; frozen sources cannot
+		// quiesce (they must not flush), so the spin below would deadlock
+		// against the restart waiting for reconfigMu.
+		return ErrRecovering
+	}
 	c.run.paused.Store(true)
 	for !c.Quiesced() {
 		if err := c.run.err(); err != nil {
 			c.resume()
 			return err
+		}
+		if c.run.frozen.Load() {
+			c.resume()
+			return ErrRecovering
 		}
 		time.Sleep(20 * time.Microsecond)
 	}
@@ -513,8 +683,8 @@ func (c *Controller) checkCutover(cutover uint64) error {
 func (c *Controller) inflightChunks() int {
 	total := 0
 	for _, cs := range c.consumers {
-		for _, cons := range cs {
-			total += cons.Backlog()
+		for _, e := range cs {
+			total += e.cons.Backlog()
 		}
 	}
 	return total

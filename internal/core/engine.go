@@ -10,6 +10,7 @@ import (
 	"github.com/slash-stream/slash/internal/channel"
 	"github.com/slash-stream/slash/internal/metrics"
 	"github.com/slash-stream/slash/internal/rdma"
+	"github.com/slash-stream/slash/internal/recovery"
 	"github.com/slash-stream/slash/internal/sched"
 	"github.com/slash-stream/slash/internal/ssb"
 )
@@ -46,6 +47,62 @@ type Config struct {
 	// the run: per-task step latency, merge backlog high-water marks, and —
 	// unless Fabric.Metrics is set separately — all verbs/channel counters.
 	Metrics *metrics.Registry
+	// Recovery, when non-nil, arms the checkpoint and crash-recovery plane:
+	// every leader journals epoch-aligned incremental checkpoints to
+	// Recovery.Store, the controller keeps per-link replay rings, and a
+	// failed node can be fenced, restored, and re-joined mid-run (see
+	// Controller.RestartNode). Nil keeps the engine exactly on its
+	// fault-free fast path: no journaling, no rings, no extra branches in
+	// the per-record loop.
+	Recovery *RecoveryOptions
+}
+
+// RecoveryOptions configures the checkpoint/recovery plane.
+type RecoveryOptions struct {
+	// Store receives every node's journal: incremental checkpoints, window
+	// trigger marks, and source-progress records. It must survive node
+	// failures (it models cluster storage / a replicated log). Required.
+	Store recovery.Store
+	// CheckpointCommits is the periodic checkpoint cadence in epoch commits
+	// observed by a leader: after this many sender-epoch commits since the
+	// last checkpoint, the merge task writes one and lets the controller
+	// prune its replay rings. Defaults to 32.
+	CheckpointCommits int
+	// ReplayRing bounds the per-link replay ring (entries). A recovering
+	// node needs every chunk above its last durable checkpoint re-delivered;
+	// if the ring evicted one, the node is beyond the replay horizon and the
+	// run fails with ErrUnrecoverable. Defaults to 4096.
+	ReplayRing int
+	// FenceDelay is how long the failure manager collects link reports
+	// before voting on a suspect — long enough for every task touching the
+	// dead node to observe its own link error. Defaults to 2ms.
+	FenceDelay time.Duration
+	// MaxRestarts bounds node restarts for the run (automatic and manual);
+	// beyond it the run fails with ErrUnrecoverable. Defaults to 8.
+	MaxRestarts int
+	// AutoRestart lets the failure manager restart the voted suspect on its
+	// own. When false, link failures still route to the manager but fail the
+	// run (operators can only restart via RestartNode before that).
+	AutoRestart bool
+}
+
+func (o *RecoveryOptions) fill() error {
+	if o.Store == nil {
+		return errors.New("core: RecoveryOptions.Store is required")
+	}
+	if o.CheckpointCommits <= 0 {
+		o.CheckpointCommits = 32
+	}
+	if o.ReplayRing <= 0 {
+		o.ReplayRing = 4096
+	}
+	if o.FenceDelay <= 0 {
+		o.FenceDelay = 2 * time.Millisecond
+	}
+	if o.MaxRestarts <= 0 {
+		o.MaxRestarts = 8
+	}
+	return nil
 }
 
 func (c *Config) fill() error {
@@ -77,8 +134,26 @@ func (c *Config) fill() error {
 	if c.Channel.SlotSize < need {
 		return fmt.Errorf("core: channel slot %d cannot fit chunk of %d", c.Channel.SlotSize, need)
 	}
+	if c.Recovery != nil {
+		if err := c.Recovery.fill(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
+
+// Errors surfaced by the recovery plane.
+var (
+	// ErrRecovering rejects a reconfiguration barrier while a node restart
+	// is in progress: sources are frozen, so the quiesce spin could never
+	// complete. Callers retry once the restart finished.
+	ErrRecovering = errors.New("core: node restart in progress")
+	// ErrUnrecoverable marks a failure the recovery plane cannot mask: the
+	// replay horizon was exhausted (a ring evicted un-checkpointed chunks),
+	// an input flow cannot rewind, the restart budget ran out, or a fenced
+	// node's tasks never exited.
+	ErrUnrecoverable = errors.New("core: unrecoverable failure")
+)
 
 // Report summarizes one query execution.
 type Report struct {
@@ -103,6 +178,13 @@ type Report struct {
 	BytesMerged  uint64
 	// WindowsOutput is the number of windows triggered cluster-wide.
 	WindowsOutput uint64
+	// ChunksDeduped counts replayed chunks the leaders' epoch-commit
+	// trackers discarded as already merged (recovery runs only).
+	ChunksDeduped uint64
+	// ReplayedChunks sums ring entries re-delivered across all restarts.
+	ReplayedChunks int
+	// Recoveries lists every node restart the recovery plane completed.
+	Recoveries []Recovery
 	// Sched aggregates scheduler counters across all workers.
 	Sched sched.WorkerStats
 }
@@ -133,9 +215,27 @@ type runState struct {
 	// barrier (§7.2): while set, sources flush their fragments under the
 	// pre-barrier partition-map generation and idle; merge tasks keep
 	// draining. See Controller.pause.
-	paused  atomic.Bool
+	paused atomic.Bool
+	// frozen gates sources harder than paused: during a node restart they
+	// idle WITHOUT flushing (a flush would hit links that are being torn
+	// down), while merge tasks keep draining so the restored node's replayed
+	// traffic lands. Set only by the recovery plane.
+	frozen atomic.Bool
+	// retryGen counts completed node restarts. A source task that parks on a
+	// failed flush records the generation it saw and retries the flush once
+	// the generation advanced (the failed link was rebuilt by then).
+	retryGen atomic.Uint64
+	// fenced marks nodes the recovery plane is tearing down; their tasks
+	// exit at the next step instead of touching the dying mesh. Nil when
+	// recovery is off (never fenced).
+	fenced  []atomic.Bool
 	errOnce sync.Once
 	errVal  atomic.Value
+}
+
+// isFenced reports whether node's tasks must exit for a restart.
+func (r *runState) isFenced(node int) bool {
+	return r.fenced != nil && r.fenced[node].Load()
 }
 
 func (r *runState) fail(err error) {

@@ -81,6 +81,19 @@ func (q *Query) validate() error {
 // holistic reports whether the query keeps bag state.
 func (q *Query) holistic() bool { return q.JoinSide != nil }
 
+// RewindableFlow is an optional Flow extension for flows that can be reset
+// to an earlier position — the recovery plane's replay source. After a node
+// restart, the controller rewinds each of the node's flows to the last
+// consumed count whose epoch is committed cluster-wide and re-ingests from
+// there; leaders deduplicate the re-sent epochs. A flow that cannot rewind
+// makes its node unrecoverable (ErrUnrecoverable).
+type RewindableFlow interface {
+	Flow
+	// Rewind repositions the flow so the next Next call returns the record
+	// that followed the first `consumed` records.
+	Rewind(consumed int64)
+}
+
 // SliceFlow replays a pre-generated record slice (the paper's methodology
 // streams pre-generated data from main memory, §8.2.1).
 type SliceFlow struct {
@@ -101,6 +114,17 @@ func (f *SliceFlow) Next(rec *stream.Record) bool {
 	*rec = f.recs[f.pos]
 	f.pos++
 	return true
+}
+
+// Rewind implements RewindableFlow.
+func (f *SliceFlow) Rewind(consumed int64) {
+	if consumed < 0 {
+		consumed = 0
+	}
+	if consumed > int64(len(f.recs)) {
+		consumed = int64(len(f.recs))
+	}
+	f.pos = int(consumed)
 }
 
 // FuncFlow adapts a generator function to Flow.
@@ -164,6 +188,19 @@ func (g *GatedFlow) Ready() bool {
 
 // Open releases the next fence. Safe to call from any goroutine.
 func (g *GatedFlow) Open() { g.stage.Add(1) }
+
+// Rewind implements RewindableFlow. Fence stages are not rewound: recovery
+// replays records the run already released, so the flow's gating history
+// stays where the harness advanced it.
+func (g *GatedFlow) Rewind(consumed int64) {
+	if consumed < 0 {
+		consumed = 0
+	}
+	if consumed > int64(len(g.recs)) {
+		consumed = int64(len(g.recs))
+	}
+	g.pos.Store(consumed)
+}
 
 // AtFence reports whether the flow consumed everything below fence k
 // (0-based) and is parked on it. Harnesses poll this to learn when a phase

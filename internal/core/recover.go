@@ -1,0 +1,820 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/slash-stream/slash/internal/recovery"
+	"github.com/slash-stream/slash/internal/ssb"
+	"github.com/slash-stream/slash/internal/stream"
+)
+
+// This file is the controller half of the checkpoint/recovery plane. The
+// division of labour:
+//
+//   - ssb journals what a LEADER merged (incremental checkpoints of the
+//     inbound delta stream, window-trigger marks) — see internal/ssb.
+//   - this file journals what a SOURCE produced (a progress mark ahead of
+//     every flush), keeps per-link replay rings of everything posted into
+//     the mesh, detects failed nodes from link reports, and runs the
+//     fence → restore → replay → rejoin sequence.
+//
+// Restart correctness rests on two replay sources. The restored node's own
+// past output is re-produced by re-ingesting its input flows from the last
+// journaled flush boundary that committed cluster-wide: flushes serialize
+// fragments in sorted order, so re-ingesting the same record ranges and
+// flushing at the same journaled boundaries re-sends byte-identical epochs,
+// which the leaders' epoch-commit trackers deduplicate exactly. The
+// survivors' past output TO the restored node is re-delivered from the
+// replay rings, filtered by the restored checkpoint's committed-epoch
+// vector. Ring pruning advances only at the node's durable checkpoints, so
+// an evicted entry above the restored horizon is unrecoverable by
+// construction and fails the run typed (ErrUnrecoverable).
+
+// Recovery records one completed node restart for reporting.
+type Recovery struct {
+	// Node is the restarted node id.
+	Node int
+	// Incarnation is the node's new incarnation (1 for the first restart).
+	Incarnation int
+	// Duration is fence-to-rejoin wall-clock time.
+	Duration time.Duration
+	// ReplayedChunks counts ring entries re-delivered to the restored node
+	// (data chunks and heartbeats above its durable checkpoint horizon).
+	ReplayedChunks int
+}
+
+// nodeJournal adapts one node's slice of the recovery store to the ssb
+// Journal interface and adds the engine's own source-progress records. It
+// outlives the node: a restarted incarnation keeps appending under the same
+// node id with a continuous sequence, so the journal stays a single ordered
+// replay log across failures.
+type nodeJournal struct {
+	store recovery.Store
+	node  int
+
+	mu  sync.Mutex
+	seq uint64
+}
+
+func (j *nodeJournal) append(k recovery.Kind, gen uint64, clock []int64, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	return j.store.Append(j.node, &recovery.Record{Kind: k, Seq: j.seq, Gen: gen, Clock: clock, Payload: payload})
+}
+
+// Checkpoint implements ssb.Journal.
+func (j *nodeJournal) Checkpoint(gen uint64, clock []int64, payload []byte) error {
+	return j.append(recovery.KindCheckpoint, gen, clock, payload)
+}
+
+// Trigger implements ssb.Journal.
+func (j *nodeJournal) Trigger(gen uint64, win uint64) error {
+	return j.append(recovery.KindTrigger, gen, nil, ssb.EncodeTriggerPayload(win))
+}
+
+// source appends a source-progress mark. Written AHEAD of the flush it
+// describes, so even an interrupted flush leaves its boundary on record and
+// replay reproduces the epoch byte-for-byte. Retries re-journal the same
+// epoch with the bumped incarnation; replay keeps the last mark per epoch.
+func (j *nodeJournal) source(m sourceMark) error {
+	return j.append(recovery.KindSource, 0, nil, m.encode())
+}
+
+// sourceMark is one source thread's journaled flush intent.
+type sourceMark struct {
+	// Thread is the global thread id (vector clock slot).
+	Thread int
+	// Consumed is the number of records the thread had read from its flow
+	// when the flush started — the replay boundary.
+	Consumed int64
+	// Updates is the thread's state-update count at the boundary (restored
+	// into the replacement task so run totals stay exact).
+	Updates int64
+	// Epoch is the epoch number the flush uses.
+	Epoch uint64
+	// Wm is the thread watermark at the boundary.
+	Wm int64
+	// Inc is the incarnation the flush stamps on its chunks.
+	Inc uint8
+	// Done marks the stream-finishing flush (FinishStream).
+	Done bool
+}
+
+const sourceMarkSize = 38
+
+func (m sourceMark) encode() []byte {
+	b := make([]byte, sourceMarkSize)
+	binary.LittleEndian.PutUint32(b[0:], uint32(m.Thread))
+	binary.LittleEndian.PutUint64(b[4:], uint64(m.Consumed))
+	binary.LittleEndian.PutUint64(b[12:], uint64(m.Updates))
+	binary.LittleEndian.PutUint64(b[20:], m.Epoch)
+	binary.LittleEndian.PutUint64(b[28:], uint64(m.Wm))
+	b[36] = m.Inc
+	if m.Done {
+		b[37] = 1
+	}
+	return b
+}
+
+func decodeSourceMark(p []byte) (sourceMark, error) {
+	if len(p) != sourceMarkSize {
+		return sourceMark{}, fmt.Errorf("core: source mark of %d bytes, want %d", len(p), sourceMarkSize)
+	}
+	return sourceMark{
+		Thread:   int(binary.LittleEndian.Uint32(p[0:])),
+		Consumed: int64(binary.LittleEndian.Uint64(p[4:])),
+		Updates:  int64(binary.LittleEndian.Uint64(p[12:])),
+		Epoch:    binary.LittleEndian.Uint64(p[20:]),
+		Wm:       int64(binary.LittleEndian.Uint64(p[28:])),
+		Inc:      p[36],
+		Done:     p[37] != 0,
+	}, nil
+}
+
+// ringEntry is one retained post: the encoded chunk bytes plus the sender
+// thread and epoch that filter replay against the restored commit horizon.
+type ringEntry struct {
+	thread int
+	epoch  uint64
+	buf    []byte
+}
+
+// replayRing retains the most recent posts of one directed link (src→dst)
+// for re-delivery after dst restarts. Entries are pruned when dst writes a
+// durable checkpoint (everything at or below the committed vector is folded
+// into the journal) and evicted by capacity; an eviction above dst's
+// restored horizon makes dst unrecoverable. The ring lives in the
+// controller, not the channel, so it survives both endpoints' restarts.
+type replayRing struct {
+	mu      sync.Mutex
+	cap     int
+	head    int
+	entries []ringEntry
+	// evicted tracks, per sender thread, the highest epoch that fell off the
+	// ring by capacity — the replay-horizon check.
+	evicted map[int]uint64
+}
+
+func newReplayRing(capacity int) *replayRing {
+	return &replayRing{cap: capacity, evicted: map[int]uint64{}}
+}
+
+// push retains one posted chunk (bytes are copied).
+func (r *replayRing) push(thread int, epoch uint64, buf []byte) {
+	cp := append([]byte(nil), buf...)
+	r.mu.Lock()
+	r.entries = append(r.entries, ringEntry{thread: thread, epoch: epoch, buf: cp})
+	for len(r.entries)-r.head > r.cap {
+		e := r.entries[r.head]
+		r.entries[r.head] = ringEntry{}
+		r.head++
+		if e.epoch > r.evicted[e.thread] {
+			r.evicted[e.thread] = e.epoch
+		}
+	}
+	if r.head > r.cap {
+		r.entries = append(r.entries[:0], r.entries[r.head:]...)
+		r.head = 0
+	}
+	r.mu.Unlock()
+}
+
+// prune drops every entry whose epoch the receiver durably checkpointed.
+// Relative order of the kept entries is preserved (FIFO replay).
+func (r *replayRing) prune(committed []uint64) {
+	r.mu.Lock()
+	kept := make([]ringEntry, 0, len(r.entries)-r.head)
+	for _, e := range r.entries[r.head:] {
+		if e.thread < len(committed) && e.epoch <= committed[e.thread] {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	r.entries = kept
+	r.head = 0
+	r.mu.Unlock()
+}
+
+// clear empties the ring (the sender restarts and will re-produce its
+// un-committed epochs itself, so retained entries would only duplicate).
+func (r *replayRing) clear() {
+	r.mu.Lock()
+	r.entries, r.head = nil, 0
+	r.evicted = map[int]uint64{}
+	r.mu.Unlock()
+}
+
+// horizonErr reports the replay-horizon check: an entry above the restored
+// committed vector was evicted, so the receiver's journal is too far behind
+// this ring to recover.
+func (r *replayRing) horizonErr(committed []uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for th, ep := range r.evicted {
+		var c uint64
+		if th < len(committed) {
+			c = committed[th]
+		}
+		if ep > c {
+			return fmt.Errorf("%w: replay ring evicted epoch %d of thread %d, checkpoint horizon is %d", ErrUnrecoverable, ep, th, c)
+		}
+	}
+	return nil
+}
+
+// replayTo re-delivers every retained entry above the restored commit
+// horizon, in order, through the rebuilt link.
+func (r *replayRing) replayTo(s *chanSender, committed []uint64) (int, error) {
+	r.mu.Lock()
+	entries := append([]ringEntry(nil), r.entries[r.head:]...)
+	r.mu.Unlock()
+	n := 0
+	for _, e := range entries {
+		if e.thread < len(committed) && e.epoch <= committed[e.thread] {
+			continue
+		}
+		if err := s.sendEncoded(e.buf); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// linkReport is one task's observation of a dead link, stamped with the
+// incarnations it was wired against so reports about already-replaced links
+// can be discarded.
+type linkReport struct {
+	src, dst       int
+	srcInc, dstInc int
+	err            error
+}
+
+// recoveryMgr is the failure manager: it collects link reports, votes on
+// the failed node (every broken link names it as one endpoint, so the dead
+// node dominates the tally), and drives the restart. One goroutine,
+// started with the deployment and drained by Wait.
+type recoveryMgr struct {
+	c       *Controller
+	reports chan linkReport
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	// last is the node the previous vote restarted. Ties (a two-node
+	// deployment, where one broken link votes both endpoints equally) break
+	// AWAY from it, so alternating attempts reach the genuinely dead node
+	// within the restart budget.
+	last int
+}
+
+func newRecoveryMgr(c *Controller) *recoveryMgr {
+	return &recoveryMgr{
+		c:       c,
+		reports: make(chan linkReport, 1024),
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+		last:    -1,
+	}
+}
+
+// reportLink routes one link failure to the manager. Non-blocking: under a
+// report storm the queued burst already identifies the failure.
+func (m *recoveryMgr) reportLink(src, dst, srcInc, dstInc int, err error) {
+	select {
+	case m.reports <- linkReport{src: src, dst: dst, srcInc: srcInc, dstInc: dstInc, err: err}:
+	default:
+	}
+}
+
+func (m *recoveryMgr) start() { go m.run() }
+
+// shutdown stops the manager after it finished any in-flight restart.
+func (m *recoveryMgr) shutdown() {
+	select {
+	case <-m.stopCh:
+	default:
+		close(m.stopCh)
+	}
+	<-m.doneCh
+}
+
+func (m *recoveryMgr) run() {
+	defer close(m.doneCh)
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case r := <-m.reports:
+			if m.stale(r) {
+				continue
+			}
+			m.handle(r)
+		}
+	}
+}
+
+// stale reports whether a restart already replaced either endpoint's link
+// incarnation since the report was generated.
+func (m *recoveryMgr) stale(r linkReport) bool {
+	c := m.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.src >= len(c.nodeInc) || r.dst >= len(c.nodeInc) {
+		return true
+	}
+	return r.srcInc != c.nodeInc[r.src] || r.dstInc != c.nodeInc[r.dst]
+}
+
+// handle fences and restarts the node the report burst votes for.
+func (m *recoveryMgr) handle(first linkReport) {
+	c := m.c
+	ro := c.cfg.Recovery
+	burst := []linkReport{first}
+	deadline := time.After(ro.FenceDelay)
+collect:
+	for {
+		select {
+		case r := <-m.reports:
+			burst = append(burst, r)
+		case <-deadline:
+			break collect
+		case <-m.stopCh:
+			break collect
+		}
+	}
+	// A restart in progress (manual, or racing from a previous burst) tears
+	// links down on purpose; its reports look exactly like a failure until
+	// the incarnation bump marks them stale. Judge only once no restart is
+	// in flight.
+	for c.run.frozen.Load() {
+		if c.run.err() != nil {
+			return
+		}
+		select {
+		case <-m.stopCh:
+			return
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+	votes := map[int]int{}
+	incOf := map[int]int{}
+	var cause error
+	for _, r := range burst {
+		if m.stale(r) {
+			continue
+		}
+		// Both endpoints observe a broken link; only the dead node is an
+		// endpoint of EVERY broken link, so it wins the tally. (A two-node
+		// deployment cannot disambiguate — restarting the wrong, healthy
+		// node is still safe: it restores losslessly, and the genuinely
+		// dead node keeps reporting until its own turn, bounded by
+		// MaxRestarts.)
+		votes[r.src]++
+		votes[r.dst]++
+		incOf[r.src], incOf[r.dst] = r.srcInc, r.dstInc
+		if cause == nil {
+			cause = r.err
+		}
+	}
+	suspect, best := -1, 0
+	for n, v := range votes {
+		switch {
+		case v > best:
+			suspect, best = n, v
+		case v == best:
+			if suspect == m.last || (n != m.last && n > suspect) {
+				suspect = n
+			}
+		}
+	}
+	if suspect < 0 {
+		return // every report was stale
+	}
+	m.last = suspect
+	if !ro.AutoRestart {
+		c.run.fail(cause)
+		return
+	}
+	// Condition the restart on the incarnation the reports accused: if a
+	// concurrent (manual) restart already replaced it, the failure is gone
+	// and restarting the fresh incarnation would only lose time.
+	if err := c.restartNodeExpect(suspect, incOf[suspect]); err != nil {
+		return // fatal errors already failed the run inside restartNode
+	}
+	// Discard reports that raced the restart; a fresh one means a new
+	// failure and is handled immediately.
+	for {
+		select {
+		case r := <-m.reports:
+			if !m.stale(r) {
+				m.handle(r)
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// RestartNode fences node id, restores it from its journal, replays the
+// survivors' rings to it, and rejoins it to the mesh — the manual entry
+// point of the same sequence the failure manager runs automatically.
+func (c *Controller) RestartNode(id int) error {
+	return c.restartNode(id)
+}
+
+// Recoveries returns a snapshot of every completed node restart.
+func (c *Controller) Recoveries() []Recovery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Recovery(nil), c.recoveries...)
+}
+
+// threadRestore is one source thread's restoration: where to rewind its
+// flow, the progress counters to resume, and the journaled flush boundaries
+// to replay.
+type threadRestore struct {
+	rewind  int64
+	updates int64
+	epoch   uint64
+	wm      int64
+	inc     uint8
+	done    bool
+	counted bool
+	plan    []planFlush
+}
+
+// restartNode runs the full recovery sequence for node x. Serialized with
+// reconfigurations via reconfigMu; sources are frozen throughout (merge
+// tasks keep draining so restored traffic lands).
+func (c *Controller) restartNode(x int) error {
+	return c.restartNodeExpect(x, -1)
+}
+
+// restartNodeExpect is restartNode conditioned on an incarnation: when
+// expect is non-negative and node x's incarnation already moved past it, the
+// restart is a stale request (a concurrent restart handled the failure) and
+// returns nil without touching the node.
+func (c *Controller) restartNodeExpect(x, expect int) error {
+	ro := c.cfg.Recovery
+	if ro == nil {
+		return fmt.Errorf("core: recovery is not configured")
+	}
+	c.run.frozen.Store(true)
+	defer c.run.frozen.Store(false)
+	c.reconfigMu.Lock()
+	defer c.reconfigMu.Unlock()
+	start := time.Now()
+
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return ErrNotRunning
+	}
+	if expect >= 0 && c.nodeInc[x] != expect {
+		c.mu.Unlock()
+		return nil
+	}
+	if x < 0 || x >= c.cfg.MaxNodes || !containsNode(c.live, x) {
+		c.mu.Unlock()
+		return fmt.Errorf("core: node %d is not live", x)
+	}
+	c.restarts++
+	if c.restarts > ro.MaxRestarts {
+		c.mu.Unlock()
+		err := fmt.Errorf("%w: restart budget of %d exhausted", ErrUnrecoverable, ro.MaxRestarts)
+		c.run.fail(err)
+		return err
+	}
+	// Fence: the node's tasks exit at their next step. Closing every
+	// producer endpoint touching the node unblocks any sender spinning for
+	// credit on a channel whose far end will never poll again.
+	c.run.fenced[x].Store(true)
+	for m := range c.producers[x] {
+		if p := c.producers[x][m]; p != nil {
+			p.Close()
+		}
+	}
+	for m := range c.producers {
+		if p := c.producers[m][x]; p != nil {
+			p.Close()
+		}
+	}
+	oldName := c.nicName(x)
+	sts := c.merges[x]
+	oldSources := c.sources[x]
+	wasRetiring := c.retiring[x]
+	c.mu.Unlock()
+
+	// Wait for the fenced tasks' workers to let go of them.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		exited := sts == nil || sts.exited.Load()
+		for _, st := range oldSources {
+			if !st.exited.Load() && !st.done.Load() {
+				exited = false
+			}
+		}
+		if exited {
+			break
+		}
+		if err := c.run.err(); err != nil {
+			return err // the run died under the restart (e.g. journal failure)
+		}
+		if time.Now().After(deadline) {
+			err := fmt.Errorf("%w: node %d tasks did not exit after fencing", ErrUnrecoverable, x)
+			c.run.fail(err)
+			return err
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	oldDone := make([]bool, len(oldSources))
+	for i, st := range oldSources {
+		oldDone[i] = st.done.Load()
+	}
+
+	c.mu.Lock()
+	// Tear down the dead incarnation. Survivor merge tasks discard the old
+	// link's backlog before adopting the rebuilt one (RemoveInbound stages
+	// ahead of AddInbound), so the dead incarnation's chunks can never
+	// interleave with the restart's — the positional dedup depends on it.
+	for _, m := range c.live {
+		if m == x {
+			continue
+		}
+		kept := c.consumers[m][:0]
+		for _, e := range c.consumers[m] {
+			if e.src == x {
+				c.merges[m].RemoveInbound(e.cons)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		c.consumers[m] = kept
+	}
+	for _, e := range c.consumers[x] {
+		e.cons.Close()
+	}
+	c.consumers[x] = nil
+	for m := range c.producers {
+		c.producers[x][m], c.senders[x][m] = nil, nil
+		c.producers[m][x], c.senders[m][x] = nil, nil
+	}
+	// The dead NIC's counters would vanish with it; fold them into the
+	// run-level accumulators the final Report reads.
+	if nic := c.nics[x]; nic != nil {
+		s := nic.Stats()
+		c.deadTx += s.TxBytes
+		c.deadMsgs += s.TxMsgs
+		c.nics[x] = nil
+	}
+	// Fence at the fabric: the old name can never be reconnected, and any
+	// injector fault state keyed on it stays with the dead incarnation.
+	c.fabric.RemoveNIC(oldName)
+	c.nodeInc[x]++
+	// The node's own outbound rings restart empty: its journaled source
+	// plan re-produces every epoch the receivers have not committed, so
+	// retained entries would only duplicate epochs in the ring.
+	for m := range c.rings[x] {
+		if r := c.rings[x][m]; r != nil {
+			r.clear()
+		}
+	}
+	liveNow := c.live[:0:0]
+	for _, m := range c.live {
+		if m != x {
+			liveNow = append(liveNow, m)
+		}
+	}
+	c.live = liveNow
+	// Unfence before the replacement tasks are born.
+	c.run.fenced[x].Store(false)
+
+	fail := func(err error) error {
+		c.mu.Unlock()
+		c.run.fail(err)
+		return err
+	}
+	// Rebuild the node's row and column of the mesh under its new
+	// incarnation, restore its backend from the journal, and plan its
+	// sources' replay.
+	be, myIn, err := c.buildMesh(x)
+	if err != nil {
+		return fail(err)
+	}
+	c.activateNode(x, be)
+	marks, err := c.replayJournal(x, be)
+	if err != nil {
+		return fail(fmt.Errorf("%w: node %d journal replay: %v", ErrUnrecoverable, x, err))
+	}
+	be.FinishRestore()
+	restored := be.CommittedEpochs()
+	plans, err := c.buildPlans(x, marks, restored, oldDone)
+	if err != nil {
+		return fail(err)
+	}
+	if err := c.makeTasks(x, be, myIn, c.flows[x], plans); err != nil {
+		return fail(err)
+	}
+	if wasRetiring != nil {
+		// The node was draining out of the membership when it died; re-arm
+		// the early exit at its last owned window.
+		c.merges[x].retire(c.q.Window.End(wasRetiring.rec.Cutover - 1))
+	}
+	c.launchNode(x)
+	c.live = append(c.live, x)
+	be.SetPeers(c.live)
+	type replaySrc struct {
+		s *chanSender
+		r *replayRing
+	}
+	var replays []replaySrc
+	for _, m := range c.live {
+		if m == x {
+			continue
+		}
+		if s, r := c.senders[m][x], c.rings[m][x]; s != nil && r != nil {
+			replays = append(replays, replaySrc{s, r})
+		}
+	}
+	c.mu.Unlock()
+
+	// Replay the survivors' rings into the restored node (outside c.mu: the
+	// posts flow against the new merge task's draining). Horizon first: an
+	// evicted entry above the restored checkpoint vector is unrecoverable.
+	replayed := 0
+	for _, rp := range replays {
+		if err := rp.r.horizonErr(restored); err != nil {
+			c.run.fail(err)
+			return err
+		}
+	}
+	for _, rp := range replays {
+		n, err := rp.r.replayTo(rp.s, restored)
+		replayed += n
+		if err != nil {
+			err = fmt.Errorf("core: ring replay to node %d: %w", x, err)
+			c.run.fail(err)
+			return err
+		}
+	}
+
+	rec := Recovery{Node: x, Incarnation: c.nodeInc[x], Duration: time.Since(start), ReplayedChunks: replayed}
+	c.mu.Lock()
+	c.recoveries = append(c.recoveries, rec)
+	c.mu.Unlock()
+	if c.mReplayed != nil {
+		c.mReplayed.Add(uint64(replayed))
+	}
+	if c.mRecDur != nil {
+		// The registry is unitless; like every engine histogram this one
+		// observes nanoseconds despite the conventional _seconds suffix.
+		c.mRecDur.ObserveDuration(rec.Duration)
+	}
+	// Parked flushes may retry: their links exist again.
+	c.run.retryGen.Add(1)
+	return nil
+}
+
+// replayJournal replays node x's journal into its fresh backend, in order:
+// checkpoints merge their staged deltas and fast-forward tracker and clock,
+// trigger marks re-mark fired windows without re-emitting. Source marks are
+// collected for buildPlans.
+func (c *Controller) replayJournal(x int, be *ssb.Backend) ([]sourceMark, error) {
+	recs, err := c.cfg.Recovery.Store.Load(x)
+	if err != nil {
+		return nil, err
+	}
+	var marks []sourceMark
+	for i := range recs {
+		rec := &recs[i]
+		switch rec.Kind {
+		case recovery.KindCheckpoint:
+			if err := be.RestoreCheckpoint(rec.Clock, rec.Payload); err != nil {
+				return nil, err
+			}
+		case recovery.KindTrigger:
+			win, err := ssb.DecodeTriggerPayload(rec.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if err := be.RestoreTrigger(win); err != nil {
+				return nil, err
+			}
+		case recovery.KindSource:
+			m, err := decodeSourceMark(rec.Payload)
+			if err != nil {
+				return nil, err
+			}
+			marks = append(marks, m)
+		default:
+			return nil, fmt.Errorf("core: journal record of unknown kind %d", rec.Kind)
+		}
+	}
+	return marks, nil
+}
+
+// buildPlans turns node x's journaled source marks into per-thread replay
+// plans. The rewind point per thread is the last flush boundary whose epoch
+// is committed at EVERY live backend (the restored one included): epochs at
+// or below it need no re-send, everything above is re-produced by
+// re-ingesting from the boundary and flushing at the journaled boundaries.
+// Callers hold c.mu.
+func (c *Controller) buildPlans(x int, marks []sourceMark, restored []uint64, oldDone []bool) ([]*threadRestore, error) {
+	tpn := c.cfg.ThreadsPerNode
+	committedMin := func(gtid int) uint64 {
+		eMin := uint64(math.MaxUint64)
+		if gtid < len(restored) {
+			eMin = restored[gtid]
+		}
+		for _, m := range c.live {
+			if m == x {
+				continue
+			}
+			if v := c.backends[m].CommittedEpochs(); gtid < len(v) && v[gtid] < eMin {
+				eMin = v[gtid]
+			}
+		}
+		if eMin == uint64(math.MaxUint64) {
+			eMin = 0
+		}
+		return eMin
+	}
+	plans := make([]*threadRestore, tpn)
+	for th := 0; th < tpn; th++ {
+		gtid := x*tpn + th
+		// Last mark per epoch wins: flush retries and earlier incarnations
+		// re-journal an epoch's boundary verbatim with a bumped incarnation.
+		byEpoch := map[uint64]sourceMark{}
+		maxInc := uint8(0)
+		for _, mk := range marks {
+			if mk.Thread != gtid {
+				continue
+			}
+			byEpoch[mk.Epoch] = mk
+			if mk.Inc > maxInc {
+				maxInc = mk.Inc
+			}
+		}
+		epochs := make([]uint64, 0, len(byEpoch))
+		for e := range byEpoch {
+			epochs = append(epochs, e)
+		}
+		sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+
+		eMin := committedMin(gtid)
+		r := &threadRestore{wm: int64(stream.NoWatermark), inc: maxInc + 1}
+		if th < len(oldDone) {
+			r.counted = oldDone[th]
+		}
+		cut := -1
+		for i, e := range epochs {
+			if e <= eMin {
+				cut = i
+			}
+		}
+		if cut >= 0 {
+			base := byEpoch[epochs[cut]]
+			r.rewind = base.Consumed
+			r.updates = base.Updates
+			r.epoch = base.Epoch
+			r.wm = base.Wm
+			r.done = base.Done
+		}
+		for _, e := range epochs[cut+1:] {
+			mk := byEpoch[e]
+			r.plan = append(r.plan, planFlush{consumed: mk.Consumed, done: mk.Done})
+		}
+		plans[th] = r
+	}
+	return plans, nil
+}
+
+// onCheckpoint receives a node's durable commit vector after a periodic
+// checkpoint and prunes every ring feeding it: entries at or below the
+// vector are folded into the journal and need never replay.
+func (c *Controller) onCheckpoint(node int, committed []uint64) {
+	for src := range c.rings {
+		if r := c.rings[src][node]; r != nil {
+			r.prune(committed)
+		}
+	}
+	if c.mCkpts != nil {
+		c.mCkpts.Inc()
+	}
+}
+
+func containsNode(set []int, n int) bool {
+	for _, m := range set {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}

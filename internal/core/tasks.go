@@ -31,6 +31,14 @@ type chanSender struct {
 	// sender blocked in Acquire (detach closes the producer, which unblocks
 	// Acquire with nil).
 	detached atomic.Bool
+
+	// Recovery plumbing; all zero when the recovery plane is off. ring
+	// retains posted chunks for re-delivery to a restarted dst; mgr receives
+	// link-failure reports; the incarnation stamps let the failure manager
+	// discard reports about links that a restart already replaced.
+	mgr            *recoveryMgr
+	ring           *replayRing
+	srcInc, dstInc int
 }
 
 // Send implements ssb.Sender. It encodes the chunk directly into the
@@ -63,15 +71,53 @@ func (s *chanSender) Send(c *ssb.Chunk) error {
 		// transfer failures (bad rkey, CQ overrun, retry exhaustion, credit
 		// timeout); prefer the real cause.
 		if err := s.prod.Err(); err != nil {
+			return s.report(s.wrap(err))
+		}
+		return s.report(s.wrap(channel.ErrClosed))
+	}
+	n := c.Encode(sb.Data)
+	if s.ring != nil {
+		// Retain the encoded bytes before Post recycles the slot. A chunk
+		// whose post then fails stays in the ring: it is the next canonical
+		// chunk of its epoch, so re-delivering it to a restarted dst is
+		// exactly what the replay contract wants.
+		s.ring.push(c.Thread, c.Epoch, sb.Data[:n])
+	}
+	if err := s.prod.Post(sb, n); err != nil {
+		return s.report(s.wrap(err))
+	}
+	return nil
+}
+
+// sendEncoded posts pre-encoded chunk bytes — the ring-replay path of a node
+// restart. It does not re-append to the ring (the bytes came from it).
+func (s *chanSender) sendEncoded(buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(buf) > s.prod.DataSize() {
+		return fmt.Errorf("core: replayed chunk of %d bytes exceeds channel slot %d", len(buf), s.prod.DataSize())
+	}
+	sb := s.prod.Acquire()
+	if sb == nil {
+		if err := s.prod.Err(); err != nil {
 			return s.wrap(err)
 		}
 		return s.wrap(channel.ErrClosed)
 	}
-	n := c.Encode(sb.Data)
-	if err := s.prod.Post(sb, n); err != nil {
+	copy(sb.Data, buf)
+	if err := s.prod.Post(sb, len(buf)); err != nil {
 		return s.wrap(err)
 	}
 	return nil
+}
+
+// report routes a link failure to the failure manager (recovery mode only)
+// and passes the error through for the caller's own handling.
+func (s *chanSender) report(err error) error {
+	if s.mgr != nil {
+		s.mgr.reportLink(s.src, s.dst, s.srcInc, s.dstInc, err)
+	}
+	return err
 }
 
 // wrap names the failed link.
@@ -94,6 +140,7 @@ func (s *chanSender) detach() {
 type sourceTask struct {
 	run     *runState
 	q       *Query
+	node    int
 	flow    Flow
 	gate    ReadyFlow // flow, when it implements ReadyFlow; else nil
 	ts      *ssb.ThreadState
@@ -113,9 +160,35 @@ type sourceTask struct {
 	// is quiesced or done, so no fragment is held across a cutover.
 	quiesced atomic.Bool
 	done     atomic.Bool
+	// exited flips when Step returned Done for any reason — the recovery
+	// plane's signal that a fenced node's worker let go of the task.
+	exited atomic.Bool
+
+	// Recovery plumbing; all nil/zero when the plane is off. jrn journals a
+	// source-progress intent before every flush; plan replays a restarted
+	// thread's journaled flush boundaries so re-sent epochs are byte-
+	// identical to the originals; flushPend/finishPend/parkedGen park a
+	// flush that hit a dead link until the failed node was rebuilt.
+	mgr        *recoveryMgr
+	jrn        *nodeJournal
+	plan       []planFlush
+	flushPend  bool
+	finishPend bool
+	parkedGen  uint64
+	// counted marks a restored task whose predecessor already published its
+	// record/update totals (its FinishStream succeeded before the restart);
+	// the replacement re-finishes the stream but must not publish again.
+	counted bool
 
 	localRecords int64
 	localUpdates int64
+}
+
+// planFlush is one replayed flush boundary: flush (or finish the stream)
+// exactly when the thread's consumed-record count reaches consumed.
+type planFlush struct {
+	consumed int64
+	done     bool
 }
 
 // Name implements sched.Task.
@@ -126,13 +199,43 @@ func (t *sourceTask) Name() string {
 // Step implements sched.Task: process one batch of records, flushing state
 // at epoch boundaries.
 func (t *sourceTask) Step() sched.Status {
-	if t.run.paused.Load() {
+	st := t.step()
+	if st == sched.Done {
+		t.exited.Store(true)
+	}
+	return st
+}
+
+func (t *sourceTask) step() sched.Status {
+	if t.run.isFenced(t.node) {
+		// The recovery plane is tearing this node down; a replacement task
+		// over restored state takes over. Publish nothing — the replacement
+		// republishes counts from its journaled rewind point.
+		return sched.Done
+	}
+	if t.run.frozen.Load() {
+		// A restart is rebuilding part of the mesh: idle WITHOUT flushing
+		// (the flush could target a link mid-teardown).
+		return sched.Idle
+	}
+	if t.flushPend {
+		// A flush died on a failed link. Retry only after a completed
+		// restart rebuilt it; the epoch keeps its number and content, and
+		// the bumped incarnation lets leaders drop the re-sent prefix.
+		if t.run.retryGen.Load() == t.parkedGen {
+			return sched.Idle
+		}
+		return t.runFlush(t.finishPend)
+	}
+	if t.run.paused.Load() && len(t.plan) == 0 {
+		// An active replay plan overrides the barrier: planned flush
+		// boundaries must land exactly where the pre-failure run put them,
+		// and a barrier flush here would split an epoch early. The barrier
+		// simply waits the few steps until the plan drains.
 		if !t.quiesced.Load() {
 			if t.ts.Dirty() {
-				if err := t.ts.Flush(); err != nil {
-					t.run.fail(err)
-					t.done.Store(true)
-					return sched.Done
+				if st := t.runFlush(false); st != sched.Ready {
+					return st
 				}
 			}
 			t.quiesced.Store(true)
@@ -155,14 +258,12 @@ func (t *sourceTask) Step() sched.Status {
 			// The fence can land mid-batch; stop at it, never past it.
 			break
 		}
+		if len(t.plan) > 0 && t.localRecords >= t.plan[0].consumed {
+			// Replayed flush boundary: stop the batch exactly here.
+			break
+		}
 		if !t.flow.Next(&rec) {
-			t.records.Add(t.localRecords)
-			t.updates.Add(t.localUpdates)
-			if err := t.ts.FinishStream(); err != nil {
-				t.run.fail(err)
-			}
-			t.done.Store(true)
-			return sched.Done
+			return t.runFlush(true)
 		}
 		t.localRecords++
 		if t.q.Filter != nil && !t.q.Filter(&rec) {
@@ -190,24 +291,97 @@ func (t *sourceTask) Step() sched.Status {
 			t.localUpdates++
 		}
 	}
+	if len(t.plan) > 0 && t.localRecords >= t.plan[0].consumed {
+		p := t.plan[0]
+		t.plan = t.plan[1:]
+		return t.runFlush(p.done)
+	}
 	if n == 0 {
 		return sched.Idle
 	}
-	if t.ts.Ingest(n * t.recSize) {
-		// Epoch boundary: run the synchronization phase (§7.2.2).
-		if err := t.ts.Flush(); err != nil {
+	if t.ts.Ingest(n*t.recSize) && len(t.plan) == 0 {
+		// Epoch boundary: run the synchronization phase (§7.2.2). While a
+		// replay plan is active the journaled boundaries govern instead
+		// (they sit at or before the natural cadence, and every planned
+		// flush resets the epoch-byte accumulator).
+		return t.runFlush(false)
+	}
+	return sched.Ready
+}
+
+// runFlush journals a source-progress intent (recovery mode) and runs the
+// flush; finish selects FinishStream. The intent is written ahead of the
+// flush so a crash mid-flush still leaves the boundary on record — replay
+// then reproduces the interrupted epoch byte-for-byte and the leaders'
+// positional dedup drops the prefix they already merged. Returns Ready on a
+// plain flush success, Done when the stream finished or the run failed, and
+// Idle when the flush parked on a dead link.
+func (t *sourceTask) runFlush(finish bool) sched.Status {
+	gen := t.run.retryGen.Load()
+	if t.jrn != nil {
+		// The epoch and incarnation the flush is about to use: a fresh flush
+		// bumps the epoch and keeps the incarnation; a retry keeps the epoch
+		// and bumps the incarnation.
+		epoch, inc := t.ts.Epoch()+1, t.ts.Inc()
+		if t.flushPend {
+			epoch, inc = t.ts.Epoch(), t.ts.Inc()+1
+		}
+		err := t.jrn.source(sourceMark{
+			Thread:   t.ts.GlobalThreadID(),
+			Consumed: t.localRecords,
+			Updates:  t.localUpdates,
+			Epoch:    epoch,
+			Wm:       int64(t.ts.Watermark()),
+			Inc:      inc,
+			Done:     finish,
+		})
+		if err != nil {
 			t.run.fail(err)
 			t.done.Store(true)
 			return sched.Done
 		}
 	}
+	var err error
+	if finish {
+		err = t.ts.FinishStream()
+	} else {
+		err = t.ts.Flush()
+	}
+	if err != nil {
+		if t.mgr != nil {
+			// The sender already reported the link; park for retry. gen was
+			// read before the flush, so a restart that raced it advances the
+			// generation past gen and the retry fires immediately.
+			t.flushPend, t.finishPend = true, finish
+			t.parkedGen = gen
+			return sched.Idle
+		}
+		t.run.fail(err)
+		t.done.Store(true)
+		return sched.Done
+	}
+	t.flushPend, t.finishPend = false, false
+	if finish {
+		// Publish counts only after FinishStream landed: a crash between
+		// publish and finish would double-count once the replacement task
+		// replays the finish.
+		if !t.counted {
+			t.records.Add(t.localRecords)
+			t.updates.Add(t.localUpdates)
+		}
+		t.done.Store(true)
+		return sched.Done
+	}
 	return sched.Ready
 }
 
 // inbound pairs a consumer endpoint with the node it receives from, so a
-// consumer-side failure can name the link.
+// consumer-side failure can name the link. inc is the source node's
+// incarnation when the link was wired (recovery mode), letting the failure
+// manager discard reports about links a restart already replaced.
 type inbound struct {
 	src  int
+	inc  int
 	cons *channel.Consumer
 }
 
@@ -230,10 +404,25 @@ type mergeTask struct {
 	// lowest-numbered ones first.
 	rr int
 
-	// addMu/added stage inbound links from executors that joined after this
-	// task started (§7.2 scale-out): the controller appends, Step adopts.
-	addMu sync.Mutex
-	added []inbound
+	// addMu/added/removed stage inbound-link changes from the controller:
+	// added brings links from executors that joined after this task started
+	// (§7.2 scale-out) or were rebuilt by a restart; removed retires a dead
+	// incarnation's link. Step applies removals before additions, so a
+	// restarted peer's old backlog can never interleave with its new
+	// chunks — the positional dedup depends on that order.
+	addMu   sync.Mutex
+	added   []inbound
+	removed []*channel.Consumer
+
+	// Recovery plumbing; nil/zero when the plane is off. selfInc stamps
+	// failure reports; ckptEvery is the periodic checkpoint cadence in epoch
+	// commits; onCkpt hands the durable commit vector to the controller for
+	// replay-ring pruning; exited signals a fenced task let go.
+	mgr       *recoveryMgr
+	selfInc   int
+	ckptEvery int
+	onCkpt    func(node int, committed []uint64)
+	exited    atomic.Bool
 
 	// retiring marks this node as removed from the partition map at cutover
 	// window retireCut: once the clock covers retireEnd — the end timestamp
@@ -258,11 +447,30 @@ func (t *mergeTask) Name() string { return fmt.Sprintf("merge(node=%d)", t.node)
 
 // Step implements sched.Task.
 func (t *mergeTask) Step() sched.Status {
+	st := t.step()
+	if st == sched.Done {
+		t.exited.Store(true)
+	}
+	return st
+}
+
+func (t *mergeTask) step() sched.Status {
+	if t.run.isFenced(t.node) {
+		// The recovery plane is tearing this node down; a replacement task
+		// over journal-restored state takes over.
+		return sched.Done
+	}
 	if t.mStep != nil {
 		start := time.Now()
 		defer func() { t.mStep.Observe(time.Since(start).Nanoseconds()) }()
 	}
 	t.addMu.Lock()
+	if len(t.removed) > 0 {
+		for _, rc := range t.removed {
+			t.dropCons(rc)
+		}
+		t.removed = t.removed[:0]
+	}
 	if len(t.added) > 0 {
 		t.cons = append(t.cons, t.added...)
 		t.added = t.added[:0]
@@ -270,6 +478,7 @@ func (t *mergeTask) Step() sched.Status {
 	t.addMu.Unlock()
 	progress := false
 	budget := chunksPerMergeStep
+	var dead []inbound
 	for i := 0; i < len(t.cons) && budget > 0; i++ {
 		in := t.cons[(t.rr+i)%len(t.cons)]
 		cons := in.cons
@@ -280,6 +489,14 @@ func (t *mergeTask) Step() sched.Status {
 			rb, ok := cons.TryPoll()
 			if !ok {
 				if err := cons.Err(); err != nil {
+					if t.mgr != nil {
+						// Dead link: report, stop polling it, keep merging
+						// the healthy peers. The failure manager decides who
+						// actually died and rebuilds the link.
+						t.mgr.reportLink(in.src, t.node, in.inc, t.selfInc, t.wrap(in, err))
+						dead = append(dead, in)
+						break
+					}
 					t.run.fail(t.wrap(in, err))
 					return sched.Done
 				}
@@ -289,10 +506,18 @@ func (t *mergeTask) Step() sched.Status {
 			if err == nil {
 				err = t.be.HandleChunk(&chunk)
 			}
-			if err == nil {
-				err = cons.Release(rb)
-			}
 			if err != nil {
+				// Corrupt or unroutable chunks are logic errors, not link
+				// failures — recovery cannot mask them.
+				t.run.fail(t.wrap(in, err))
+				return sched.Done
+			}
+			if err := cons.Release(rb); err != nil {
+				if t.mgr != nil {
+					t.mgr.reportLink(in.src, t.node, in.inc, t.selfInc, t.wrap(in, err))
+					dead = append(dead, in)
+					break
+				}
 				t.run.fail(t.wrap(in, err))
 				return sched.Done
 			}
@@ -300,11 +525,33 @@ func (t *mergeTask) Step() sched.Status {
 			progress = true
 		}
 	}
+	for _, d := range dead {
+		t.dropCons(d.cons)
+	}
 	if len(t.cons) > 0 {
 		t.rr = (t.rr + 1) % len(t.cons)
 	}
 	if n := t.be.TriggerReady(t.emitAgg, t.emitBag); n > 0 {
 		progress = true
+	}
+	if t.ckptEvery > 0 {
+		// A journal that fell behind voids the recovery contract: fail loudly
+		// rather than risk an unrecoverable restore later.
+		if err := t.be.JournalErr(); err != nil {
+			t.run.fail(err)
+			return sched.Done
+		}
+		if t.be.CheckpointDue(t.ckptEvery) {
+			committed, err := t.be.Checkpoint()
+			if err != nil {
+				t.run.fail(err)
+				return sched.Done
+			}
+			if t.onCkpt != nil {
+				t.onCkpt(t.node, committed)
+			}
+			progress = true
+		}
 	}
 	if t.be.PendingWindows() == 0 {
 		if t.be.Clock().Covers(math.MaxInt64) {
@@ -336,6 +583,28 @@ func (t *mergeTask) AddInbound(in inbound) {
 	t.addMu.Lock()
 	t.added = append(t.added, in)
 	t.addMu.Unlock()
+}
+
+// RemoveInbound stages retirement of one consumer endpoint (a dead
+// incarnation's link). The task discards its backlog and closes it at its
+// next step, always before adopting any staged addition.
+func (t *mergeTask) RemoveInbound(cons *channel.Consumer) {
+	t.addMu.Lock()
+	t.removed = append(t.removed, cons)
+	t.addMu.Unlock()
+}
+
+// dropCons removes one consumer from the live set, discards whatever the
+// dead incarnation left in its backlog, and closes it.
+func (t *mergeTask) dropCons(cons *channel.Consumer) {
+	for i := range t.cons {
+		if t.cons[i].cons == cons {
+			t.cons = append(t.cons[:i], t.cons[i+1:]...)
+			break
+		}
+	}
+	cons.DiscardBacklog()
+	cons.Close()
 }
 
 // retire schedules early exit: this node's last owned window is the one

@@ -123,6 +123,7 @@ func Experiments() []Experiment {
 		{"ablations", "Design ablations: WRITE vs READ transfer, polling, epoch length", Ablations},
 		{"chaos", "Failure semantics: seeded fault injection (drops, flaps, link kill)", Chaos},
 		{"elastic", "§7.2/§8: elastic 4->8->4 scale at epoch-aligned cutovers, zero state migration", Elastic},
+		{"recovery", "Failure handling: epoch-aligned checkpoint, node kill, fence-restore-replay", Recovery},
 	}
 }
 

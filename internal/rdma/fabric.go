@@ -120,6 +120,20 @@ func (f *Fabric) NewNIC(name string) (*NIC, error) {
 	return n, nil
 }
 
+// RemoveNIC unregisters a NIC from the fabric — the fencing hook of the
+// recovery plane: once a failed node's NIC is removed, no new queue pair can
+// form to it, so a fenced executor cannot be re-connected by a stale peer.
+// Existing QPs keep their direct references and keep failing with their
+// latched error states; the injector's per-name fault state (IsolateNIC)
+// keeps referring to the dead instance, which is why a restarted node comes
+// back under a fresh, incarnation-stamped name. Removing an unknown name is
+// a no-op so fencing is idempotent.
+func (f *Fabric) RemoveNIC(name string) {
+	f.mu.Lock()
+	delete(f.nics, name)
+	f.mu.Unlock()
+}
+
 // MustNIC is NewNIC for static topologies; it panics on duplicate names.
 func (f *Fabric) MustNIC(name string) *NIC {
 	n, err := f.NewNIC(name)

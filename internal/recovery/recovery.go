@@ -1,0 +1,180 @@
+// Package recovery owns durable checkpoint storage for the Slash engine:
+// per-node append-only journals of checkpoint, window-trigger, and
+// source-progress records, plus the manifest summarizing a journal's latest
+// durable cut. The epoch-based coherence protocol (§7.2.2) makes the records
+// cheap to produce — every helper fragment is empty at an epoch boundary, so
+// a leader-local snapshot between HandleChunk calls is a consistent cut —
+// and this package makes them survive the executor that wrote them.
+//
+// The package is storage only: record payloads are opaque byte strings
+// encoded by internal/ssb (checkpoint deltas) and internal/core (source
+// progress), so recovery sits below both in the dependency order.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Kind tags one journal record.
+type Kind uint8
+
+// Record kinds. A journal interleaves all three in append order; replaying
+// them in order reconstructs the node state at the crash point.
+const (
+	// KindCheckpoint carries an incremental ssb checkpoint: the log bytes
+	// each primary window gained since the previous checkpoint, the vector
+	// clock, and the per-thread epoch-commit state.
+	KindCheckpoint Kind = iota + 1
+	// KindTrigger marks a window as fired. It is appended in the same merge
+	// step that emitted the window, so a restore never re-emits it.
+	KindTrigger
+	// KindSource records one source thread's progress after a successful
+	// epoch flush: records consumed, epoch counter, watermark, incarnation.
+	KindSource
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindTrigger:
+		return "trigger"
+	case KindSource:
+		return "source"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one journal entry. Seq is assigned by the writer and must
+// increase per node; Gen stamps the partition-map generation in force when
+// the record was written; Clock stamps checkpoint records with the writer's
+// vector clock (nil for the small record kinds).
+type Record struct {
+	Kind    Kind
+	Seq     uint64
+	Gen     uint64
+	Clock   []int64
+	Payload []byte
+}
+
+// clone deep-copies a record so stores never alias caller memory.
+func (r *Record) clone() Record {
+	out := Record{Kind: r.Kind, Seq: r.Seq, Gen: r.Gen}
+	if r.Clock != nil {
+		out.Clock = append([]int64(nil), r.Clock...)
+	}
+	if r.Payload != nil {
+		out.Payload = append([]byte(nil), r.Payload...)
+	}
+	return out
+}
+
+// Store persists per-node journals. Implementations must be safe for
+// concurrent use: a node's merge task and source threads append while the
+// controller loads another node's journal during a restart.
+type Store interface {
+	// Append durably adds rec to node's journal.
+	Append(node int, rec *Record) error
+	// Load returns node's journal in append order. A journal whose tail was
+	// torn by a crash loads its intact prefix (see DirStore); a node that
+	// never wrote loads an empty, non-error journal.
+	Load(node int) ([]Record, error)
+}
+
+// MemStore is an in-memory Store: the default for tests and in-process
+// recovery experiments, where the "durable" domain is the process.
+type MemStore struct {
+	mu       sync.Mutex
+	journals map[int][]Record
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{journals: make(map[int][]Record)}
+}
+
+// Append implements Store.
+func (s *MemStore) Append(node int, rec *Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journals[node] = append(s.journals[node], rec.clone())
+	return nil
+}
+
+// Load implements Store.
+func (s *MemStore) Load(node int) ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := s.journals[node]
+	out := make([]Record, len(recs))
+	for i := range recs {
+		out[i] = recs[i].clone()
+	}
+	return out, nil
+}
+
+// Records returns the total number of records across all journals.
+func (s *MemStore) Records() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.journals {
+		n += len(j)
+	}
+	return n
+}
+
+// ErrManifestEmpty reports a manifest request for a journal with no records.
+var ErrManifestEmpty = errors.New("recovery: journal is empty")
+
+// Manifest summarizes one node journal's latest durable cut: the sequence
+// number, partition-map generation, and vector-clock stamp of the newest
+// checkpoint, plus record counts per kind. The clock stamp is what makes
+// the cut comparable across nodes — two manifests with incomparable clocks
+// belong to concurrent cuts.
+type Manifest struct {
+	// Node is the journal owner.
+	Node int
+	// Records is the total journal length.
+	Records int
+	// Seq is the highest record sequence number.
+	Seq uint64
+	// Gen is the partition-map generation of the newest checkpoint (zero
+	// when no checkpoint was taken).
+	Gen uint64
+	// Clock is the vector-clock stamp of the newest checkpoint (nil when no
+	// checkpoint was taken).
+	Clock []int64
+	// Checkpoints, Triggers, and SourceMarks count records per kind.
+	Checkpoints int
+	Triggers    int
+	SourceMarks int
+}
+
+// BuildManifest summarizes a loaded journal.
+func BuildManifest(node int, recs []Record) (Manifest, error) {
+	if len(recs) == 0 {
+		return Manifest{}, fmt.Errorf("%w: node %d", ErrManifestEmpty, node)
+	}
+	m := Manifest{Node: node, Records: len(recs)}
+	for i := range recs {
+		r := &recs[i]
+		if r.Seq > m.Seq {
+			m.Seq = r.Seq
+		}
+		switch r.Kind {
+		case KindCheckpoint:
+			m.Checkpoints++
+			m.Gen = r.Gen
+			m.Clock = append([]int64(nil), r.Clock...)
+		case KindTrigger:
+			m.Triggers++
+		case KindSource:
+			m.SourceMarks++
+		}
+	}
+	return m, nil
+}

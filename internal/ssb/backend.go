@@ -46,13 +46,20 @@ type Chunk struct {
 	Partition int
 	// Kind distinguishes data chunks from heartbeats.
 	Kind ChunkKind
+	// Inc is the sender thread's incarnation: bumped when a failed flush is
+	// retried and when a recovered node re-flushes after a restart. Leaders
+	// in recoverable mode use an incarnation bump to arm duplicate
+	// suppression for the prefix of the epoch they already merged. The wire
+	// field is one byte; restart counts are bounded far below 255 (see
+	// core's MaxRestarts), so saturation is a non-issue in practice.
+	Inc uint8
 	// Payload is a raw log region (ChunkData only).
 	Payload []byte
 }
 
 // ChunkHeaderSize is the wire size of an encoded chunk header:
 // window u64 | epoch u64 | watermark i64 | gen u64 | thread u32 |
-// partition u32 | kind u8 | reserved [3]u8 | paylen u32.
+// partition u32 | kind u8 | inc u8 | reserved [2]u8 | paylen u32.
 const ChunkHeaderSize = 48
 
 // EncodedSize returns the wire size of the chunk.
@@ -67,7 +74,8 @@ func (c *Chunk) Encode(dst []byte) int {
 	putU32(dst[32:], uint32(c.Thread))
 	putU32(dst[36:], uint32(c.Partition))
 	dst[40] = byte(c.Kind)
-	dst[41], dst[42], dst[43] = 0, 0, 0
+	dst[41] = c.Inc
+	dst[42], dst[43] = 0, 0
 	putU32(dst[44:], uint32(len(c.Payload)))
 	copy(dst[ChunkHeaderSize:], c.Payload)
 	return ChunkHeaderSize + len(c.Payload)
@@ -87,6 +95,7 @@ func DecodeChunk(src []byte) (Chunk, error) {
 		Thread:    int(getU32(src[32:])),
 		Partition: int(getU32(src[36:])),
 		Kind:      ChunkKind(src[40]),
+		Inc:       src[41],
 	}
 	if c.Kind != ChunkData && c.Kind != ChunkHeartbeat {
 		return Chunk{}, fmt.Errorf("%w: kind %d", ErrChunkFormat, c.Kind)
@@ -139,6 +148,18 @@ type Config struct {
 	// WindowEnd maps a window id to its end timestamp, provided by the
 	// window assigner. A window triggers once the vector clock covers it.
 	WindowEnd func(win uint64) stream.Watermark
+	// Recoverable enables the epoch-commit tracker: the leader tracks, per
+	// sender thread, which epochs are fully merged (committed by their
+	// trailing heartbeat) and suppresses duplicates when chunks are replayed
+	// after a failure — from upstream replay rings or from a re-flushing,
+	// incarnation-bumped sender. Off (the default), replayed traffic is a
+	// protocol violation and duplicate checks cost nothing.
+	Recoverable bool
+	// Journal, when non-nil, receives this leader's durable recovery
+	// records: incremental checkpoints (the inbound delta log since the
+	// previous checkpoint, with the vector clock and tracker state) and
+	// window-trigger marks. Setting it implies Recoverable.
+	Journal Journal
 }
 
 // DefaultChunkSize caps chunk payloads when Config.ChunkSize is zero.
@@ -188,6 +209,14 @@ type Backend struct {
 	lastEpoch []uint64
 	tablePool []*Table
 
+	// Recovery state (nil / empty unless Config.Recoverable): the
+	// epoch-commit tracker, the pending incremental-checkpoint log (inbound
+	// deltas merged since the last checkpoint record), and the first journal
+	// error, latched because TriggerReady cannot return it.
+	tracker *epochTracker
+	ckptLog []byte
+	jErr    error
+
 	// statistics
 	chunksMerged  uint64
 	bytesMerged   uint64
@@ -224,6 +253,9 @@ func New(cfg Config, senders []Sender) (*Backend, error) {
 	if len(senders) != cfg.MaxNodes {
 		return nil, fmt.Errorf("ssb: %d senders for capacity %d", len(senders), cfg.MaxNodes)
 	}
+	if cfg.Journal != nil {
+		cfg.Recoverable = true
+	}
 	static := cfg.Map == nil
 	if static {
 		cfg.Map = StaticPartitionMap(cfg.Nodes)
@@ -236,6 +268,9 @@ func New(cfg Config, senders []Sender) (*Backend, error) {
 		triggered: make(map[uint64]bool),
 		clock:     vclock.NewRetired(cfg.MaxNodes * cfg.ThreadsPerNode),
 		lastEpoch: make([]uint64, cfg.MaxNodes*cfg.ThreadsPerNode),
+	}
+	if cfg.Recoverable {
+		b.tracker = newEpochTracker(cfg.MaxNodes * cfg.ThreadsPerNode)
 	}
 	// Every clock entry starts retired (+inf: never holds a trigger back);
 	// membership activation flips a node's entries live. A static
@@ -388,6 +423,9 @@ func (b *Backend) HandleChunk(c *Chunk) error {
 	if c.Thread < 0 || c.Thread >= b.cfg.MaxNodes*b.cfg.ThreadsPerNode {
 		return fmt.Errorf("%w: thread %d", ErrChunkFormat, c.Thread)
 	}
+	if b.tracker != nil {
+		return b.handleChunkRecoverable(c)
+	}
 	if c.Epoch < b.lastEpoch[c.Thread] {
 		return fmt.Errorf("%w: epoch %d after %d from thread %d", ErrStaleEpoch, c.Epoch, b.lastEpoch[c.Thread], c.Thread)
 	}
@@ -441,6 +479,13 @@ func (b *Backend) TriggerReady(emitAgg EmitAgg, emitBag EmitBag) int {
 	}
 	// Deterministic output order across runs.
 	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	if len(ready) > 0 && b.cfg.Journal != nil {
+		// Make everything merged so far durable before the trigger marks:
+		// a restore replays the journal in order, so the deltas a trigger
+		// consumed must precede it or the restored tracker undercounts the
+		// epoch prefix already applied.
+		b.flushCheckpointLocked()
+	}
 	for _, win := range ready {
 		tbl := b.primary[win]
 		if b.cfg.Agg != nil {
@@ -459,6 +504,17 @@ func (b *Backend) TriggerReady(emitAgg EmitAgg, emitBag EmitBag) int {
 		delete(b.primary, win)
 		b.triggered[win] = true
 		b.windowsOutput++
+		if b.cfg.Journal != nil {
+			// The trigger mark is appended in the same merge step that
+			// emitted the window, so a restore never re-emits it. The
+			// emit-then-append gap is unreachable in-process: a fenced node's
+			// merge task finishes its step before teardown proceeds, so both
+			// happen or neither. A future out-of-process port would need a
+			// transactional sink to close it.
+			if err := b.cfg.Journal.Trigger(b.pmap.GenFor(win), win); err != nil && b.jErr == nil {
+				b.jErr = err
+			}
+		}
 	}
 	return len(ready)
 }
@@ -519,6 +575,20 @@ type ThreadState struct {
 	wm    stream.Watermark
 	epoch uint64
 	pend  int64 // bytes ingested since last flush
+
+	// inc is the thread's incarnation, stamped on every chunk: bumped when a
+	// failed flush is retried and restored (pre-bumped) after a node
+	// restart, so leaders can suppress the prefix of the epoch they already
+	// merged (see epochTracker).
+	inc uint8
+	// inFlight / dataDone are the flush state machine for retries: a flush
+	// that failed mid-transfer keeps its epoch (inFlight) and, once the data
+	// phase completed and the fragments were recycled, retries resume at the
+	// heartbeat phase (dataDone).
+	inFlight bool
+	dataDone bool
+	// flushKeys is the scratch slice for deterministic flush ordering.
+	flushKeys []tableKey
 
 	// maxWin is the highest window id this thread ever created state for
 	// (hasWin guards window 0). The controller reads it at the quiesce
@@ -661,59 +731,94 @@ func (ts *ThreadState) StateBytes() int {
 //
 // A heartbeat chunk goes to every leader so the vector clock advances even
 // where no data flowed.
+//
+// A flush that returns an error may be retried (the recovery plane does,
+// after the failed link is rebuilt): the retry keeps the same epoch and
+// content — callers must not ingest between failure and retry — but bumps
+// the thread incarnation, and because fragments serialize in sorted key
+// order the retried chunk sequence is byte-identical, letting leaders drop
+// exactly the prefix they already merged.
 func (ts *ThreadState) Flush() error {
-	ts.epoch++
-	ts.flushes++
-	ts.pend = 0
-	for key, tbl := range ts.tables {
-		if tbl.LogBytes() == 0 {
-			continue
-		}
-		// Data chunks deliberately carry no watermark promise: the flush's
-		// remaining chunks still hold records below ts.wm, so advancing the
-		// leader's clock here could trigger a window whose data is still in
-		// flight. The trailing heartbeat (sent last, FIFO behind all data)
-		// carries the real watermark.
-		c := Chunk{
-			Window:    key.win,
-			Epoch:     ts.epoch,
-			Watermark: stream.NoWatermark,
-			Gen:       key.gen,
-			Thread:    ts.gtid,
-			Partition: key.part,
-			Kind:      ChunkData,
-		}
-		err := tbl.SerializeDelta(ts.be.cfg.ChunkSize, func(region []byte) error {
-			c.Payload = region
-			ts.chunksSent++
-			ts.bytesShipped += uint64(len(region))
-			return ts.deliver(&c, key.part)
-		})
-		if err != nil {
-			return err
-		}
+	if !ts.inFlight {
+		ts.epoch++
+		ts.flushes++
+		ts.pend = 0
+		ts.inFlight = true
+		ts.dataDone = false
+	} else {
+		// Retrying the failed epoch: same content, next incarnation.
+		ts.inc++
 	}
-	// Invalidate everything shipped (§7.2.2 step 4) and recycle the table
-	// capacity for the next epoch's fragments.
-	ts.invalidateCache()
-	for k, t := range ts.tables {
-		if len(ts.pool) < 64 {
-			t.Reset()
-			ts.pool = append(ts.pool, t)
+	if !ts.dataDone {
+		keys := ts.flushKeys[:0]
+		for k := range ts.tables {
+			keys = append(keys, k)
 		}
-		delete(ts.tables, k)
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.win != b.win {
+				return a.win < b.win
+			}
+			if a.part != b.part {
+				return a.part < b.part
+			}
+			return a.gen < b.gen
+		})
+		ts.flushKeys = keys
+		for _, key := range keys {
+			tbl := ts.tables[key]
+			if tbl.LogBytes() == 0 {
+				continue
+			}
+			// Data chunks deliberately carry no watermark promise: the flush's
+			// remaining chunks still hold records below ts.wm, so advancing the
+			// leader's clock here could trigger a window whose data is still in
+			// flight. The trailing heartbeat (sent last, FIFO behind all data)
+			// carries the real watermark.
+			c := Chunk{
+				Window:    key.win,
+				Epoch:     ts.epoch,
+				Watermark: stream.NoWatermark,
+				Gen:       key.gen,
+				Thread:    ts.gtid,
+				Partition: key.part,
+				Kind:      ChunkData,
+				Inc:       ts.inc,
+			}
+			err := tbl.SerializeDelta(ts.be.cfg.ChunkSize, func(region []byte) error {
+				c.Payload = region
+				ts.chunksSent++
+				ts.bytesShipped += uint64(len(region))
+				return ts.deliver(&c, key.part)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		// Invalidate everything shipped (§7.2.2 step 4) and recycle the table
+		// capacity for the next epoch's fragments.
+		ts.invalidateCache()
+		for k, t := range ts.tables {
+			if len(ts.pool) < 64 {
+				t.Reset()
+				ts.pool = append(ts.pool, t)
+			}
+			delete(ts.tables, k)
+		}
+		ts.dataDone = true
 	}
 	// Heartbeats carry the watermark to every live leader. The peer set —
 	// not the partition map — decides who hears heartbeats: a retired
 	// leader keeps draining pre-cutover windows but is removed from the
 	// peer set once covered, so no traffic targets a torn-down channel.
-	hb := Chunk{Epoch: ts.epoch, Watermark: ts.wm, Gen: ts.be.pmap.CurrentGen(), Thread: ts.gtid, Kind: ChunkHeartbeat}
+	hb := Chunk{Epoch: ts.epoch, Watermark: ts.wm, Gen: ts.be.pmap.CurrentGen(), Thread: ts.gtid, Kind: ChunkHeartbeat, Inc: ts.inc}
 	for _, part := range ts.be.Peers() {
 		hb.Partition = part
 		if err := ts.deliver(&hb, part); err != nil {
 			return err
 		}
 	}
+	ts.inFlight = false
 	return nil
 }
 
@@ -728,6 +833,24 @@ func (ts *ThreadState) MaxWindow() (uint64, bool) { return ts.maxWin, ts.hasWin 
 // cutover (a dirty thread could stamp a stale generation on a later flush).
 func (ts *ThreadState) Dirty() bool {
 	return len(ts.tables) > 0 || ts.pend > 0
+}
+
+// Epoch returns the thread's epoch counter (the epoch of the last flush).
+func (ts *ThreadState) Epoch() uint64 { return ts.epoch }
+
+// Inc returns the thread's current incarnation.
+func (ts *ThreadState) Inc() uint8 { return ts.inc }
+
+// RestoreProgress rewinds a fresh thread to journaled source progress: the
+// epoch counter resumes so re-flushed epochs carry their original numbers
+// (the leaders' commit tracking dedups them), the watermark resumes at the
+// rewind point (re-ingested records re-derive it monotonically), and the
+// incarnation is the restart's — callers pass the journaled incarnation
+// plus one so leaders arm duplicate suppression on first contact.
+func (ts *ThreadState) RestoreProgress(epoch uint64, wm stream.Watermark, inc uint8) {
+	ts.epoch = epoch
+	ts.wm = wm
+	ts.inc = inc
 }
 
 // FinishStream flushes remaining state with a watermark of +infinity,

@@ -1,0 +1,367 @@
+package ssb
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/stream"
+)
+
+// memJournal records Journal appends in order, like core's store-backed
+// implementation but in memory and without sequence stamping.
+type memJournal struct {
+	recs []memJournalRec
+	fail error
+}
+
+type memJournalRec struct {
+	trigger bool
+	gen     uint64
+	win     uint64
+	clock   []int64
+	payload []byte
+}
+
+func (j *memJournal) Checkpoint(gen uint64, clock []int64, payload []byte) error {
+	if j.fail != nil {
+		return j.fail
+	}
+	j.recs = append(j.recs, memJournalRec{
+		gen:     gen,
+		clock:   append([]int64(nil), clock...),
+		payload: append([]byte(nil), payload...),
+	})
+	return nil
+}
+
+func (j *memJournal) Trigger(gen, win uint64) error {
+	if j.fail != nil {
+		return j.fail
+	}
+	j.recs = append(j.recs, memJournalRec{trigger: true, gen: gen, win: win})
+	return nil
+}
+
+// deltaPayload serializes a single-entry aggregate delta for key/v.
+func deltaPayload(t *testing.T, key uint64, v int64) []byte {
+	t.Helper()
+	tbl := NewAggTable(crdt.Sum{})
+	if err := tbl.UpdateAgg(&stream.Record{Key: key, Time: 1, V0: v}); err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	err := tbl.SerializeDelta(1<<20, func(r []byte) error {
+		out = append([]byte(nil), r...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func recoverableBackend(t *testing.T, j Journal) *Backend {
+	t.Helper()
+	b, err := New(Config{
+		Node: 0, Nodes: 1, ThreadsPerNode: 2,
+		Agg: crdt.Sum{}, WindowEnd: fixedWindowEnd,
+		Recoverable: true, Journal: j,
+	}, make([]Sender, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func sumAt(t *testing.T, b *Backend, win, key uint64) int64 {
+	t.Helper()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	tbl := b.primary[win]
+	if tbl == nil {
+		return 0
+	}
+	state, ok := tbl.GetAgg(key)
+	if !ok {
+		return 0
+	}
+	return crdt.Sum{}.Result(state)
+}
+
+// TestRecoverableDedup drives the epoch-commit tracker by hand: a partial
+// epoch from incarnation 0, a full incarnation-1 re-send (the flush-retry
+// wire pattern), and replays of a committed epoch. Every payload must merge
+// exactly once.
+func TestRecoverableDedup(t *testing.T) {
+	b := recoverableBackend(t, nil)
+	data := func(epoch uint64, inc uint8, key uint64) *Chunk {
+		return &Chunk{
+			Window: 0, Epoch: epoch, Watermark: stream.NoWatermark,
+			Thread: 1, Partition: 0, Kind: ChunkData, Inc: inc,
+			Payload: deltaPayload(t, key, 1),
+		}
+	}
+	hb := func(epoch uint64, inc uint8, wm stream.Watermark) *Chunk {
+		return &Chunk{Epoch: epoch, Watermark: wm, Thread: 1, Partition: 0, Kind: ChunkHeartbeat, Inc: inc}
+	}
+	// Incarnation 0 delivers a partial epoch 1: keys 1 and 2.
+	for _, k := range []uint64{1, 2} {
+		if err := b.HandleChunk(data(1, 0, k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The sender's flush failed mid-epoch and retries: incarnation 1 re-sends
+	// the whole epoch (keys 1, 2, 3) plus the trailing heartbeat.
+	for _, k := range []uint64{1, 2, 3} {
+		if err := b.HandleChunk(data(1, 1, k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.HandleChunk(hb(1, 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// A replayed chunk of the now-committed epoch drops silently.
+	if err := b.HandleChunk(data(1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{1, 2, 3} {
+		if got := sumAt(t, b, 0, k); got != 1 {
+			t.Fatalf("key %d merged %d times, want 1", k, got)
+		}
+	}
+	if got := b.ChunksDeduped(); got != 3 {
+		t.Fatalf("ChunksDeduped = %d, want 3", got)
+	}
+	// A fresh epoch from the new incarnation merges normally.
+	if err := b.HandleChunk(data(2, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sumAt(t, b, 0, 1); got != 2 {
+		t.Fatalf("key 1 after epoch 2 = %d, want 2", got)
+	}
+}
+
+// TestRecoverableRejectsBadRouting checks the hard errors survive in
+// recoverable mode: replay tolerates duplicates, not misrouted traffic.
+func TestRecoverableRejectsBadRouting(t *testing.T) {
+	b := recoverableBackend(t, nil)
+	c := &Chunk{Window: 0, Epoch: 1, Thread: 1, Partition: 5, Kind: ChunkData, Payload: deltaPayload(t, 1, 1)}
+	if err := b.HandleChunk(c); !errors.Is(err, ErrBadDestination) {
+		t.Fatalf("misrouted chunk: %v", err)
+	}
+	c = &Chunk{Window: 0, Epoch: 1, Gen: 7, Thread: 1, Partition: 0, Kind: ChunkData, Payload: deltaPayload(t, 1, 1)}
+	if err := b.HandleChunk(c); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("stale generation: %v", err)
+	}
+}
+
+// TestCheckpointRestoreRoundTrip runs a two-epoch, two-window workload on a
+// journaled leader — window 0 triggers mid-run — then replays the journal
+// into a fresh backend and checks the restored state: trigger marks, pending
+// window content, commit tracking, and duplicate suppression for replayed
+// traffic.
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	j := &memJournal{}
+	b := recoverableBackend(t, j)
+	ts := b.Thread(0) // thread 0 flushes via loopback into its own leader
+	other := func(epoch uint64, wm stream.Watermark) *Chunk {
+		return &Chunk{Epoch: epoch, Watermark: wm, Thread: 1, Partition: 0, Kind: ChunkHeartbeat}
+	}
+
+	// Epoch 1: state in windows 0 and 1, watermark past window 0's end.
+	for i := 0; i < 4; i++ {
+		if err := ts.UpdateAgg(0, &stream.Record{Key: uint64(i), Time: 900, V0: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ts.UpdateAgg(1, &stream.Record{Key: 9, Time: 1500, V0: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Thread 1's heartbeat completes coverage of window 0.
+	if err := b.HandleChunk(other(1, 1200)); err != nil {
+		t.Fatal(err)
+	}
+	emitted := map[uint64]int64{}
+	if n := b.TriggerReady(func(_, key uint64, res int64) { emitted[key] = res }, nil); n != 1 {
+		t.Fatalf("triggered %d windows, want 1", n)
+	}
+	if err := b.JournalErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 2: more window-1 state, then a periodic checkpoint.
+	if err := ts.UpdateAgg(1, &stream.Record{Key: 9, Time: 1600, V0: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.CheckpointDue(1) {
+		t.Fatal("checkpoint not due after two commits")
+	}
+	committed, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed[0] != 2 || committed[1] != 1 {
+		t.Fatalf("committed = %v, want [2 1]", committed)
+	}
+	if b.CheckpointDue(1) {
+		t.Fatal("cadence not reset by checkpoint")
+	}
+
+	// Restore: replay the journal in order into a fresh backend.
+	r := recoverableBackend(t, nil)
+	for _, rec := range j.recs {
+		if rec.trigger {
+			if err := r.RestoreTrigger(rec.win); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := r.RestoreCheckpoint(rec.clock, rec.payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	r.FinishRestore()
+
+	if !r.TriggeredAtOrAfter(0) {
+		t.Fatal("restored backend lost the window-0 trigger mark")
+	}
+	if got := sumAt(t, r, 1, 9); got != 8 {
+		t.Fatalf("restored window-1 sum = %d, want 8", got)
+	}
+	if got := sumAt(t, r, 0, 1); got != 0 {
+		t.Fatal("restored backend resurrected triggered window state")
+	}
+	if got := r.CommittedEpochs(); got[0] != 2 || got[1] != 1 {
+		t.Fatalf("restored committed = %v, want [2 1]", got)
+	}
+	if got, want := r.Stats().WindowsOutput, uint64(1); got != want {
+		t.Fatalf("restored WindowsOutput = %d, want %d", got, want)
+	}
+	// Replayed committed traffic (thread 1's heartbeat, an old-epoch data
+	// chunk) must be suppressed, not double-merged.
+	if err := r.HandleChunk(other(1, 1200)); err != nil {
+		t.Fatal(err)
+	}
+	old := &Chunk{Window: 1, Epoch: 1, Thread: 1, Partition: 0, Kind: ChunkData, Payload: deltaPayload(t, 9, 99)}
+	if err := r.HandleChunk(old); err != nil {
+		t.Fatal(err)
+	}
+	if got := sumAt(t, r, 1, 9); got != 8 {
+		t.Fatalf("replay changed restored state: sum = %d, want 8", got)
+	}
+	if r.ChunksDeduped() == 0 {
+		t.Fatal("replayed duplicate not counted")
+	}
+	// The restored clock matches the last durable cut.
+	if got, want := r.Clock().Entry(0), b.Clock().Entry(0); got != want {
+		t.Fatalf("restored clock entry 0 = %d, want %d", got, want)
+	}
+}
+
+// TestJournalErrorLatched: a failing journal surfaces through JournalErr and
+// Checkpoint, and does not panic the trigger path.
+func TestJournalErrorLatched(t *testing.T) {
+	j := &memJournal{fail: errors.New("disk gone")}
+	b := recoverableBackend(t, j)
+	ts := b.Thread(0)
+	if err := ts.UpdateAgg(0, &stream.Record{Key: 1, Time: 900, V0: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint swallowed the journal error")
+	}
+	if b.JournalErr() == nil {
+		t.Fatal("journal error not latched")
+	}
+}
+
+// TestFlushRetryResends: a flush that fails mid-transfer retries with the
+// same epoch and a bumped incarnation, and the receiving leader merges the
+// epoch exactly once.
+func TestFlushRetryResends(t *testing.T) {
+	n := 2
+	backends := make([]*Backend, n)
+	senders := make([][]Sender, n)
+	for i := range senders {
+		senders[i] = make([]Sender, n)
+	}
+	for i := 0; i < n; i++ {
+		var err error
+		backends[i], err = New(Config{
+			Node: i, Nodes: n, ThreadsPerNode: 1,
+			Agg: crdt.Sum{}, WindowEnd: fixedWindowEnd,
+			ChunkSize: 64, Recoverable: true,
+		}, senders[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	flaky := &flakySender{dst: backends[1], failAfter: 2}
+	senders[0][1] = flaky
+	senders[1][0] = &directSender{dst: backends[0]}
+
+	ts := backends[0].Thread(0)
+	// Enough remote-partition keys that the delta splits into several
+	// 64-byte chunks (3 entries of 28 bytes each exceed one chunk).
+	var remote []uint64
+	for k := uint64(0); len(remote) < 6; k++ {
+		if p, _ := backends[0].Owner(0, k); p == 1 {
+			remote = append(remote, k)
+		}
+	}
+	for _, k := range remote {
+		if err := ts.UpdateAgg(0, &stream.Record{Key: k, Time: 500, V0: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ts.Flush(); err == nil {
+		t.Fatal("flush succeeded despite dead link")
+	}
+	if ts.Inc() != 0 || ts.Epoch() != 1 {
+		t.Fatalf("after failed flush: inc=%d epoch=%d", ts.Inc(), ts.Epoch())
+	}
+	// The link heals; the retry re-sends the identical epoch.
+	flaky.failAfter = -1
+	if err := ts.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ts.Inc() != 1 || ts.Epoch() != 1 {
+		t.Fatalf("after retry: inc=%d epoch=%d, want 1/1", ts.Inc(), ts.Epoch())
+	}
+	for _, k := range remote {
+		if got := sumAt(t, backends[1], 0, k); got != 1 {
+			t.Fatalf("key %d merged %d times, want exactly 1", k, got)
+		}
+	}
+	if backends[1].ChunksDeduped() == 0 {
+		t.Fatal("retry prefix not deduplicated")
+	}
+}
+
+// flakySender delivers the first failAfter chunks then fails until healed
+// (failAfter < 0 delivers everything).
+type flakySender struct {
+	dst       *Backend
+	sent      int
+	failAfter int
+}
+
+func (s *flakySender) Send(c *Chunk) error {
+	if s.failAfter >= 0 && s.sent >= s.failAfter {
+		return errors.New("link down")
+	}
+	s.sent++
+	cc := *c
+	cc.Payload = append([]byte(nil), c.Payload...)
+	return s.dst.HandleChunk(&cc)
+}

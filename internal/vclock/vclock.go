@@ -123,6 +123,20 @@ func (c *Clock) MergeSnapshot(entries []stream.Watermark) {
 	}
 }
 
+// RestoreSnapshot overwrites every entry with the given vector — the
+// checkpoint-restore path. Unlike MergeSnapshot it does not take maxima: a
+// capacity-sized clock starts with every slot Retired (+inf), and restoring
+// a checkpoint onto it must bring retired-at-snapshot entries back exactly
+// as recorded, including entries *below* the fresh clock's +inf default.
+func (c *Clock) RestoreSnapshot(entries []stream.Watermark) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(entries) != len(c.entries) {
+		panic(fmt.Sprintf("vclock: restoring clock of size %d into %d", len(entries), len(c.entries)))
+	}
+	copy(c.entries, entries)
+}
+
 // Snapshot returns a copy of the entries.
 func (c *Clock) Snapshot() []stream.Watermark {
 	c.mu.RLock()

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: re-runs the perf snapshot (scripts/bench.sh) and
+# diffs it against the checked-in baseline. Fails on
+#   - any benchmark whose ns/op regressed more than TOLERANCE (default 15%),
+#   - any benchmark whose allocs/op increased at all,
+#   - the 4KB channel transfer allocating anything (must stay 0 allocs/op:
+#     the recovery plane is pay-as-you-go and the fault-off hot path is
+#     allocation-free by contract).
+# Benchmarks present on only one side are reported but never fail the gate
+# (new benchmarks land with the PR that adds them).
+#
+# Usage: scripts/bench-compare.sh [baseline.json] [current.json]
+#   baseline defaults to BENCH_PR5.json; with no current file the benchmarks
+#   are re-run into a temp snapshot first.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE="${1:-BENCH_PR5.json}"
+CUR="${2:-}"
+TOLERANCE="${TOLERANCE:-15}"
+
+if [ ! -f "$BASE" ]; then
+  echo "bench-compare: baseline $BASE not found" >&2
+  exit 1
+fi
+if [ -z "$CUR" ]; then
+  CUR=$(mktemp /tmp/bench-current-XXXXXX.json)
+  trap 'rm -f "$CUR"' EXIT
+  scripts/bench.sh "$CUR" >&2
+fi
+
+# Extract "name ns_per_op allocs_per_op" triples from the snapshot's flat
+# "benchmarks" object (baseline history blocks like baseline_pre_prN are
+# skipped: only the final "benchmarks" section describes the commit).
+extract() {
+  awk '
+    /^  "benchmarks": \{/ { live = 1; next }
+    /^  \}/               { live = 0 }
+    live && /^    "/ {
+      line = $0
+      name = line; sub(/^    "/, "", name); sub(/".*/, "", name)
+      ns = "-"; allocs = "-"
+      if (match(line, /"ns_per_op": [0-9.eE+-]+/))
+        { ns = substr(line, RSTART + 13, RLENGTH - 13) }
+      if (match(line, /"allocs_per_op": [0-9.eE+-]+/))
+        { allocs = substr(line, RSTART + 17, RLENGTH - 17) }
+      print name, ns, allocs
+    }
+  ' "$1"
+}
+
+extract "$BASE" > /tmp/bench-base.$$
+extract "$CUR" > /tmp/bench-cur.$$
+
+FAIL=0
+while read -r name ns allocs; do
+  base_line=$(grep "^$name " /tmp/bench-base.$$ || true)
+  if [ -z "$base_line" ]; then
+    echo "NEW      $name (no baseline entry)"
+    continue
+  fi
+  base_ns=$(echo "$base_line" | cut -d' ' -f2)
+  base_allocs=$(echo "$base_line" | cut -d' ' -f3)
+  if [ "$ns" != "-" ] && [ "$base_ns" != "-" ]; then
+    verdict=$(awk -v c="$ns" -v b="$base_ns" -v tol="$TOLERANCE" \
+      'BEGIN { d = (c - b) * 100 / b; printf "%.1f %s", d, (d > tol ? "FAIL" : "ok") }')
+    delta=${verdict% *}
+    status=${verdict#* }
+    if [ "$status" = "FAIL" ]; then
+      echo "REGRESS  $name ns/op $base_ns -> $ns (+$delta% > ${TOLERANCE}%)"
+      FAIL=1
+    else
+      echo "ok       $name ns/op $base_ns -> $ns ($delta%)"
+    fi
+  fi
+  if [ "$allocs" != "-" ] && [ "$base_allocs" != "-" ]; then
+    worse=$(awk -v c="$allocs" -v b="$base_allocs" 'BEGIN { print (c > b) ? 1 : 0 }')
+    if [ "$worse" = "1" ]; then
+      echo "REGRESS  $name allocs/op $base_allocs -> $allocs (any increase fails)"
+      FAIL=1
+    fi
+  fi
+done < /tmp/bench-cur.$$
+
+# The hard floor, independent of the baseline file's content.
+hot=$(grep '^BenchmarkChannelTransfer/slot=4KB ' /tmp/bench-cur.$$ | cut -d' ' -f3)
+if [ "${hot:--}" != "0" ]; then
+  echo "FAIL: BenchmarkChannelTransfer/slot=4KB allocs/op = ${hot:-missing}, want 0" >&2
+  FAIL=1
+fi
+
+while read -r name _ _; do
+  grep -q "^$name " /tmp/bench-cur.$$ || echo "GONE     $name (in baseline, not in current run)"
+done < /tmp/bench-base.$$
+
+rm -f /tmp/bench-base.$$ /tmp/bench-cur.$$
+if [ "$FAIL" = "1" ]; then
+  echo "bench-compare: perf regression against $BASE" >&2
+  exit 1
+fi
+echo "bench-compare: no regression against $BASE (tolerance ${TOLERANCE}% ns/op, 0 alloc growth)"
