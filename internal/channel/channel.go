@@ -240,7 +240,13 @@ func (p *Producer) fail(err error) error {
 // the writable data region (slot minus footer).
 type SendBuffer struct {
 	Data []byte
-	seq  uint64
+	// Thread and Epoch tag the chunk for transports that frame per logical
+	// channel (the trunk's 24-byte header). The per-pair producer ignores
+	// them — its payload already carries the chunk header — so setting them
+	// is free on both transports.
+	Thread uint32
+	Epoch  uint64
+	seq    uint64
 }
 
 // DataSize returns the usable payload bytes per slot.
@@ -269,12 +275,21 @@ func (p *Producer) TryAcquire() (*SendBuffer, bool) {
 	return b, true
 }
 
+// stallSampleSpins is how many Acquire spins pass between clock samples in
+// the credit-stall loop. Sampling every spin taxed the whole wait with one
+// vDSO clock read per iteration even when no timeout was configured to
+// fire; every 64th spin keeps timeout detection bounded (a Gosched-paced
+// spin is microseconds, so detection lags the deadline by well under a
+// millisecond) at 1/64 the clock cost.
+const stallSampleSpins = 64
+
 // Acquire spins until a credit is available (step 3 of the transfer phase:
 // wait for credit). It returns nil once the channel is closed, a fatal
 // asynchronous error — including a send-CQ overrun — is observed, or the
 // configured CreditWaitTimeout expires; Err reports which.
 func (p *Producer) Acquire() *SendBuffer {
 	var stallStart int64
+	var spins uint
 	trackStall := p.mStallNs != nil || p.cfg.CreditWaitTimeout > 0
 	for {
 		// Drain completions before handing out a slot: a credit that never
@@ -294,14 +309,17 @@ func (p *Producer) Acquire() *SendBuffer {
 		if p.closed.Load() {
 			return nil
 		}
-		if stallStart == 0 && trackStall {
-			stallStart = time.Now().UnixNano()
+		if trackStall && spins%stallSampleSpins == 0 {
+			now := time.Now().UnixNano()
+			if stallStart == 0 {
+				stallStart = now
+			} else if d := p.cfg.CreditWaitTimeout; d > 0 && now-stallStart > int64(d) {
+				p.fail(fmt.Errorf("%w (waited %v, %d credits outstanding)",
+					ErrCreditTimeout, d, p.cfg.Credits-p.Credits()))
+				return nil
+			}
 		}
-		if d := p.cfg.CreditWaitTimeout; d > 0 && time.Now().UnixNano()-stallStart > int64(d) {
-			p.fail(fmt.Errorf("%w (waited %v, %d credits outstanding)",
-				ErrCreditTimeout, d, p.cfg.Credits-p.Credits()))
-			return nil
-		}
+		spins++
 		p.mSpins.Inc()
 		runtime.Gosched()
 	}
@@ -448,8 +466,12 @@ func (c *Consumer) fail(err error) error {
 // valid until Release.
 type RecvBuffer struct {
 	Data []byte
-	seq  uint64
-	done bool
+	// Thread and Epoch mirror the sender-side tags on framing transports
+	// (see SendBuffer); zero on the per-pair channel.
+	Thread uint32
+	Epoch  uint64
+	seq    uint64
+	done   bool
 }
 
 // TryPoll checks local memory for the next inbound buffer (step 1 of the

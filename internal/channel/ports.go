@@ -1,0 +1,43 @@
+package channel
+
+// SendPort is the sending end of a logical channel, independent of the
+// transport underneath: the per-pair Producer (dedicated QPs and a private
+// credit ring) and the trunk Sender (many logical channels multiplexed over
+// a few shared lanes) both satisfy it, so the core engine builds its mesh
+// against this interface and the transport is a configuration choice.
+type SendPort interface {
+	// Acquire blocks until a slot is available, returning nil once the
+	// port is closed or its sticky error latched (Err reports which).
+	Acquire() *SendBuffer
+	// Post ships the acquired buffer with used payload bytes.
+	Post(b *SendBuffer, used int) error
+	// DataSize returns the usable payload bytes per slot.
+	DataSize() int
+	// Err returns the port's sticky fatal error, or nil while healthy.
+	Err() error
+	// Close shuts the sending end down; idempotent.
+	Close()
+}
+
+// RecvPort is the receiving end of a logical channel; see SendPort.
+type RecvPort interface {
+	// TryPoll returns the next inbound buffer without blocking.
+	TryPoll() (*RecvBuffer, bool)
+	// Release returns the buffer's slot to the transport (FIFO order).
+	Release(b *RecvBuffer) error
+	// Backlog returns how many buffers have landed but not been polled.
+	Backlog() int
+	// DiscardBacklog drops everything pending, returning the count — the
+	// fence-teardown path of the recovery plane.
+	DiscardBacklog() int
+	// Err returns the port's sticky fatal error, or nil while healthy.
+	Err() error
+	// Close shuts the receiving end down; idempotent.
+	Close()
+}
+
+// The per-pair endpoints are ports.
+var (
+	_ SendPort = (*Producer)(nil)
+	_ RecvPort = (*Consumer)(nil)
+)

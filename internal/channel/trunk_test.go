@@ -1,0 +1,498 @@
+package channel
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/slash-stream/slash/internal/metrics"
+	"github.com/slash-stream/slash/internal/rdma"
+)
+
+// newTrunkPair builds two trunk endpoints on a fresh fabric.
+func newTrunkPair(t *testing.T, fcfg rdma.Config, tcfg TrunkConfig) (*Endpoint, *Endpoint) {
+	t.Helper()
+	f := rdma.NewFabric(fcfg)
+	a, err := NewEndpoint(f.MustNIC("node0"), tcfg)
+	if err != nil {
+		t.Fatalf("NewEndpoint a: %v", err)
+	}
+	b, err := NewEndpoint(f.MustNIC("node1"), tcfg)
+	if err != nil {
+		t.Fatalf("NewEndpoint b: %v", err)
+	}
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, b
+}
+
+// waitErr polls a port's Err until non-nil or the deadline passes.
+func waitErr(t *testing.T, deadline time.Duration, err func() error) error {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		if e := err(); e != nil {
+			return e
+		}
+		runtime.Gosched()
+	}
+	t.Fatalf("no error latched within %v", deadline)
+	return nil
+}
+
+func TestTrunkTransferFIFOAndTags(t *testing.T) {
+	for _, ec := range engineCases {
+		t.Run(ec.name, func(t *testing.T) {
+			a, b := newTrunkPair(t, ec.cfg, TrunkConfig{SlotSize: 256})
+			tr := a.TrunkTo(b)
+			const chans, frames = 3, 40
+			var wg sync.WaitGroup
+			for ch := 0; ch < chans; ch++ {
+				chID := uint32(ch)
+				s := tr.Open(chID)
+				r, err := b.Listen(chID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < frames; i++ {
+						sb := s.Acquire()
+						if sb == nil {
+							t.Errorf("ch %d: Acquire failed: %v", chID, s.Err())
+							return
+						}
+						sb.Data[0] = byte(i)
+						sb.Thread = chID
+						sb.Epoch = uint64(i)
+						if err := s.Post(sb, 1+i%16); err != nil {
+							t.Errorf("ch %d: Post: %v", chID, err)
+							return
+						}
+					}
+				}()
+				go func() {
+					defer wg.Done()
+					for i := 0; i < frames; i++ {
+						var rb *RecvBuffer
+						for {
+							var ok bool
+							if rb, ok = r.TryPoll(); ok {
+								break
+							}
+							runtime.Gosched()
+						}
+						if rb.Data[0] != byte(i) || len(rb.Data) != 1+i%16 {
+							t.Errorf("ch %d frame %d: got payload %d len %d", chID, i, rb.Data[0], len(rb.Data))
+							return
+						}
+						if rb.Thread != chID || rb.Epoch != uint64(i) {
+							t.Errorf("ch %d frame %d: tags thread=%d epoch=%d", chID, i, rb.Thread, rb.Epoch)
+							return
+						}
+						if err := r.Release(rb); err != nil {
+							t.Errorf("ch %d: Release: %v", chID, err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestTrunkDoorbellBatching(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := rdma.NewFabric(rdma.Config{Metrics: reg})
+	a, err := NewEndpoint(f.MustNIC("node0"), TrunkConfig{SlotSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEndpoint(f.MustNIC("node1"), TrunkConfig{SlotSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	s := a.TrunkTo(b).Open(0)
+	r, err := b.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the flusher so posts accumulate in one coalescing window, then
+	// release it: the whole batch must go out behind a single doorbell.
+	l := a.lanes[0]
+	l.mu.Lock()
+	l.flushing = true
+	l.mu.Unlock()
+	const batch = 5
+	for i := 0; i < batch-1; i++ {
+		sb := s.Acquire()
+		if sb == nil {
+			t.Fatalf("Acquire: %v", s.Err())
+		}
+		if err := s.Post(sb, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := a.mDoorbells.Load()
+	l.mu.Lock()
+	l.flushing = false
+	l.mu.Unlock()
+	sb := s.Acquire()
+	if sb == nil {
+		t.Fatalf("Acquire: %v", s.Err())
+	}
+	if err := s.Post(sb, 8); err != nil { // this post becomes the flusher
+		t.Fatal(err)
+	}
+	for i := 0; i < batch; i++ {
+		for {
+			rb, ok := r.TryPoll()
+			if ok {
+				if err := r.Release(rb); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	doorbells := a.mDoorbells.Load() - before
+	if doorbells != 1 {
+		t.Fatalf("doorbells for %d-frame same-destination batch = %d, want 1", batch, doorbells)
+	}
+	if got := a.mFrames.Load(); got != batch {
+		t.Fatalf("frames = %d, want %d", got, batch)
+	}
+}
+
+// TestTrunkCloseWhileAcquire pins the satellite requirement: a goroutine
+// blocked in Acquire when the destination endpoint dies must return a named
+// *rdma.QPFailure in bounded time, with no goroutine leak, on both engines.
+func TestTrunkCloseWhileAcquire(t *testing.T) {
+	for _, ec := range engineCases {
+		t.Run(ec.name, func(t *testing.T) {
+			// One receive slot and two staging slots: frame 1 lands, frame 2
+			// stalls receiver-not-ready (infinite RNR budget), and the next
+			// Acquire blocks with every slot held.
+			a, b := newTrunkPair(t, ec.cfg, TrunkConfig{
+				SlotSize: 128, Lanes: 1, LaneDepth: 2, RecvSlots: 1,
+				QP: rdma.QPOptions{RNRRetry: rdma.RNRRetryInfinite},
+			})
+			s := a.TrunkTo(b).Open(0)
+			if _, err := b.Listen(0); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				sb := s.Acquire()
+				if sb == nil {
+					t.Fatalf("Acquire %d: %v", i, s.Err())
+				}
+				if err := s.Post(sb, 8); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blocked := make(chan error, 1)
+			go func() {
+				// Keep the lane saturated until Acquire observes the death;
+				// with both slots stalled behind the full SRQ it blocks.
+				for {
+					sb := s.Acquire()
+					if sb == nil {
+						blocked <- s.Err()
+						return
+					}
+					if err := s.Post(sb, 8); err != nil {
+						blocked <- err
+						return
+					}
+				}
+			}()
+			time.Sleep(20 * time.Millisecond)
+			b.Close() // destination dies; the stalled SEND completes ErrQPClosed
+			select {
+			case err := <-blocked:
+				var qf *rdma.QPFailure
+				if !errors.As(err, &qf) {
+					t.Fatalf("blocked Acquire surfaced %v, want a *rdma.QPFailure", err)
+				}
+				if qf.QP == "" {
+					t.Fatalf("QPFailure does not name the lane: %+v", qf)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Acquire still blocked 5s after the destination closed (goroutine leaked)")
+			}
+		})
+	}
+}
+
+// TestTrunkLaneDeathWhileAcquire is the lane-failure variant: the receiver
+// never drains, the finite RNR budget expires, and the lane failure reaches
+// the blocked Acquire as a named QPFailure.
+func TestTrunkLaneDeathWhileAcquire(t *testing.T) {
+	for _, ec := range engineCases {
+		t.Run(ec.name, func(t *testing.T) {
+			a, b := newTrunkPair(t, ec.cfg, TrunkConfig{
+				SlotSize: 128, Lanes: 1, LaneDepth: 2, RecvSlots: 1,
+				QP: rdma.QPOptions{RNRRetry: 3, RNRTimeout: 100 * time.Microsecond},
+			})
+			s := a.TrunkTo(b).Open(0)
+			if _, err := b.Listen(0); err != nil {
+				t.Fatal(err)
+			}
+			blocked := make(chan error, 1)
+			go func() {
+				for {
+					sb := s.Acquire()
+					if sb == nil {
+						blocked <- s.Err()
+						return
+					}
+					if err := s.Post(sb, 8); err != nil {
+						blocked <- err
+						return
+					}
+				}
+			}()
+			select {
+			case err := <-blocked:
+				var qf *rdma.QPFailure
+				if !errors.As(err, &qf) {
+					t.Fatalf("lane death surfaced %v, want a *rdma.QPFailure", err)
+				}
+				if qf.Status != rdma.StatusRNRRetryExceeded {
+					t.Fatalf("QPFailure status = %v, want RNRRetryExceeded", qf.Status)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Acquire never observed the lane death")
+			}
+		})
+	}
+}
+
+// TestTrunkLaneFailureFanOut kills one lane QP and asserts the sticky error
+// reaches every logical channel on the trunk — including channels pinned to
+// other, healthy lanes — attributed to the failed lane by name.
+func TestTrunkLaneFanOut(t *testing.T) {
+	for _, ec := range engineCases {
+		t.Run(ec.name, func(t *testing.T) {
+			faults := rdma.NewFaultInjector(1)
+			cfg := ec.cfg
+			cfg.Faults = faults
+			a, b := newTrunkPair(t, cfg, TrunkConfig{SlotSize: 128, Lanes: 2})
+			tr := a.TrunkTo(b)
+			s0 := tr.Open(0) // lane 0
+			s1 := tr.Open(1) // lane 1
+			s2 := tr.Open(2) // lane 0 again
+			for _, id := range []uint32{0, 1, 2} {
+				if _, err := b.Listen(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			laneID := a.lanes[0].qp.ID()
+			faults.FailQP(laneID)
+			sb := s0.Acquire()
+			if sb == nil {
+				t.Fatalf("Acquire: %v", s0.Err())
+			}
+			if err := s0.Post(sb, 8); err != nil {
+				t.Fatal(err)
+			}
+			err := waitErr(t, 5*time.Second, func() error {
+				s0.lane.pump()
+				return s0.Err()
+			})
+			var qf *rdma.QPFailure
+			if !errors.As(err, &qf) || qf.QP != laneID {
+				t.Fatalf("latched %v, want QPFailure naming lane %s", err, laneID)
+			}
+			// Fan-out: the sibling channels observe the same root cause.
+			for i, sib := range []*Sender{s1, s2} {
+				if serr := sib.Err(); !errors.As(serr, &qf) || qf.QP != laneID {
+					t.Fatalf("sibling %d: Err = %v, want the lane-0 QPFailure", i, serr)
+				}
+			}
+		})
+	}
+}
+
+// TestTrunkSelectiveDestinationFailure cuts the link to one destination and
+// asserts channels to the other destination on the same shared lane keep
+// delivering — the lane recycles (ERR→RTS) and replays flushed frames of
+// healthy trunks in order.
+func TestTrunkSelectiveDestinationFailure(t *testing.T) {
+	for _, ec := range engineCases {
+		t.Run(ec.name, func(t *testing.T) {
+			faults := rdma.NewFaultInjector(1)
+			fcfg := ec.cfg
+			fcfg.Faults = faults
+			f := rdma.NewFabric(fcfg)
+			tcfg := TrunkConfig{
+				SlotSize: 128, Lanes: 1,
+				QP: rdma.QPOptions{RetryCount: 1, Timeout: time.Millisecond},
+			}
+			a, err := NewEndpoint(f.MustNIC("node0"), tcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewEndpoint(f.MustNIC("node1"), tcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := NewEndpoint(f.MustNIC("node2"), tcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			defer b.Close()
+			defer c.Close()
+			sb := a.TrunkTo(b).Open(0) // doomed destination
+			sc := a.TrunkTo(c).Open(1) // survivor, same lane (Lanes=1)
+			if _, err := b.Listen(0); err != nil {
+				t.Fatal(err)
+			}
+			rc, err := c.Listen(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			faults.CutLink("node0", "node1")
+			const frames = 30
+			got := make(chan int, 1)
+			go func() {
+				n := 0
+				deadline := time.Now().Add(10 * time.Second)
+				for n < frames && time.Now().Before(deadline) {
+					if rb, ok := rc.TryPoll(); ok {
+						if rb.Data[0] != byte(n) {
+							break // FIFO violated; report short count
+						}
+						_ = rc.Release(rb)
+						n++
+						continue
+					}
+					runtime.Gosched()
+				}
+				got <- n
+			}()
+			for i := 0; i < frames; i++ {
+				// Interleave doomed and surviving frames so survivors get
+				// flushed behind failures and must replay.
+				if i%3 == 0 && sb.Err() == nil {
+					if buf := sb.Acquire(); buf != nil {
+						_ = sb.Post(buf, 8)
+					}
+				}
+				buf := sc.Acquire()
+				if buf == nil {
+					t.Fatalf("survivor Acquire failed at %d: %v", i, sc.Err())
+				}
+				buf.Data[0] = byte(i)
+				if err := sc.Post(buf, 8); err != nil {
+					t.Fatalf("survivor Post %d: %v", i, err)
+				}
+			}
+			if n := <-got; n != frames {
+				t.Fatalf("survivor received %d/%d frames", n, frames)
+			}
+			// The doomed trunk latched a named failure.
+			err = waitErr(t, 5*time.Second, func() error {
+				sb.lane.pump()
+				return sb.Err()
+			})
+			var qf *rdma.QPFailure
+			if !errors.As(err, &qf) {
+				t.Fatalf("doomed trunk latched %v, want a QPFailure", err)
+			}
+			if sc.Err() != nil {
+				t.Fatalf("survivor trunk latched %v, want healthy", sc.Err())
+			}
+		})
+	}
+}
+
+// TestTrunkStaleChannelDropped sends to a channel id nobody listens on —
+// the stale-incarnation case — and asserts the frame is dropped and the
+// fabric stays healthy.
+func TestTrunkStaleChannelDropped(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := rdma.NewFabric(rdma.Config{Metrics: reg})
+	a, err := NewEndpoint(f.MustNIC("node0"), TrunkConfig{SlotSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEndpoint(f.MustNIC("node1"), TrunkConfig{SlotSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	s := a.TrunkTo(b).Open(99)
+	sb := s.Acquire()
+	if sb == nil {
+		t.Fatalf("Acquire: %v", s.Err())
+	}
+	if err := s.Post(sb, 8); err != nil {
+		t.Fatal(err)
+	}
+	live, err := b.Listen(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.mDropped.Load() == 0 && time.Now().Before(deadline) {
+		live.TryPoll() // drives the demultiplexer
+		runtime.Gosched()
+	}
+	if got := b.mDropped.Load(); got != 1 {
+		t.Fatalf("dropped frames = %d, want 1", got)
+	}
+	if s.Err() != nil {
+		t.Fatalf("sender latched %v for a stale-channel drop", s.Err())
+	}
+}
+
+// TestTrunkReceiverLifecycle covers Listen/Close/Backlog/DiscardBacklog.
+func TestTrunkReceiverLifecycle(t *testing.T) {
+	a, b := newTrunkPair(t, rdma.Config{}, TrunkConfig{SlotSize: 128})
+	s := a.TrunkTo(b).Open(7)
+	r, err := b.Listen(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Listen(7); err == nil {
+		t.Fatal("duplicate Listen succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		sb := s.Acquire()
+		if sb == nil {
+			t.Fatalf("Acquire: %v", s.Err())
+		}
+		if err := s.Post(sb, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Backlog() < 4 && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	if got := r.Backlog(); got != 4 {
+		t.Fatalf("Backlog = %d, want 4", got)
+	}
+	if got := r.DiscardBacklog(); got != 4 {
+		t.Fatalf("DiscardBacklog = %d, want 4", got)
+	}
+	r.Close()
+	r.Close() // idempotent
+	if _, err := b.Listen(7); err != nil {
+		t.Fatalf("Listen after Close: %v", err)
+	}
+}

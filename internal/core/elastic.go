@@ -96,10 +96,11 @@ type Controller struct {
 	reg  *metrics.Registry
 	agg  crdt.Aggregate
 
-	fabric *rdma.Fabric
-	pmap   *ssb.PartitionMap
-	pool   *sched.Pool
-	run    *runState
+	fabric    *rdma.Fabric
+	transport meshTransport
+	pmap      *ssb.PartitionMap
+	pool      *sched.Pool
+	run       *runState
 
 	// reconfigMu serializes AddNodes/RemoveNodes end to end: each call is
 	// one barrier, one generation.
@@ -107,9 +108,9 @@ type Controller struct {
 
 	mu        sync.Mutex
 	nics      []*rdma.NIC
-	producers [][]*channel.Producer // [src][dst]
-	senders   [][]*chanSender       // [src][dst]
-	consumers [][]consEntry         // by receiving node, for teardown and recovery unwiring
+	producers [][]channel.SendPort // [src][dst]
+	senders   [][]*chanSender      // [src][dst]
+	consumers [][]consEntry        // by receiving node, for teardown and recovery unwiring
 	backends  []*ssb.Backend
 	sources   [][]*sourceTask // by node
 	merges    []*mergeTask    // by node
@@ -145,7 +146,7 @@ type Controller struct {
 // recovery can unwire exactly the dead node's links.
 type consEntry struct {
 	src  int
-	cons *channel.Consumer
+	cons channel.RecvPort
 }
 
 // NewController builds a deployment of cfg.Nodes executors (capacity
@@ -191,7 +192,7 @@ func NewController(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Controller
 		pmap:      ssb.StaticPartitionMap(cfg.Nodes),
 		pool:      sched.NewPool(0),
 		nics:      make([]*rdma.NIC, cfg.MaxNodes),
-		producers: make([][]*channel.Producer, cfg.MaxNodes),
+		producers: make([][]channel.SendPort, cfg.MaxNodes),
 		senders:   make([][]*chanSender, cfg.MaxNodes),
 		consumers: make([][]consEntry, cfg.MaxNodes),
 		backends:  make([]*ssb.Backend, cfg.MaxNodes),
@@ -202,8 +203,13 @@ func NewController(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Controller
 		retiring:  map[int]*retireBatch{},
 	}
 	for i := range c.producers {
-		c.producers[i] = make([]*channel.Producer, cfg.MaxNodes)
+		c.producers[i] = make([]channel.SendPort, cfg.MaxNodes)
 		c.senders[i] = make([]*chanSender, cfg.MaxNodes)
+	}
+	if cfg.Trunk != nil {
+		c.transport = newTrunkTransport(c.fabric, *cfg.Trunk, cfg.MaxNodes)
+	} else {
+		c.transport = newPairTransport(c.fabric, cfg.Channel, cfg.MaxNodes)
 	}
 	c.run = &runState{pool: c.pool, sink: sink}
 	// On failure, closing the producers unblocks any sender spinning for
@@ -288,7 +294,7 @@ func (c *Controller) nicName(id int) string {
 
 // newSender wires one directed link's sender, tagged with both endpoints'
 // incarnations and the link's replay ring when the recovery plane is armed.
-func (c *Controller) newSender(src, dst int, p *channel.Producer) *chanSender {
+func (c *Controller) newSender(src, dst int, p channel.SendPort) *chanSender {
 	s := &chanSender{src: src, dst: dst, prod: p}
 	if c.mgr != nil {
 		s.mgr = c.mgr
@@ -302,14 +308,14 @@ func (c *Controller) newSender(src, dst int, p *channel.Producer) *chanSender {
 // buildMesh brings up node id's NIC, its row and column of the channel mesh,
 // and its backend. Callers hold c.mu.
 func (c *Controller) buildMesh(id int) (*ssb.Backend, []inbound, error) {
-	nic, err := c.fabric.NewNIC(c.nicName(id))
+	nic, err := c.transport.AddNode(id, c.nicName(id))
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: joining node %d: %w", id, err)
 	}
 	c.nics[id] = nic
 	var myIn []inbound
 	for _, m := range c.live {
-		p, cons, err := channel.New(nic, c.nics[m], c.cfg.Channel)
+		p, cons, err := c.transport.Link(id, m)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: channel %d->%d: %w", id, m, err)
 		}
@@ -318,7 +324,7 @@ func (c *Controller) buildMesh(id int) (*ssb.Backend, []inbound, error) {
 		c.consumers[m] = append(c.consumers[m], consEntry{src: id, cons: cons})
 		c.merges[m].AddInbound(inbound{src: id, inc: c.nodeInc[id], cons: cons})
 
-		p2, cons2, err := channel.New(c.nics[m], nic, c.cfg.Channel)
+		p2, cons2, err := c.transport.Link(m, id)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: channel %d->%d: %w", m, id, err)
 		}
@@ -503,6 +509,9 @@ func (c *Controller) Wait() (*Report, error) {
 			e.cons.Close()
 		}
 	}
+	// Trunk endpoints close their lane QPs and deregister their memory here;
+	// the NICs (and the traffic counters read below) survive the shutdown.
+	c.transport.Shutdown()
 	if err := c.run.err(); err != nil {
 		return nil, err
 	}
@@ -548,7 +557,7 @@ func (c *Controller) Wait() (*Report, error) {
 // closeProducers closes every producer endpoint (idempotent).
 func (c *Controller) closeProducers() {
 	c.mu.Lock()
-	var ps []*channel.Producer
+	var ps []channel.SendPort
 	for _, row := range c.producers {
 		for _, p := range row {
 			if p != nil {
@@ -564,6 +573,10 @@ func (c *Controller) closeProducers() {
 
 // Generation returns the current partition-map generation.
 func (c *Controller) Generation() uint64 { return c.pmap.CurrentGen() }
+
+// Fabric exposes the deployment's simulated interconnect — scaling harnesses
+// read its QP and registered-memory accounting to assert transport cost.
+func (c *Controller) Fabric() *rdma.Fabric { return c.fabric }
 
 // Err returns the first failure of the run, if any, without waiting —
 // orchestration loops poll it so they stop waiting on a run that died.

@@ -34,7 +34,14 @@ type Config struct {
 	Fabric rdma.Config
 	// Channel configures the n² state-synchronization RDMA channels
 	// (§7.2.2 setup phase). SlotSize is derived from ChunkSize when zero.
+	// Ignored when Trunk is set.
 	Channel channel.Config
+	// Trunk, when non-nil, replaces the per-pair channel mesh with the
+	// trunk transport: every node attaches Lanes shared queue pairs and
+	// shared receive queues, and each directed link rides them as one
+	// logical channel — O(n·lanes) QPs and registered memory instead of the
+	// per-pair mesh's O(n²). SlotSize is derived from ChunkSize when zero.
+	Trunk *channel.TrunkConfig
 	// EpochBytes is the per-thread epoch length in ingested bytes
 	// (§8.1.1; the paper uses 64 MB cluster-wide).
 	EpochBytes int64
@@ -133,6 +140,15 @@ func (c *Config) fill() error {
 	}
 	if c.Channel.SlotSize < need {
 		return fmt.Errorf("core: channel slot %d cannot fit chunk of %d", c.Channel.SlotSize, need)
+	}
+	if c.Trunk != nil {
+		needT := c.ChunkSize + ssb.ChunkHeaderSize + channel.TrunkHeaderSize
+		if c.Trunk.SlotSize == 0 {
+			c.Trunk.SlotSize = needT
+		}
+		if c.Trunk.SlotSize < needT {
+			return fmt.Errorf("core: trunk slot %d cannot fit chunk of %d", c.Trunk.SlotSize, needT)
+		}
 	}
 	if c.Recovery != nil {
 		if err := c.Recovery.fill(); err != nil {

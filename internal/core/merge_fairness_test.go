@@ -74,7 +74,7 @@ func TestMergePollingRoundRobin(t *testing.T) {
 		}
 	}
 	for i, in := range cons {
-		if got := int(in.cons.Received()); got < chunksPerMergeStep {
+		if got := int(in.cons.(*channel.Consumer).Received()); got < chunksPerMergeStep {
 			t.Errorf("peer %d received %d chunks after %d steps, want ≥ %d (budget rotation broken)",
 				i, got, peers, chunksPerMergeStep)
 		}

@@ -2,12 +2,14 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
 	"time"
 
+	"github.com/slash-stream/slash/internal/channel"
 	"github.com/slash-stream/slash/internal/recovery"
 	"github.com/slash-stream/slash/internal/ssb"
 	"github.com/slash-stream/slash/internal/stream"
@@ -239,12 +241,23 @@ func (r *replayRing) replayTo(s *chanSender, committed []uint64) (int, error) {
 		if e.thread < len(committed) && e.epoch <= committed[e.thread] {
 			continue
 		}
-		if err := s.sendEncoded(e.buf); err != nil {
+		if err := s.sendEncoded(e.buf, uint32(e.thread), e.epoch); err != nil {
 			return n, err
 		}
 		n++
 	}
 	return n, nil
+}
+
+// isLinkError reports whether err is a transport-layer link failure the
+// failure manager can vote on — a dead queue pair, a closed endpoint, or a
+// credit/slot wait that timed out against a non-draining peer — as opposed
+// to a logic error (e.g. an oversized chunk) recovery cannot mask.
+func isLinkError(err error) bool {
+	if _, ok := FailedQP(err); ok {
+		return true
+	}
+	return errors.Is(err, channel.ErrClosed) || errors.Is(err, channel.ErrCreditTimeout)
 }
 
 // linkReport is one task's observation of a dead link, stamped with the
@@ -574,6 +587,11 @@ func (c *Controller) restartNodeExpect(x, expect int) error {
 		c.deadMsgs += s.TxMsgs
 		c.nics[x] = nil
 	}
+	// Detach the dead incarnation from the transport first: its trunk
+	// endpoint (when trunking) closes, completing survivors' in-flight
+	// frames to it with teardown semantics instead of poisoning shared
+	// lanes, and every survivor forgets its trunk to the old name.
+	c.transport.DropNode(x)
 	// Fence at the fabric: the old name can never be reconnected, and any
 	// injector fault state keyed on it stays with the dead incarnation.
 	c.fabric.RemoveNIC(oldName)
@@ -659,6 +677,17 @@ func (c *Controller) restartNodeExpect(x, expect int) error {
 		n, err := rp.r.replayTo(rp.s, restored)
 		replayed += n
 		if err != nil {
+			if c.mgr != nil && isLinkError(err) {
+				// The replaying SENDER's link died mid-replay — the usual
+				// cause is that the vote fenced the wrong suspect and the
+				// sender is the genuinely dead node. Its restart clears its
+				// own rings and re-produces every uncommitted epoch from its
+				// journal, so the entries skipped here are re-sent by
+				// construction. Route the report back to the manager instead
+				// of failing the run.
+				c.mgr.reportLink(rp.s.src, rp.s.dst, rp.s.srcInc, rp.s.dstInc, err)
+				continue
+			}
 			err = fmt.Errorf("core: ring replay to node %d: %w", x, err)
 			c.run.fail(err)
 			return err

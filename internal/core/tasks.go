@@ -22,7 +22,7 @@ import (
 type chanSender struct {
 	mu       sync.Mutex
 	src, dst int
-	prod     *channel.Producer
+	prod     channel.SendPort
 	// detached flips when dst retired from the deployment (§7.2/§8 elastic
 	// scale-in): heartbeats to it are silently dropped — a retired leader
 	// already covered every window it owns, so no trigger can depend on
@@ -75,6 +75,10 @@ func (s *chanSender) Send(c *ssb.Chunk) error {
 		}
 		return s.report(s.wrap(channel.ErrClosed))
 	}
+	// Tag the buffer with the chunk's sender thread and epoch: the trunk
+	// transport carries both in its frame header (per-pair channels ignore
+	// them), so multiplexed frames stay attributable without decoding.
+	sb.Thread, sb.Epoch = uint32(c.Thread), c.Epoch
 	n := c.Encode(sb.Data)
 	if s.ring != nil {
 		// Retain the encoded bytes before Post recycles the slot. A chunk
@@ -90,8 +94,9 @@ func (s *chanSender) Send(c *ssb.Chunk) error {
 }
 
 // sendEncoded posts pre-encoded chunk bytes — the ring-replay path of a node
-// restart. It does not re-append to the ring (the bytes came from it).
-func (s *chanSender) sendEncoded(buf []byte) error {
+// restart. It does not re-append to the ring (the bytes came from it); thread
+// and epoch re-tag the frame exactly as the original post did.
+func (s *chanSender) sendEncoded(buf []byte, thread uint32, epoch uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(buf) > s.prod.DataSize() {
@@ -104,6 +109,7 @@ func (s *chanSender) sendEncoded(buf []byte) error {
 		}
 		return s.wrap(channel.ErrClosed)
 	}
+	sb.Thread, sb.Epoch = thread, epoch
 	copy(sb.Data, buf)
 	if err := s.prod.Post(sb, len(buf)); err != nil {
 		return s.wrap(err)
@@ -382,7 +388,7 @@ func (t *sourceTask) runFlush(finish bool) sched.Status {
 type inbound struct {
 	src  int
 	inc  int
-	cons *channel.Consumer
+	cons channel.RecvPort
 }
 
 // mergeTask is one node's service coroutine: it polls the inbound RDMA
@@ -412,7 +418,7 @@ type mergeTask struct {
 	// chunks — the positional dedup depends on that order.
 	addMu   sync.Mutex
 	added   []inbound
-	removed []*channel.Consumer
+	removed []channel.RecvPort
 
 	// Recovery plumbing; nil/zero when the plane is off. selfInc stamps
 	// failure reports; ckptEvery is the periodic checkpoint cadence in epoch
@@ -588,7 +594,7 @@ func (t *mergeTask) AddInbound(in inbound) {
 // RemoveInbound stages retirement of one consumer endpoint (a dead
 // incarnation's link). The task discards its backlog and closes it at its
 // next step, always before adopting any staged addition.
-func (t *mergeTask) RemoveInbound(cons *channel.Consumer) {
+func (t *mergeTask) RemoveInbound(cons channel.RecvPort) {
 	t.addMu.Lock()
 	t.removed = append(t.removed, cons)
 	t.addMu.Unlock()
@@ -596,7 +602,7 @@ func (t *mergeTask) RemoveInbound(cons *channel.Consumer) {
 
 // dropCons removes one consumer from the live set, discards whatever the
 // dead incarnation left in its backlog, and closes it.
-func (t *mergeTask) dropCons(cons *channel.Consumer) {
+func (t *mergeTask) dropCons(cons channel.RecvPort) {
 	for i := range t.cons {
 		if t.cons[i].cons == cons {
 			t.cons = append(t.cons[:i], t.cons[i+1:]...)

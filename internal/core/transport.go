@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/slash-stream/slash/internal/channel"
+	"github.com/slash-stream/slash/internal/rdma"
+)
+
+// meshTransport is the physical layer under the logical channel mesh. The
+// controller wires one directed link per live node pair regardless of the
+// transport; what differs is what a link costs. The per-pair transport
+// dedicates two queue pairs and a private credit ring to every link — O(n²)
+// QPs and registered credit memory across the deployment. The trunk transport
+// multiplexes every link over a fixed set of lanes per node — O(n·lanes) —
+// which is what lets a deployment scale past the point where the QP mesh
+// itself is the bottleneck (the paper's §7.2.2 setup phase cost).
+type meshTransport interface {
+	// AddNode attaches node id to the fabric under the given NIC name
+	// (incarnation-stamped by the controller; a restarted node attaches
+	// fresh under a new name).
+	AddNode(id int, name string) (*rdma.NIC, error)
+	// Link wires the directed logical channel src -> dst. Both nodes must
+	// have been added. The receiving port must be live before the sending
+	// port posts (trunk frames for unknown channels are dropped).
+	Link(src, dst int) (channel.SendPort, channel.RecvPort, error)
+	// DropNode detaches node id ahead of the fabric-level fence: its
+	// endpoints close (unblocking any peer mid-send to it without poisoning
+	// shared lanes) and per-pair state keyed on it is forgotten, so a
+	// rebuilt incarnation starts clean.
+	DropNode(id int)
+	// Shutdown releases every remaining endpoint after the run.
+	Shutdown()
+}
+
+// pairTransport is the dedicated per-pair transport: every Link call brings
+// up its own producer/consumer channel (two QPs, a private credit ring).
+type pairTransport struct {
+	fabric *rdma.Fabric
+	cfg    channel.Config
+	nics   []*rdma.NIC
+}
+
+func newPairTransport(fabric *rdma.Fabric, cfg channel.Config, maxNodes int) *pairTransport {
+	return &pairTransport{fabric: fabric, cfg: cfg, nics: make([]*rdma.NIC, maxNodes)}
+}
+
+func (t *pairTransport) AddNode(id int, name string) (*rdma.NIC, error) {
+	nic, err := t.fabric.NewNIC(name)
+	if err != nil {
+		return nil, err
+	}
+	t.nics[id] = nic
+	return nic, nil
+}
+
+func (t *pairTransport) Link(src, dst int) (channel.SendPort, channel.RecvPort, error) {
+	p, c, err := channel.New(t.nics[src], t.nics[dst], t.cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, c, nil
+}
+
+func (t *pairTransport) DropNode(id int) {
+	// Per-pair channels die with their endpoints' port Close calls; the
+	// transport itself keeps no shared state beyond the NIC handle.
+	t.nics[id] = nil
+}
+
+func (t *pairTransport) Shutdown() {}
+
+// trunkTransport multiplexes the mesh over per-node trunk endpoints: each
+// node owns cfg.Lanes initiator QPs and as many shared receive queues, and
+// every directed link is one logical channel riding them. Channel ids come
+// from one monotonic sequence, so a rebuilt link after a node restart never
+// collides with a stale id still in flight from the fenced incarnation.
+type trunkTransport struct {
+	fabric *rdma.Fabric
+	cfg    channel.TrunkConfig
+	eps    []*channel.Endpoint
+	chSeq  atomic.Uint32
+}
+
+func newTrunkTransport(fabric *rdma.Fabric, cfg channel.TrunkConfig, maxNodes int) *trunkTransport {
+	return &trunkTransport{fabric: fabric, cfg: cfg, eps: make([]*channel.Endpoint, maxNodes)}
+}
+
+func (t *trunkTransport) AddNode(id int, name string) (*rdma.NIC, error) {
+	nic, err := t.fabric.NewNIC(name)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := channel.NewEndpoint(nic, t.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: trunk endpoint for node %d: %w", id, err)
+	}
+	t.eps[id] = ep
+	return nic, nil
+}
+
+func (t *trunkTransport) Link(src, dst int) (channel.SendPort, channel.RecvPort, error) {
+	chID := t.chSeq.Add(1)
+	r, err := t.eps[dst].Listen(chID)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: trunk channel %d->%d: %w", src, dst, err)
+	}
+	s := t.eps[src].TrunkTo(t.eps[dst]).Open(chID)
+	return s, r, nil
+}
+
+func (t *trunkTransport) DropNode(id int) {
+	ep := t.eps[id]
+	if ep == nil {
+		return
+	}
+	t.eps[id] = nil
+	name := ep.NIC().Name()
+	// Closing the endpoint closes its SRQs: survivors' frames in flight to
+	// it complete with rdma.ErrQPClosed, which latches only their trunks to
+	// this node — the shared lanes stay healthy (see channel lane.complete).
+	ep.Close()
+	for _, e := range t.eps {
+		if e != nil {
+			e.DropTrunk(name)
+		}
+	}
+}
+
+func (t *trunkTransport) Shutdown() {
+	for i, ep := range t.eps {
+		if ep != nil {
+			ep.Close()
+			t.eps[i] = nil
+		}
+	}
+}

@@ -124,6 +124,7 @@ func Experiments() []Experiment {
 		{"chaos", "Failure semantics: seeded fault injection (drops, flaps, link kill)", Chaos},
 		{"elastic", "§7.2/§8: elastic 4->8->4 scale at epoch-aligned cutovers, zero state migration", Elastic},
 		{"recovery", "Failure handling: epoch-aligned checkpoint, node kill, fence-restore-replay", Recovery},
+		{"scale", "§7.2.2 setup cost: QP count and registered memory, trunk vs per-pair mesh", Scale},
 	}
 }
 

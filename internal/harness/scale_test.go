@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"github.com/slash-stream/slash/internal/channel"
+	"github.com/slash-stream/slash/internal/metrics"
+)
+
+// TestScaleSmoke runs the mesh-scaling experiment at the PR-gate point: a
+// 64-node trunk mesh next to measured pair meshes at the small end. The
+// experiment itself enforces the hard contract (trunk QPs == nodes × lanes at
+// every point, linear trunk memory growth, full record accounting); the test
+// checks the reported rows say what the gate relies on.
+func TestScaleSmoke(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rows, err := Scale(Options{Scale: 0.05, Threads: 1, Nodes: []int{8, 64}, Seed: 7, Metrics: reg})
+	if err != nil {
+		t.Fatalf("Scale: %v", err)
+	}
+	byParams := map[string]Row{}
+	for _, r := range rows {
+		byParams[r.System+" "+r.Params] = r
+	}
+	trunk64, ok := byParams["trunk nodes=64 threads=1"]
+	if !ok {
+		t.Fatalf("no 64-node trunk row in %d rows", len(rows))
+	}
+	if got, want := trunk64.Metrics["qps"], float64(64*channel.DefaultLanes); got != want {
+		t.Fatalf("64-node trunk mesh qps = %v, want %v", got, want)
+	}
+	// Doorbell batching must be engaged, not just counted: across a 64-node
+	// run at least some flush cycles coalesce multiple frames.
+	if trunk64.Metrics["doorbells"] <= 0 {
+		t.Fatalf("64-node trunk row has no doorbells: %+v", trunk64.Metrics)
+	}
+	if ratio := trunk64.Metrics["frames_per_db"]; ratio < 1 {
+		t.Fatalf("frames per doorbell = %v, want >= 1", ratio)
+	}
+	// The modelled pair row at 64 nodes documents what the trunk avoided.
+	model, ok := byParams["pair nodes=64 modelled"]
+	if !ok {
+		t.Fatal("no modelled 64-node pair row")
+	}
+	if got, want := model.Metrics["qps"], float64(2*64*63); got != want {
+		t.Fatalf("modelled pair qps = %v, want %v", got, want)
+	}
+	if model.Metrics["qps"] < 8*trunk64.Metrics["qps"] {
+		t.Fatalf("pair mesh (%v QPs) not meaningfully heavier than trunk (%v QPs) at 64 nodes",
+			model.Metrics["qps"], trunk64.Metrics["qps"])
+	}
+}
+
+// TestScaleSoak is the 256-node point, nightly-only: a pair mesh this size
+// would need 130,560 QPs; the trunk mesh must hold at 256 × lanes with
+// linear memory, enforced inside the experiment. Gated behind SOAK=1 like
+// the other long-haul suites.
+func TestScaleSoak(t *testing.T) {
+	if os.Getenv("SOAK") == "" {
+		t.Skip("soak test; set SOAK=1 to run")
+	}
+	rows, err := Scale(Options{Scale: 0.25, Threads: 1, Nodes: []int{16, 64, 256}, Seed: 11})
+	if err != nil {
+		t.Fatalf("Scale: %v", err)
+	}
+	for _, r := range rows {
+		if r.System == "trunk" && r.Params == "nodes=256 threads=1" {
+			if got, want := r.Metrics["qps"], float64(256*channel.DefaultLanes); got != want {
+				t.Fatalf("256-node trunk mesh qps = %v, want %v", got, want)
+			}
+			return
+		}
+	}
+	t.Fatal("no 256-node trunk row")
+}

@@ -58,8 +58,17 @@ const EDRLinkBandwidth = 11_800_000_000
 type Fabric struct {
 	cfg Config
 
-	// qpSeq numbers queue pairs for stable metric labels.
+	// qpSeq numbers queue pairs for stable metric labels. It only grows, so
+	// it doubles as a lifetime QP count for scaling assertions.
 	qpSeq atomic.Uint64
+
+	// srqSeq numbers shared receive queues the same way.
+	srqSeq atomic.Uint64
+
+	// regBytes tracks currently registered memory across every NIC on the
+	// fabric (RegisterBuffer adds, Deregister subtracts) — the "pinned
+	// credit memory" a scaling experiment asserts grows sub-quadratically.
+	regBytes atomic.Int64
 
 	mu   sync.Mutex
 	nics map[string]*NIC
@@ -96,6 +105,15 @@ func (f *Fabric) Config() Config { return f.cfg }
 // Metrics returns the metrics registry the fabric was configured with, or
 // nil when instrumentation is disabled.
 func (f *Fabric) Metrics() *metrics.Registry { return f.cfg.Metrics }
+
+// QPsCreated returns the number of queue pairs ever created on the fabric
+// (closed ones included). The scaling experiment asserts this grows
+// O(n·lanes) under the trunk transport rather than O(n²).
+func (f *Fabric) QPsCreated() uint64 { return f.qpSeq.Load() }
+
+// RegisteredBytes returns the bytes of memory currently registered across
+// every NIC on the fabric.
+func (f *Fabric) RegisteredBytes() int64 { return f.regBytes.Load() }
 
 // NewNIC registers a new NIC (one port) on the fabric. Names must be unique.
 func (f *Fabric) NewNIC(name string) (*NIC, error) {
@@ -275,4 +293,9 @@ var (
 	ErrRNRRetryExceeded = errors.New("rdma: receiver-not-ready retry count exceeded")
 	// ErrQPNotInError is returned by Reset on a healthy queue pair.
 	ErrQPNotInError = errors.New("rdma: queue pair is not in the error state")
+	// ErrNotConnected is returned when a SEND on a dynamic initiator names
+	// no destination SRQ, or a receive is posted on one.
+	ErrNotConnected = errors.New("rdma: queue pair not connected (dynamic initiator needs a destination SRQ)")
+	// ErrNotDynamic is returned by PostSendTo on a connected queue pair.
+	ErrNotDynamic = errors.New("rdma: per-destination send on a connected queue pair")
 )

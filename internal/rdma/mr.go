@@ -53,6 +53,7 @@ func (n *NIC) RegisterBuffer(buf []byte) (*MemoryRegion, error) {
 	n.nextKey++
 	mr := &MemoryRegion{nic: n, buf: buf, lkey: n.nextKey, rkey: n.nextKey}
 	n.regions[mr.rkey] = mr
+	n.fabric.regBytes.Add(int64(len(buf)))
 	return mr, nil
 }
 
@@ -66,9 +67,12 @@ func (n *NIC) MustRegister(size int) *MemoryRegion {
 }
 
 // Deregister removes the region from the NIC. Subsequent remote accesses
-// fail with ErrInvalidRKey.
+// fail with ErrInvalidRKey. Idempotent: only the first call releases the
+// registration accounting.
 func (mr *MemoryRegion) Deregister() {
-	mr.dead.Store(true)
+	if mr.dead.CompareAndSwap(false, true) {
+		mr.nic.fabric.regBytes.Add(-int64(len(mr.buf)))
+	}
 	mr.nic.mu.Lock()
 	delete(mr.nic.regions, mr.rkey)
 	mr.nic.mu.Unlock()

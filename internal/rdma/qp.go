@@ -95,6 +95,11 @@ type workRequest struct {
 	expect    uint64
 	value     uint64
 
+	// dst is the per-request destination of a SEND posted on a dynamic
+	// initiator QP (see NewInitiator); nil on connected QPs, whose
+	// destination is fixed at Connect time.
+	dst *SRQ
+
 	// inline8 marks an 8-byte inline WRITE (IBV_SEND_INLINE): the payload is
 	// value, carried in the request itself, and no local buffer is involved.
 	inline8 bool
@@ -182,6 +187,18 @@ func Connect(a, b *NIC, aOpt, bOpt QPOptions) (*QueuePair, *QueuePair, error) {
 	return qa, qb, nil
 }
 
+// NewInitiator creates a dynamic initiator queue pair on the NIC: a send-only
+// endpoint with no fixed remote, the DC-transport idiom that makes QP count
+// grow with nodes instead of node pairs. Each SEND names its destination SRQ
+// per request (PostSendTo); one initiator can therefore reach every node on
+// the fabric. One-sided verbs (WRITE/READ/atomics) and PostRecv need a
+// connected remote and are rejected with ErrNotConnected.
+func NewInitiator(nic *NIC, opt QPOptions) *QueuePair {
+	qp := newQP(nic, nil, opt)
+	qp.start()
+	return qp
+}
+
 func newQP(local, remote *NIC, opt QPOptions) *QueuePair {
 	depth := opt.QueueDepth
 	if depth <= 0 {
@@ -227,7 +244,11 @@ func newQP(local, remote *NIC, opt QPOptions) *QueuePair {
 	if qp.recvCQ == nil {
 		qp.recvCQ = NewCompletionQueue(depth)
 	}
-	qp.id = fmt.Sprintf("%s->%s#%d", local.name, remote.name, local.fabric.qpSeq.Add(1))
+	rname := "*" // dynamic initiator: the destination varies per request
+	if remote != nil {
+		rname = remote.name
+	}
+	qp.id = fmt.Sprintf("%s->%s#%d", local.name, rname, local.fabric.qpSeq.Add(1))
 	if reg := local.fabric.cfg.Metrics; reg != nil {
 		for _, op := range []Opcode{OpWrite, OpRead, OpSend, OpCompareSwap, OpFetchAdd} {
 			qp.mOps[op] = reg.Counter(fmt.Sprintf("rdma_qp_%ss_total{qp=%q}", opMetricName(op), qp.id))
@@ -359,6 +380,9 @@ func (qp *QueuePair) post(wr workRequest) error {
 	if qp.closed.Load() {
 		return ErrQPClosed
 	}
+	if qp.remote == nil && wr.dst == nil {
+		return ErrNotConnected
+	}
 	if qp.mLat != nil {
 		wr.postedNanos = time.Now().UnixNano()
 	}
@@ -467,11 +491,64 @@ func (qp *QueuePair) PostSend(wrID uint64, buf []byte, signaled bool) error {
 	return qp.post(workRequest{op: OpSend, wrID: wrID, signaled: signaled, local: buf})
 }
 
+// PostSendTo posts a two-sided SEND on a dynamic initiator QP (NewInitiator)
+// to the given destination SRQ. The request keeps the initiator's FIFO
+// order relative to every other request on the same QP regardless of
+// destination, exactly like DC transport: one send queue, many targets.
+func (qp *QueuePair) PostSendTo(dst *SRQ, wrID uint64, buf []byte, signaled bool) error {
+	if len(buf) == 0 {
+		return ErrZeroLength
+	}
+	if dst == nil {
+		return ErrNotConnected
+	}
+	if qp.remote != nil {
+		return ErrNotDynamic
+	}
+	return qp.post(workRequest{op: OpSend, wrID: wrID, signaled: signaled, local: buf, dst: dst})
+}
+
+// SendWR describes one WQE of a doorbell batch.
+type SendWR struct {
+	// WRID identifies the request's completion.
+	WRID uint64
+	// Buf is the payload; it must stay untouched until the completion.
+	Buf []byte
+	// Signaled requests a success completion (errors always complete).
+	Signaled bool
+}
+
+// PostSendBatchTo posts a chain of SENDs to one destination with a single
+// doorbell: the whole chain is validated and committed under one closed
+// check, modelling the ibv_post_send linked-WR idiom where the HCA fetches
+// n WQEs per doorbell ring. Returns how many WRs were accepted; on error
+// the remaining WRs were not posted.
+func (qp *QueuePair) PostSendBatchTo(dst *SRQ, wrs []SendWR) (int, error) {
+	if dst == nil {
+		return 0, ErrNotConnected
+	}
+	if qp.remote != nil {
+		return 0, ErrNotDynamic
+	}
+	for i, w := range wrs {
+		if len(w.Buf) == 0 {
+			return i, ErrZeroLength
+		}
+		if err := qp.post(workRequest{op: OpSend, wrID: w.WRID, signaled: w.Signaled, local: w.Buf, dst: dst}); err != nil {
+			return i, err
+		}
+	}
+	return len(wrs), nil
+}
+
 // PostRecv posts a receive buffer for incoming SENDs. The completion on the
 // receive CQ reports the number of bytes written into buf.
 func (qp *QueuePair) PostRecv(wrID uint64, buf []byte) error {
 	if len(buf) == 0 {
 		return ErrZeroLength
+	}
+	if qp.remote == nil {
+		return ErrNotConnected // a dynamic initiator never receives; use an SRQ
 	}
 	if qp.closed.Load() {
 		return ErrQPClosed
@@ -496,6 +573,15 @@ func (qp *QueuePair) PostFetchAdd(wrID uint64, rkey uint32, remoteOff int, delta
 	return qp.post(workRequest{op: OpFetchAdd, wrID: wrID, signaled: true, rkey: rkey, remoteOff: remoteOff, value: delta})
 }
 
+// remoteNICOf resolves the responder NIC of a request: the per-request SRQ
+// destination on a dynamic initiator, the connected peer otherwise.
+func (qp *QueuePair) remoteNICOf(wr workRequest) *NIC {
+	if wr.dst != nil {
+		return wr.dst.nic
+	}
+	return qp.remote
+}
+
 // charge accounts the transfer cost of wr against the fabric and returns
 // the propagation latency a throttled deliverer must pace (meaningless when
 // the fabric is unthrottled). Reads and atomics are responder-driven: the
@@ -508,7 +594,7 @@ func (qp *QueuePair) charge(wr workRequest) time.Duration {
 	lat := qp.local.fabric.cfg.BaseLatency
 	switch wr.op {
 	case OpRead:
-		qp.remote.chargeTx(size)
+		qp.remoteNICOf(wr).chargeTx(size)
 		lat *= 2
 	case OpCompareSwap, OpFetchAdd:
 		qp.local.chargeTx(size)
@@ -649,7 +735,7 @@ func (qp *QueuePair) completeError(wr workRequest, err error) {
 // QP exactly like real RC transport.
 func (qp *QueuePair) preflight(wr workRequest) error {
 	for attempt := 0; ; attempt++ {
-		act, d := qp.faults.decide(qp.local.name, qp.remote.name, qp.id)
+		act, d := qp.faults.decide(qp.local.name, qp.remoteNICOf(wr).name, qp.id)
 		switch act {
 		case faultNone:
 			return nil
@@ -719,19 +805,32 @@ func (qp *QueuePair) doRead(wr workRequest) error {
 	return nil
 }
 
-// doSend matches a two-sided SEND with a receive posted on the peer. With
-// the default infinite RNR budget the sender stalls until one appears
-// (receiver-not-ready, the behavior the FIFO tests pin down); with a finite
-// QPOptions.RNRRetry it re-arms with exponentially growing backoff and
-// completes with StatusRNRRetryExceeded once the budget is spent.
+// doSend matches a two-sided SEND with a receive posted on the target: the
+// connected peer's receive queue, or the per-request destination SRQ on a
+// dynamic initiator. With the default infinite RNR budget the sender stalls
+// until one appears (receiver-not-ready, the behavior the FIFO tests pin
+// down); with a finite QPOptions.RNRRetry it re-arms with exponentially
+// growing backoff and completes with StatusRNRRetryExceeded once the budget
+// is spent. A destination torn down mid-wait completes with ErrQPClosed —
+// a teardown, not a failure (see execute).
 func (qp *QueuePair) doSend(wr workRequest) error {
+	var (
+		recvs chan postedRecv
+		rdone chan struct{}
+		rcq   *CompletionQueue
+	)
+	if wr.dst != nil {
+		recvs, rdone, rcq = wr.dst.recvs, wr.dst.done, wr.dst.cq
+	} else {
+		recvs, rdone, rcq = qp.peer.recvs, qp.peer.done, qp.peer.recvCQ
+	}
 	var pr postedRecv
 	if qp.rnrRetry < 0 {
 		select {
-		case pr = <-qp.peer.recvs:
+		case pr = <-recvs:
 		case <-qp.done:
 			return ErrQPClosed
-		case <-qp.peer.done:
+		case <-rdone:
 			return ErrQPClosed
 		}
 	} else {
@@ -740,12 +839,12 @@ func (qp *QueuePair) doSend(wr workRequest) error {
 		for attempt := 0; attempt <= qp.rnrRetry && !matched; attempt++ {
 			timer := time.NewTimer(backoff)
 			select {
-			case pr = <-qp.peer.recvs:
+			case pr = <-recvs:
 				matched = true
 			case <-qp.done:
 				timer.Stop()
 				return ErrQPClosed
-			case <-qp.peer.done:
+			case <-rdone:
 				timer.Stop()
 				return ErrQPClosed
 			case <-timer.C:
@@ -759,13 +858,13 @@ func (qp *QueuePair) doSend(wr workRequest) error {
 		}
 	}
 	if len(pr.buf) < len(wr.local) {
-		qp.peer.recvCQ.push(Completion{WRID: pr.wrID, Op: OpRecv, Status: StatusRemoteAccessErr, Err: ErrRecvTooSmall})
+		rcq.push(Completion{WRID: pr.wrID, Op: OpRecv, Status: StatusRemoteAccessErr, Err: ErrRecvTooSmall})
 		qp.local.fabric.countCompletion(StatusRemoteAccessErr)
 		return ErrRecvTooSmall
 	}
 	copy(pr.buf, wr.local)
-	qp.remote.chargeRx(len(wr.local))
-	qp.peer.recvCQ.push(Completion{WRID: pr.wrID, Op: OpRecv, Bytes: len(wr.local)})
+	qp.remoteNICOf(wr).chargeRx(len(wr.local))
+	rcq.push(Completion{WRID: pr.wrID, Op: OpRecv, Bytes: len(wr.local)})
 	qp.local.fabric.countCompletion(StatusSuccess)
 	return nil
 }

@@ -1,0 +1,94 @@
+package rdma
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// SRQ is a shared receive queue: a pool of posted receive buffers that
+// two-sided SENDs from *any* dynamic initiator (see NewInitiator) consume,
+// the ibverbs ibv_srq idiom. Where a connected QueuePair dedicates its
+// receive queue to one peer, an SRQ lets one set of buffers serve every
+// sender targeting it — the shared receive infrastructure that replaces
+// per-channel credit rings in the trunk transport (RDMAvisor-style
+// connection virtualization).
+//
+// Flow control is receiver-not-ready: a SEND arriving while no buffer is
+// posted stalls in the sender's transport loop (or, with a finite RNR
+// budget, completes with StatusRNRRetryExceeded). Completions for landed
+// SENDs go to the SRQ's completion queue in arrival order; the WRID is the
+// one the receiver posted with, so a receiver can encode buffer identity in
+// it and repost after processing.
+type SRQ struct {
+	nic *NIC
+	id  string
+	cq  *CompletionQueue
+
+	recvs chan postedRecv
+	done  chan struct{}
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+}
+
+// NewSRQ creates a shared receive queue on the NIC holding up to depth
+// posted buffers. cq receives one completion per landed SEND; created with
+// capacity depth if nil. Depth defaults to the fabric's send queue depth.
+func (n *NIC) NewSRQ(depth int, cq *CompletionQueue) (*SRQ, error) {
+	if depth <= 0 {
+		depth = n.fabric.cfg.SendQueueDepth
+	}
+	if cq == nil {
+		cq = NewCompletionQueue(depth)
+	}
+	s := &SRQ{
+		nic:   n,
+		cq:    cq,
+		recvs: make(chan postedRecv, depth),
+		done:  make(chan struct{}),
+	}
+	s.id = fmt.Sprintf("%s/srq#%d", n.name, n.fabric.srqSeq.Add(1))
+	return s, nil
+}
+
+// PostRecv posts a receive buffer. The completion on the SRQ's CQ reports
+// the WRID and the number of bytes a SEND wrote into buf. Posting beyond
+// the SRQ depth blocks until a buffer is consumed.
+func (s *SRQ) PostRecv(wrID uint64, buf []byte) error {
+	if len(buf) == 0 {
+		return ErrZeroLength
+	}
+	if s.closed.Load() {
+		return ErrQPClosed
+	}
+	select {
+	case s.recvs <- postedRecv{wrID: wrID, buf: buf}:
+		return nil
+	case <-s.done:
+		return ErrQPClosed
+	}
+}
+
+// CQ returns the completion queue landed SENDs complete on.
+func (s *SRQ) CQ() *CompletionQueue { return s.cq }
+
+// NIC returns the owning NIC.
+func (s *SRQ) NIC() *NIC { return s.nic }
+
+// ID returns the fabric-unique identifier, e.g. "node0/srq#2".
+func (s *SRQ) ID() string { return s.id }
+
+// Closed reports whether the SRQ was torn down.
+func (s *SRQ) Closed() bool { return s.closed.Load() }
+
+// Close tears the SRQ down. Senders stalled on it (receiver-not-ready)
+// complete with ErrQPClosed — a teardown, not a failure, so it does not
+// latch their queue pairs into the error state (the property the trunk
+// layer relies on: a fenced destination must not poison the shared lane).
+func (s *SRQ) Close() {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.done)
+	})
+}

@@ -1,0 +1,263 @@
+package rdma
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// newInitiatorFabric builds a fabric with one initiator NIC and n target
+// NICs, each holding one SRQ of the given depth.
+func newInitiatorFabric(t *testing.T, cfg Config, n, depth int) (*Fabric, *QueuePair, []*SRQ) {
+	t.Helper()
+	f := NewFabric(cfg)
+	src := f.MustNIC("src")
+	qp := NewInitiator(src, QPOptions{})
+	t.Cleanup(qp.Close)
+	srqs := make([]*SRQ, n)
+	for i := range srqs {
+		nic := f.MustNIC("dst" + string(rune('0'+i)))
+		srq, err := nic.NewSRQ(depth, nil)
+		if err != nil {
+			t.Fatalf("NewSRQ: %v", err)
+		}
+		t.Cleanup(srq.Close)
+		srqs[i] = srq
+	}
+	return f, qp, srqs
+}
+
+func TestInitiatorSendsToManySRQs(t *testing.T) {
+	for _, ec := range engineConfigs {
+		t.Run(ec.name, func(t *testing.T) {
+			const per = 50
+			_, qp, srqs := newInitiatorFabric(t, Config{Throttle: ec.throttle}, 3, per)
+			for i, srq := range srqs {
+				for j := 0; j < per; j++ {
+					if err := srq.PostRecv(uint64(j), make([]byte, 8)); err != nil {
+						t.Fatalf("PostRecv: %v", err)
+					}
+					_ = i
+				}
+			}
+			// Interleave destinations; one QP, strict post order.
+			for j := 0; j < per; j++ {
+				for i, srq := range srqs {
+					buf := make([]byte, 8)
+					putLEU64(buf, uint64(j))
+					if err := qp.PostSendTo(srq, uint64(i*per+j), buf, true); err != nil {
+						t.Fatalf("PostSendTo: %v", err)
+					}
+				}
+			}
+			for range srqs {
+				for j := 0; j < per; j++ {
+					c := qp.SendCQ().Wait()
+					if c.Err != nil {
+						t.Fatalf("send completion: %v", c.Err)
+					}
+				}
+			}
+			// Each SRQ saw its receives land in FIFO order per sender.
+			for i, srq := range srqs {
+				for j := 0; j < per; j++ {
+					c := srq.CQ().Wait()
+					if c.Err != nil {
+						t.Fatalf("srq %d recv: %v", i, c.Err)
+					}
+					if c.WRID != uint64(j) {
+						t.Fatalf("srq %d recv order: got wr %d, want %d", i, c.WRID, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestInitiatorBatchSingleDoorbell(t *testing.T) {
+	for _, ec := range engineConfigs {
+		t.Run(ec.name, func(t *testing.T) {
+			_, qp, srqs := newInitiatorFabric(t, Config{Throttle: ec.throttle}, 1, 16)
+			srq := srqs[0]
+			const n = 8
+			for j := 0; j < n; j++ {
+				if err := srq.PostRecv(uint64(j), make([]byte, 16)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wrs := make([]SendWR, n)
+			for j := range wrs {
+				wrs[j] = SendWR{WRID: uint64(j), Buf: []byte("batch"), Signaled: j == n-1}
+			}
+			posted, err := qp.PostSendBatchTo(srq, wrs)
+			if err != nil || posted != n {
+				t.Fatalf("PostSendBatchTo = %d, %v", posted, err)
+			}
+			if c := qp.SendCQ().Wait(); c.Err != nil || c.WRID != n-1 {
+				t.Fatalf("batch completion %+v", c)
+			}
+			for j := 0; j < n; j++ {
+				c := srq.CQ().Wait()
+				if c.Err != nil || c.WRID != uint64(j) || c.Bytes != 5 {
+					t.Fatalf("recv %d: %+v", j, c)
+				}
+			}
+		})
+	}
+}
+
+func TestSRQCloseUnblocksSenderWithoutLatching(t *testing.T) {
+	for _, ec := range engineConfigs {
+		t.Run(ec.name, func(t *testing.T) {
+			_, qp, srqs := newInitiatorFabric(t, Config{Throttle: ec.throttle}, 2, 4)
+			dead, live := srqs[0], srqs[1]
+			// No receive posted on dead: the SEND stalls receiver-not-ready.
+			if err := qp.PostSendTo(dead, 1, []byte("stall"), true); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(10 * time.Millisecond)
+			dead.Close()
+			c := qp.SendCQ().Wait()
+			if !errors.Is(c.Err, ErrQPClosed) {
+				t.Fatalf("stalled send completed with %v, want ErrQPClosed", c.Err)
+			}
+			// Teardown of a destination must not poison the shared QP.
+			if err := qp.Err(); err != nil {
+				t.Fatalf("QP latched error after destination close: %v", err)
+			}
+			if err := live.PostRecv(7, make([]byte, 8)); err != nil {
+				t.Fatal(err)
+			}
+			if err := qp.PostSendTo(live, 2, []byte("ok"), true); err != nil {
+				t.Fatal(err)
+			}
+			if c := qp.SendCQ().Wait(); c.Err != nil {
+				t.Fatalf("send to live SRQ after dead close: %v", c.Err)
+			}
+			if c := live.CQ().Wait(); c.Err != nil || c.WRID != 7 {
+				t.Fatalf("live recv: %+v", c)
+			}
+			if err := dead.PostRecv(9, make([]byte, 8)); !errors.Is(err, ErrQPClosed) {
+				t.Fatalf("PostRecv on closed SRQ = %v, want ErrQPClosed", err)
+			}
+		})
+	}
+}
+
+func TestInitiatorFaultLatchesAndResets(t *testing.T) {
+	for _, ec := range engineConfigs {
+		t.Run(ec.name, func(t *testing.T) {
+			faults := NewFaultInjector(1)
+			f := NewFabric(Config{Throttle: ec.throttle, Faults: faults})
+			src := f.MustNIC("src")
+			qp := NewInitiator(src, QPOptions{RetryCount: 1, Timeout: time.Millisecond})
+			defer qp.Close()
+			cut, _ := f.MustNIC("cut").NewSRQ(4, nil)
+			ok, _ := f.MustNIC("ok").NewSRQ(4, nil)
+			defer cut.Close()
+			defer ok.Close()
+			if err := ok.PostRecv(1, make([]byte, 8)); err != nil {
+				t.Fatal(err)
+			}
+
+			// The cut is per destination link, so fault attribution must
+			// resolve the SRQ's NIC, not the (nil) connected remote.
+			faults.CutLink("src", "cut")
+			if err := qp.PostSendTo(cut, 10, []byte("x"), true); err != nil {
+				t.Fatal(err)
+			}
+			c := qp.SendCQ().Wait()
+			if !errors.Is(c.Err, ErrRetryExceeded) {
+				t.Fatalf("send over cut link: %v, want ErrRetryExceeded", c.Err)
+			}
+			var qf *QPFailure
+			if err := qp.Err(); !errors.As(err, &qf) || qf.Status != StatusRetryExceeded {
+				t.Fatalf("latched error = %v, want QPFailure{RetryExceeded}", err)
+			}
+
+			// Healthy destinations flush while latched, then work after Reset.
+			if err := qp.PostSendTo(ok, 11, []byte("y"), true); err != nil {
+				t.Fatal(err)
+			}
+			if c := qp.SendCQ().Wait(); !errors.Is(c.Err, ErrWRFlush) {
+				t.Fatalf("post-latch send: %v, want ErrWRFlush", c.Err)
+			}
+			if err := qp.Reset(); err != nil {
+				t.Fatalf("Reset: %v", err)
+			}
+			if err := qp.PostSendTo(ok, 12, []byte("z"), true); err != nil {
+				t.Fatal(err)
+			}
+			if c := qp.SendCQ().Wait(); c.Err != nil {
+				t.Fatalf("send after Reset: %v", c.Err)
+			}
+		})
+	}
+}
+
+func TestDynamicAndConnectedGuards(t *testing.T) {
+	f := NewFabric(Config{})
+	a := f.MustNIC("a")
+	b := f.MustNIC("b")
+	qa, qb, err := Connect(a, b, QPOptions{}, QPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qa.Close()
+	defer qb.Close()
+	dyn := NewInitiator(a, QPOptions{})
+	defer dyn.Close()
+	srq, err := b.NewSRQ(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srq.Close()
+
+	if err := qa.PostSendTo(srq, 1, []byte("x"), true); !errors.Is(err, ErrNotDynamic) {
+		t.Fatalf("PostSendTo on connected QP = %v, want ErrNotDynamic", err)
+	}
+	if _, err := qa.PostSendBatchTo(srq, []SendWR{{WRID: 1, Buf: []byte("x")}}); !errors.Is(err, ErrNotDynamic) {
+		t.Fatalf("PostSendBatchTo on connected QP = %v, want ErrNotDynamic", err)
+	}
+	if err := dyn.PostSend(1, []byte("x"), true); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("PostSend on initiator = %v, want ErrNotConnected", err)
+	}
+	if err := dyn.PostWrite(1, []byte("x"), 1, 0, true); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("PostWrite on initiator = %v, want ErrNotConnected", err)
+	}
+	if err := dyn.PostRecv(1, make([]byte, 8)); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("PostRecv on initiator = %v, want ErrNotConnected", err)
+	}
+	if err := dyn.PostSendTo(nil, 1, []byte("x"), true); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("PostSendTo(nil) = %v, want ErrNotConnected", err)
+	}
+}
+
+func TestFabricAccounting(t *testing.T) {
+	f := NewFabric(Config{})
+	a := f.MustNIC("a")
+	b := f.MustNIC("b")
+	if f.QPsCreated() != 0 || f.RegisteredBytes() != 0 {
+		t.Fatalf("fresh fabric: qps=%d reg=%d", f.QPsCreated(), f.RegisteredBytes())
+	}
+	qa, qb, err := Connect(a, b, QPOptions{}, QPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qa.Close()
+	defer qb.Close()
+	dyn := NewInitiator(a, QPOptions{})
+	defer dyn.Close()
+	if got := f.QPsCreated(); got != 3 {
+		t.Fatalf("QPsCreated = %d, want 3", got)
+	}
+	mr := a.MustRegister(4096)
+	if got := f.RegisteredBytes(); got != 4096 {
+		t.Fatalf("RegisteredBytes = %d, want 4096", got)
+	}
+	mr.Deregister()
+	mr.Deregister() // idempotent: no double subtract
+	if got := f.RegisteredBytes(); got != 0 {
+		t.Fatalf("RegisteredBytes after deregister = %d, want 0", got)
+	}
+}

@@ -6,16 +6,18 @@
 #   - the 4KB channel transfer allocating anything (must stay 0 allocs/op:
 #     the recovery plane is pay-as-you-go and the fault-off hot path is
 #     allocation-free by contract).
-# Benchmarks present on only one side are reported but never fail the gate
-# (new benchmarks land with the PR that adds them).
+# Benchmarks present only in the current run are reported but never fail the
+# gate (new benchmarks land with the PR that adds them). Benchmarks present
+# only in the BASELINE fail it: a benchmark that silently vanishes is a gate
+# that stopped measuring, which is how regressions walk in unnoticed.
 #
 # Usage: scripts/bench-compare.sh [baseline.json] [current.json]
-#   baseline defaults to BENCH_PR5.json; with no current file the benchmarks
+#   baseline defaults to BENCH_PR6.json; with no current file the benchmarks
 #   are re-run into a temp snapshot first.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASE="${1:-BENCH_PR5.json}"
+BASE="${1:-BENCH_PR6.json}"
 CUR="${2:-}"
 TOLERANCE="${TOLERANCE:-15}"
 
@@ -90,7 +92,10 @@ if [ "${hot:--}" != "0" ]; then
 fi
 
 while read -r name _ _; do
-  grep -q "^$name " /tmp/bench-cur.$$ || echo "GONE     $name (in baseline, not in current run)"
+  if ! grep -q "^$name " /tmp/bench-cur.$$; then
+    echo "GONE     $name (in baseline, not in current run — a vanished benchmark fails the gate)"
+    FAIL=1
+  fi
 done < /tmp/bench-base.$$
 
 rm -f /tmp/bench-base.$$ /tmp/bench-cur.$$

@@ -3,10 +3,10 @@
 # a machine-readable perf snapshot so the repo's performance trajectory is
 # tracked PR over PR.
 #
-# Usage: scripts/bench.sh [output.json]     (default: BENCH_PR5.json)
+# Usage: scripts/bench.sh [output.json]     (default: BENCH_PR6.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_PR5.json}"
+OUT="${1:-BENCH_PR6.json}"
 
 echo "# figure benchmarks (-benchtime=1x)" >&2
 FIG=$(go test -run xxx -bench Fig -benchtime=1x . | grep '^Benchmark' || true)
