@@ -3,8 +3,9 @@
 // credit-based flow control.
 //
 // The circular queue lives in the consumer's registered memory as c
-// contiguous fixed-size slots (a flat layout: payload and footer are
-// adjacent, so one RDMA WRITE transfers both, §6.3). The producer stages
+// contiguous fixed-size slots (a flat layout: the payload is packed
+// right-aligned against the footer, so one RDMA WRITE of used+footer
+// bytes transfers both, §6.3). The producer stages
 // outgoing buffers in its own registered ring and pushes them with one-sided
 // RDMA WRITEs; the consumer polls local memory for arrival and processes the
 // data region in place. Credits flow back through a cumulative 8-byte
@@ -326,7 +327,12 @@ func (p *Producer) Acquire() *SendBuffer {
 }
 
 // Post transfers the acquired buffer with used payload bytes as a single
-// RDMA WRITE of the full slot (payload and footer are contiguous, §6.3).
+// RDMA WRITE (§6.3). The payload is packed right-aligned against the
+// footer, so the write covers exactly used+FooterSize bytes ending at the
+// slot boundary: a small message costs wire bytes proportional to its
+// payload rather than the slot size, while the footer's polling byte is
+// still the last byte written (WRITEs fill memory from lower to higher
+// addresses) and still sits at a fixed offset for the consumer to poll.
 // Invariant 1: posting consumes one credit.
 func (p *Producer) Post(b *SendBuffer, used int) error {
 	if p.closed.Load() {
@@ -344,6 +350,10 @@ func (p *Producer) Post(b *SendBuffer, used int) error {
 	slot := int(p.sent.Load() % uint64(p.cfg.Credits))
 	base := slot * p.cfg.SlotSize
 	buf := p.staging.Bytes()[base : base+p.cfg.SlotSize]
+	// Right-align the payload against the footer. The caller filled
+	// Data[:used] at the slot start; the overlapping copy is memmove-safe.
+	pay := p.cfg.SlotSize - FooterSize - used
+	copy(buf[pay:], buf[:used])
 	foot := buf[p.cfg.SlotSize-FooterSize:]
 	foot[0] = byte(used)
 	foot[1] = byte(used >> 8)
@@ -353,7 +363,7 @@ func (p *Producer) Post(b *SendBuffer, used int) error {
 	foot[7] = generation(b.seq, p.cfg.Credits) // the polling byte
 	// Selective signaling: success needs no completion, errors always
 	// complete and are surfaced by drainErrors on a later call.
-	if err := p.qp.PostWrite(b.seq, buf, p.ringRKey, base, false); err != nil {
+	if err := p.qp.PostWrite(b.seq, buf[pay:], p.ringRKey, base+pay, false); err != nil {
 		return p.fail(fmt.Errorf("channel: post failed: %w", err))
 	}
 	p.sent.Add(1)
@@ -521,7 +531,7 @@ func (c *Consumer) TryPoll() (*RecvBuffer, bool) {
 	}
 	seq := c.received.Load()
 	rb := &c.bufs[seq%uint64(c.cfg.Credits)]
-	rb.Data = buf[:used]
+	rb.Data = buf[c.cfg.SlotSize-FooterSize-used : c.cfg.SlotSize-FooterSize]
 	rb.seq = seq
 	rb.done = false
 	c.received.Add(1) // step 2: mark the buffer for processing

@@ -15,6 +15,7 @@ import (
 	"github.com/slash-stream/slash/internal/sched"
 	"github.com/slash-stream/slash/internal/ssb"
 	"github.com/slash-stream/slash/internal/stream"
+	"github.com/slash-stream/slash/internal/window"
 )
 
 // Errors surfaced by reconfiguration.
@@ -402,6 +403,15 @@ func (c *Controller) makeTasks(id int, be *ssb.Backend, myIn []inbound, nodeFlow
 			records: &c.records,
 			updates: &c.updates,
 			mStep:   c.mSourceStep,
+		}
+		if !c.cfg.RecordPath {
+			st.bflow = batchFlowFor(nodeFlows[th])
+			st.rb = stream.NewRecordBatch(c.cfg.BatchRecords)
+			st.assign = window.ForRuns(c.q.Window)
+			st.selTimes = make([]int64, 0, c.cfg.BatchRecords)
+			if c.q.holistic() {
+				st.sides = make([]uint8, c.cfg.BatchRecords)
+			}
 		}
 		if c.mgr != nil {
 			st.mgr = c.mgr

@@ -48,8 +48,15 @@ type Config struct {
 	// ChunkSize caps one state delta chunk.
 	ChunkSize int
 	// BatchRecords is the number of records a source task processes per
-	// scheduler step. Defaults to 256.
+	// scheduler step — also the capacity of the columnar record batches the
+	// batch path fills. Defaults to 256.
 	BatchRecords int
+	// RecordPath forces the legacy per-record operator loop instead of the
+	// columnar batch path. The two paths are byte-identical by construction
+	// (same flush boundaries, same fragment log bytes); this knob exists as
+	// the differential oracle for that claim and as an escape hatch for
+	// debugging.
+	RecordPath bool
 	// Metrics, when non-nil, collects engine- and fabric-level metrics for
 	// the run: per-task step latency, merge backlog high-water marks, and —
 	// unless Fabric.Metrics is set separately — all verbs/channel counters.

@@ -74,7 +74,7 @@ func TestTinyChunksForceSplits(t *testing.T) {
 	win, _ := window.NewTumbling(600)
 	q := &Query{Name: "tiny", Codec: testCodec, Window: win, Agg: crdt.Sum{}}
 	cfg := smallConfig(2, 2)
-	cfg.ChunkSize = 64 // two entries per chunk
+	cfg.ChunkSize = 32 // a handful of varint entries per chunk
 	cfg.EpochBytes = 2 << 10
 	col := &Collector{}
 	rep, err := Run(cfg, q, flows, col)

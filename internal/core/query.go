@@ -52,6 +52,20 @@ type Query struct {
 	// per-window bags tagged with their side, and the trigger emits
 	// per-key pairings (holistic CRDT state).
 	JoinSide SideFunc
+
+	// FilterBatch is the optional batch form of Filter: it must select into
+	// rb.Sel (via rb.UseSel) exactly the records Filter would keep, in
+	// ascending index order. When nil, the engine compiles one from Filter
+	// (a per-record fallback over the batch). Semantically Filter and
+	// FilterBatch must agree — the differential harness runs both paths.
+	FilterBatch func(rb *stream.RecordBatch)
+	// MapBatch is the optional batch form of Map: transform the live
+	// records of rb in place. When nil, compiled from Map.
+	MapBatch func(rb *stream.RecordBatch)
+	// JoinSideBatch is the optional batch form of JoinSide: fill sides[i]
+	// for every live record index i of rb. When nil, compiled from
+	// JoinSide.
+	JoinSideBatch func(rb *stream.RecordBatch, sides []uint8)
 }
 
 // Errors returned by query validation.

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/stream"
+	"github.com/slash-stream/slash/internal/window"
+)
+
+// cycleFlow replays a fixed columnar block forever: the source never runs
+// dry, timestamps stay constant (one window, bounded state), and the fill is
+// allocation-free — so a benchmark over it measures exactly the steady-state
+// source step and nothing else.
+type cycleFlow struct {
+	keys   []uint64
+	times  []int64
+	v0, v1 []int64
+	pos    int
+}
+
+func newCycleFlow(block, nKeys int) *cycleFlow {
+	f := &cycleFlow{
+		keys:  make([]uint64, block),
+		times: make([]int64, block),
+		v0:    make([]int64, block),
+		v1:    make([]int64, block),
+	}
+	for i := 0; i < block; i++ {
+		f.keys[i] = uint64(i % nKeys)
+		f.v0[i] = int64(i)
+	}
+	return f
+}
+
+// Next implements Flow.
+func (f *cycleFlow) Next(rec *stream.Record) bool {
+	i := f.pos
+	rec.Key = f.keys[i]
+	rec.Time = f.times[i]
+	rec.V0 = f.v0[i]
+	rec.V1 = f.v1[i]
+	f.pos++
+	if f.pos == len(f.keys) {
+		f.pos = 0
+	}
+	return true
+}
+
+// Batch implements BatchFlow: wrap-around column copies, never exhausted.
+func (f *cycleFlow) Batch(rb *stream.RecordBatch) bool {
+	for rb.Free() > 0 {
+		k := rb.Free()
+		if rem := len(f.keys) - f.pos; k > rem {
+			k = rem
+		}
+		rb.AppendColumns(f.keys[f.pos:f.pos+k], f.times[f.pos:f.pos+k], f.v0[f.pos:f.pos+k], f.v1[f.pos:f.pos+k])
+		f.pos += k
+		if f.pos == len(f.keys) {
+			f.pos = 0
+		}
+	}
+	return true
+}
+
+// benchSourceStep measures one scheduler step of the source task — the
+// engine's hot loop — against an endless flow, with the epoch length set far
+// out of reach so no step flushes. The record and batch paths run the
+// identical task over the identical data; only Config.RecordPath differs.
+func benchSourceStep(b *testing.B, recordPath bool) {
+	win, _ := window.NewTumbling(1000)
+	cfg := smallConfig(1, 1)
+	cfg.EpochBytes = 1 << 50
+	cfg.RecordPath = recordPath
+	q := &Query{Name: "stepbench", Codec: testCodec, Window: win, Agg: crdt.Sum{}}
+	ctrl, err := NewController(cfg, q, [][]Flow{{newCycleFlow(4096, 512)}}, &Collector{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := ctrl.sources[0][0]
+	// Warm the (window, key) entries so the measured loop updates aggregate
+	// state in place instead of inserting.
+	for i := 0; i < 32; i++ {
+		st.Step()
+	}
+	per := cfg.BatchRecords
+	if per == 0 {
+		per = 256
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step()
+	}
+	b.ReportMetric(float64(b.N)*float64(per)/b.Elapsed().Seconds(), "rec/s")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(per)), "ns/rec")
+}
+
+// BenchmarkSourceStepRecord is the legacy per-record operator loop:
+// Flow.Next virtual call, closure dispatch, Window.Assign, and a hash probe
+// per record.
+func BenchmarkSourceStepRecord(b *testing.B) { benchSourceStep(b, true) }
+
+// BenchmarkSourceStepBatch is the columnar hot loop: one batch fill, run-
+// length window assignment, and grouped aggregation per step.
+func BenchmarkSourceStepBatch(b *testing.B) { benchSourceStep(b, false) }

@@ -13,6 +13,7 @@ import (
 	"github.com/slash-stream/slash/internal/sched"
 	"github.com/slash-stream/slash/internal/ssb"
 	"github.com/slash-stream/slash/internal/stream"
+	"github.com/slash-stream/slash/internal/window"
 )
 
 // chanSender ships SSB chunks over an RDMA channel. Threads of one node
@@ -153,6 +154,18 @@ type sourceTask struct {
 	batch   int
 	recSize int
 
+	// Columnar batch path (the default): bflow fills rb, the compiled batch
+	// operators filter/map/side it, runs holds the run-length window
+	// assignment, selTimes gathers the live timestamp column when a
+	// selection is active. bflow == nil selects the legacy per-record loop
+	// (Config.RecordPath — the differential oracle).
+	bflow    BatchFlow
+	rb       *stream.RecordBatch
+	runs     window.Runs
+	assign   window.RunAssigner
+	selTimes []int64
+	sides    []uint8
+
 	wins    []uint64
 	records *atomic.Int64
 	updates *atomic.Int64
@@ -253,9 +266,25 @@ func (t *sourceTask) step() sched.Status {
 		// The flow is fenced (see GatedFlow): park without ending the stream.
 		return sched.Idle
 	}
+	if t.bflow != nil {
+		return t.stepBatch()
+	}
+	return t.stepRecords()
+}
+
+// observe records the step latency. It is called only on steps that did
+// work (consumed records or ran a flush): no-op Idle steps would otherwise
+// dominate the histogram and bury the latencies that matter.
+func (t *sourceTask) observe(start time.Time) {
+	t.mStep.Observe(time.Since(start).Nanoseconds())
+}
+
+// stepRecords is the legacy per-record operator loop, kept verbatim behind
+// Config.RecordPath as the differential oracle for the batch path.
+func (t *sourceTask) stepRecords() sched.Status {
+	var start time.Time
 	if t.mStep != nil {
-		start := time.Now()
-		defer func() { t.mStep.Observe(time.Since(start).Nanoseconds()) }()
+		start = time.Now()
 	}
 	var rec stream.Record
 	n := 0
@@ -269,6 +298,9 @@ func (t *sourceTask) step() sched.Status {
 			break
 		}
 		if !t.flow.Next(&rec) {
+			if t.mStep != nil {
+				defer t.observe(start)
+			}
 			return t.runFlush(true)
 		}
 		t.localRecords++
@@ -298,12 +330,18 @@ func (t *sourceTask) step() sched.Status {
 		}
 	}
 	if len(t.plan) > 0 && t.localRecords >= t.plan[0].consumed {
+		if t.mStep != nil {
+			defer t.observe(start)
+		}
 		p := t.plan[0]
 		t.plan = t.plan[1:]
 		return t.runFlush(p.done)
 	}
 	if n == 0 {
 		return sched.Idle
+	}
+	if t.mStep != nil {
+		defer t.observe(start)
 	}
 	if t.ts.Ingest(n*t.recSize) && len(t.plan) == 0 {
 		// Epoch boundary: run the synchronization phase (§7.2.2). While a
@@ -313,6 +351,127 @@ func (t *sourceTask) step() sched.Status {
 		return t.runFlush(false)
 	}
 	return sched.Ready
+}
+
+// stepBatch is the columnar hot loop: fill one record batch from the flow,
+// run the batch-form operators (filter into a selection vector, map in
+// place, run-length window assignment), and apply each (window, run) group
+// to the SSB with per-record routing hoisted out.
+//
+// Every boundary the per-record loop respects lands on the identical record
+// here: a replayed flush boundary truncates the fill via the batch limit, a
+// gate fence stops the producing flow at exactly the fenced record, epoch
+// accounting sees the same per-step record counts, and end-of-flow finishes
+// in the same step that consumed the final record — so flush points, chunk
+// bytes, and therefore window results match the per-record path exactly.
+func (t *sourceTask) stepBatch() sched.Status {
+	var start time.Time
+	if t.mStep != nil {
+		start = time.Now()
+	}
+	limit := t.batch
+	if len(t.plan) > 0 {
+		rem := t.plan[0].consumed - t.localRecords
+		if rem <= 0 {
+			// Already at the replayed boundary (it can sit at 0 records).
+			if t.mStep != nil {
+				defer t.observe(start)
+			}
+			p := t.plan[0]
+			t.plan = t.plan[1:]
+			return t.runFlush(p.done)
+		}
+		if rem < int64(limit) {
+			limit = int(rem)
+		}
+	}
+	rb := t.rb
+	rb.Reset(limit)
+	more := t.bflow.Batch(rb)
+	n := rb.Len()
+	if n == 0 {
+		if more {
+			// Gated or momentarily dry: a genuine no-op step.
+			return sched.Idle
+		}
+		if t.mStep != nil {
+			defer t.observe(start)
+		}
+		return t.runFlush(true)
+	}
+	if t.mStep != nil {
+		defer t.observe(start)
+	}
+	t.localRecords += int64(n)
+	if st, failed := t.processBatch(rb); failed {
+		return st
+	}
+	// One watermark advance covers the whole batch: times are non-decreasing
+	// and no flush happens mid-batch, so the per-record path's incremental
+	// advances are observationally identical to this single one.
+	t.ts.ObserveTime(rb.Times[n-1])
+	if len(t.plan) > 0 && t.localRecords >= t.plan[0].consumed {
+		p := t.plan[0]
+		t.plan = t.plan[1:]
+		return t.runFlush(p.done)
+	}
+	if !more {
+		return t.runFlush(true)
+	}
+	if t.ts.Ingest(n*t.recSize) && len(t.plan) == 0 {
+		// Epoch boundary: run the synchronization phase (§7.2.2).
+		return t.runFlush(false)
+	}
+	return sched.Ready
+}
+
+// processBatch runs the operator pipeline over one filled batch. It returns
+// failed=true (with the terminal status) when a state update failed.
+func (t *sourceTask) processBatch(rb *stream.RecordBatch) (st sched.Status, failed bool) {
+	q := t.q
+	if q.Filter != nil || q.FilterBatch != nil {
+		q.runFilterBatch(rb)
+		if rb.Live() == 0 {
+			return 0, false
+		}
+	}
+	q.runMapBatch(rb)
+	// Gather the live timestamp column; with no selection the batch's own
+	// column serves directly (zero copies).
+	times := rb.Times[:rb.Len()]
+	if rb.Sel != nil {
+		gathered := t.selTimes[:0]
+		for _, i := range rb.Sel {
+			gathered = append(gathered, rb.Times[i])
+		}
+		t.selTimes = gathered
+		times = gathered
+	}
+	t.runs.Reset()
+	t.assign.AssignRuns(times, &t.runs)
+	var sides []uint8
+	if q.JoinSide != nil || q.JoinSideBatch != nil {
+		sides = t.sides[:rb.Len()]
+		q.runSideBatch(rb, sides)
+	}
+	for r := 0; r < t.runs.N(); r++ {
+		p0, p1 := t.runs.Span(r)
+		for _, win := range t.runs.Windows(r) {
+			var err error
+			if sides != nil {
+				err = t.ts.AppendBagBatch(win, rb, p0, p1, sides)
+			} else {
+				err = t.ts.UpdateAggBatch(win, rb, p0, p1)
+			}
+			if err != nil {
+				t.run.fail(err)
+				t.done.Store(true)
+				return sched.Done, true
+			}
+			t.localUpdates += int64(p1 - p0)
+		}
+	}
+	return 0, false
 }
 
 // runFlush journals a source-progress intent (recovery mode) and runs the

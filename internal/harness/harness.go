@@ -125,6 +125,7 @@ func Experiments() []Experiment {
 		{"elastic", "§7.2/§8: elastic 4->8->4 scale at epoch-aligned cutovers, zero state migration", Elastic},
 		{"recovery", "Failure handling: epoch-aligned checkpoint, node kill, fence-restore-replay", Recovery},
 		{"scale", "§7.2.2 setup cost: QP count and registered memory, trunk vs per-pair mesh", Scale},
+		{"batchsweep", "Columnar batch size sweep 1→4096 on YSB, vs the per-record path", BatchSweep},
 	}
 }
 

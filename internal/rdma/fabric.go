@@ -3,6 +3,7 @@ package rdma
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -255,10 +256,30 @@ func (n *NIC) chargeTx(size int) {
 		start = now
 	}
 	n.linkFree = start.Add(d)
-	wait := n.linkFree.Sub(now)
+	until := n.linkFree
 	n.linkMu.Unlock()
-	if wait > 0 {
-		time.Sleep(wait)
+	pace(until)
+}
+
+// pace blocks until the simulated deadline. Serialization and propagation
+// delays are microsecond-scale, far below the host timer's effective
+// time.Sleep granularity (around a millisecond), so sleeping for them
+// directly would overshoot by orders of magnitude and serialize the whole
+// simulation on timer wakeups. Instead the bulk of a long wait sleeps and
+// the remainder yield-spins: runtime.Gosched lets compute goroutines run
+// while this one burns down the deadline, so pacing overlaps with useful
+// work instead of idling the host.
+func pace(until time.Time) {
+	for {
+		wait := time.Until(until)
+		if wait <= 0 {
+			return
+		}
+		if wait > 2*time.Millisecond {
+			time.Sleep(wait - time.Millisecond)
+			continue
+		}
+		runtime.Gosched()
 	}
 }
 

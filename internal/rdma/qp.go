@@ -646,9 +646,7 @@ func (qp *QueuePair) deliverer() {
 	defer qp.wg.Done()
 	for d := range qp.deliver {
 		if !d.at.IsZero() {
-			if wait := time.Until(d.at); wait > 0 {
-				time.Sleep(wait)
-			}
+			pace(d.at)
 		}
 		qp.orderMu.Lock()
 		qp.execute(d.wr)

@@ -489,12 +489,11 @@ func (b *Backend) TriggerReady(emitAgg EmitAgg, emitBag EmitBag) int {
 	for _, win := range ready {
 		tbl := b.primary[win]
 		if b.cfg.Agg != nil {
-			agg := b.cfg.Agg
-			tbl.ForEachAgg(func(key uint64, state []byte) {
-				if emitAgg != nil {
-					emitAgg(win, key, agg.Result(state))
-				}
-			})
+			if emitAgg != nil {
+				tbl.forEachAggResult(func(key uint64, result int64) {
+					emitAgg(win, key, result)
+				})
+			}
 		} else if emitBag != nil {
 			tbl.ForEachBag(func(key uint64, elems []crdt.BagElem) {
 				emitBag(win, key, elems)
@@ -566,12 +565,13 @@ type ThreadState struct {
 	// common case of consecutive records hitting the same few windows. An
 	// entry is valid for one partition-map generation: a reconfiguration
 	// changes gen and the stale entry misses, falling back to the map.
-	cache [tableCacheSlots]struct {
-		win    uint64
-		gen    uint64
-		valid  bool
-		tables []*Table
-	}
+	cache [tableCacheSlots]winTables
+
+	// batch holds the reusable scratch of the columnar update path
+	// (scatter buffers, hash column) and aggKind the deployment aggregate's
+	// specialized batch dispatch; see batch.go.
+	batch   batchScratch
+	aggKind aggKind
 	wm    stream.Watermark
 	epoch uint64
 	pend  int64 // bytes ingested since last flush
@@ -610,10 +610,11 @@ func (b *Backend) Thread(i int) *ThreadState {
 		panic(fmt.Sprintf("ssb: thread %d out of range", i))
 	}
 	return &ThreadState{
-		be:     b,
-		gtid:   b.cfg.Node*b.cfg.ThreadsPerNode + i,
-		tables: make(map[tableKey]*Table),
-		wm:     stream.NoWatermark,
+		be:      b,
+		gtid:    b.cfg.Node*b.cfg.ThreadsPerNode + i,
+		tables:  make(map[tableKey]*Table),
+		wm:      stream.NoWatermark,
+		aggKind: kindOfAgg(b.cfg.Agg),
 	}
 }
 
@@ -627,17 +628,25 @@ func (ts *ThreadState) Watermark() stream.Watermark { return ts.wm }
 // in-flight windows of tumbling and small sliding assigners).
 const tableCacheSlots = 4
 
-func (ts *ThreadState) table(win, gen uint64, part int) *Table {
+// winTables is one direct-mapped cache entry: the per-partition table
+// pointers of one (window, generation).
+type winTables struct {
+	win    uint64
+	gen    uint64
+	valid  bool
+	tables []*Table
+}
+
+// cacheEntry returns the cache entry primed for (win, gen), tracking maxWin.
+// Entries whose slot held a different window or generation restart empty;
+// missing partitions resolve through tableSlow.
+func (ts *ThreadState) cacheEntry(win, gen uint64) *winTables {
 	if !ts.hasWin || win > ts.maxWin {
 		ts.maxWin = win
 		ts.hasWin = true
 	}
 	c := &ts.cache[win%tableCacheSlots]
-	if c.valid && c.win == win && c.gen == gen {
-		if t := c.tables[part]; t != nil {
-			return t
-		}
-	} else {
+	if !(c.valid && c.win == win && c.gen == gen) {
 		c.win = win
 		c.gen = gen
 		c.valid = true
@@ -649,6 +658,12 @@ func (ts *ThreadState) table(win, gen uint64, part int) *Table {
 			}
 		}
 	}
+	return c
+}
+
+// tableSlow resolves (win, gen, part) through the fragment map — creating
+// the fragment on first touch — and installs it in the cache entry.
+func (ts *ThreadState) tableSlow(c *winTables, win, gen uint64, part int) *Table {
 	k := tableKey{win: win, gen: gen, part: part}
 	t := ts.tables[k]
 	if t == nil {
@@ -662,6 +677,14 @@ func (ts *ThreadState) table(win, gen uint64, part int) *Table {
 	}
 	c.tables[part] = t
 	return t
+}
+
+func (ts *ThreadState) table(win, gen uint64, part int) *Table {
+	c := ts.cacheEntry(win, gen)
+	if t := c.tables[part]; t != nil {
+		return t
+	}
+	return ts.tableSlow(c, win, gen, part)
 }
 
 // invalidateCache drops the window cache (after Flush recycled tables).

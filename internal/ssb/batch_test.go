@@ -1,0 +1,289 @@
+package ssb
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/slash-stream/slash/internal/crdt"
+	"github.com/slash-stream/slash/internal/stream"
+)
+
+// xorTimes is a deliberately unregistered aggregate: kindOfAgg resolves it
+// to aggGeneric, forcing the batch loop down the per-record interface-call
+// branch (which also gathers the Times/V1 columns).
+type xorTimes struct{}
+
+func (xorTimes) Name() string { return "xor-times" }
+func (xorTimes) Size() int    { return 8 }
+func (xorTimes) Init(dst []byte) {
+	putU64(dst, 0)
+}
+func (xorTimes) Update(state []byte, rec *stream.Record) {
+	putU64(state, getU64(state)^uint64(rec.Time)^uint64(rec.V0)^uint64(rec.V1))
+}
+func (xorTimes) Merge(dst, src []byte) {
+	putU64(dst, getU64(dst)^getU64(src))
+}
+func (xorTimes) Result(state []byte) int64 { return int64(getU64(state)) }
+
+// batchClusterRun feeds the same record stream twice — once per record via
+// UpdateAgg, once columnar via UpdateAggBatch — into two identical clusters
+// and returns both result maps. Each batch holds records of one window (the
+// window-run contract the source task guarantees). withSel interleaves dead
+// decoy records and selects around them.
+func batchClusterRun(t *testing.T, nodes, threads int, agg crdt.Aggregate, seed int64, withSel bool) (perRec, batch map[uint64]map[uint64]int64) {
+	t.Helper()
+	recCluster := newCluster(t, nodes, threads, agg, fixedWindowEnd)
+	batCluster := newCluster(t, nodes, threads, agg, fixedWindowEnd)
+
+	var recThreads, batThreads []*ThreadState
+	for i := range recCluster {
+		for j := 0; j < threads; j++ {
+			recThreads = append(recThreads, recCluster[i].Thread(j))
+			batThreads = append(batThreads, batCluster[i].Thread(j))
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	rb := stream.NewRecordBatch(64)
+	for round := 0; round < 60; round++ {
+		win := uint64(rng.Intn(3))
+		th := rng.Intn(len(recThreads))
+		rb.Reset(1 + rng.Intn(rb.Cap()))
+		var sel []int32
+		if withSel {
+			sel = rb.UseSel()
+		}
+		// Zipf-ish key draws produce consecutive equal keys, covering the
+		// prevOff re-probe skip in updateAggColumns.
+		key := uint64(rng.Intn(8))
+		for rb.Free() > 0 {
+			if rng.Intn(3) != 0 {
+				key = uint64(rng.Intn(8))
+			}
+			r := stream.Record{
+				Key:  key,
+				Time: int64(win)*1000 + int64(rng.Intn(1000)),
+				V0:   rng.Int63n(200) - 100,
+				V1:   rng.Int63n(4),
+			}
+			live := !withSel || rng.Intn(4) != 0
+			if live && sel != nil {
+				sel = append(sel, int32(rb.Len()))
+			}
+			rb.Append(&r)
+			if live {
+				var rr stream.Record
+				rb.Get(rb.Len()-1, &rr)
+				if err := recThreads[th].UpdateAgg(win, &rr); err != nil {
+					t.Fatalf("UpdateAgg: %v", err)
+				}
+			}
+		}
+		rb.Sel = sel
+		if err := batThreads[th].UpdateAggBatch(win, rb, 0, rb.Live()); err != nil {
+			t.Fatalf("UpdateAggBatch: %v", err)
+		}
+		if rng.Intn(10) == 0 {
+			if err := recThreads[th].Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := batThreads[th].Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range recThreads {
+		if err := recThreads[i].FinishStream(); err != nil {
+			t.Fatal(err)
+		}
+		if err := batThreads[i].FinishStream(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect := func(bs []*Backend) map[uint64]map[uint64]int64 {
+		got := map[uint64]map[uint64]int64{}
+		for _, b := range bs {
+			b.TriggerReady(func(win, key uint64, res int64) {
+				if got[win] == nil {
+					got[win] = map[uint64]int64{}
+				}
+				got[win][key] = res
+			}, nil)
+		}
+		return got
+	}
+	return collect(recCluster), collect(batCluster)
+}
+
+// TestUpdateAggBatchMatchesPerRecord runs every specialized aggregate kind
+// plus a generic one through both update paths on a single-leader cluster
+// (the no-scatter fast path) and a multi-node cluster (the counting-sort
+// scatter path), with and without a selection vector, and requires identical
+// window results.
+func TestUpdateAggBatchMatchesPerRecord(t *testing.T) {
+	aggs := map[string]crdt.Aggregate{
+		"count":   crdt.Count{},
+		"sum":     crdt.Sum{},
+		"min":     crdt.Min{},
+		"max":     crdt.Max{},
+		"avg":     crdt.Avg{},
+		"generic": xorTimes{},
+	}
+	shapes := []struct {
+		name           string
+		nodes, threads int
+		withSel        bool
+	}{
+		{"1node", 1, 1, false},
+		{"1node-sel", 1, 1, true},
+		{"3node", 3, 2, false},
+		{"3node-sel", 3, 2, true},
+	}
+	for name, agg := range aggs {
+		for _, sh := range shapes {
+			t.Run(name+"/"+sh.name, func(t *testing.T) {
+				perRec, batch := batchClusterRun(t, sh.nodes, sh.threads, agg, 42, sh.withSel)
+				if len(batch) != len(perRec) {
+					t.Fatalf("batch path emitted %d windows, per-record %d", len(batch), len(perRec))
+				}
+				for win, keys := range perRec {
+					if len(batch[win]) != len(keys) {
+						t.Fatalf("window %d: batch %d keys, per-record %d", win, len(batch[win]), len(keys))
+					}
+					for k, v := range keys {
+						if batch[win][k] != v {
+							t.Fatalf("window %d key %d: batch %d, per-record %d", win, k, batch[win][k], v)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAppendBagBatchMatchesPerRecord feeds join-side tagged records through
+// AppendBag and AppendBagBatch (sides indexed by record position, not
+// selection position) and requires identical bag contents.
+func TestAppendBagBatchMatchesPerRecord(t *testing.T) {
+	for _, withSel := range []bool{false, true} {
+		name := "dense"
+		if withSel {
+			name = "sel"
+		}
+		t.Run(name, func(t *testing.T) {
+			const nodes = 3
+			recCluster := newCluster(t, nodes, 1, nil, fixedWindowEnd)
+			batCluster := newCluster(t, nodes, 1, nil, fixedWindowEnd)
+
+			rng := rand.New(rand.NewSource(7))
+			rb := stream.NewRecordBatch(32)
+			sides := make([]uint8, rb.Cap())
+			for round := 0; round < 40; round++ {
+				th := rng.Intn(nodes)
+				rb.Reset(1 + rng.Intn(rb.Cap()))
+				var sel []int32
+				if withSel {
+					sel = rb.UseSel()
+				}
+				for rb.Free() > 0 {
+					r := stream.Record{
+						Key:  uint64(rng.Intn(10)),
+						Time: int64(rng.Intn(1000)),
+						V0:   rng.Int63n(1000),
+					}
+					sides[rb.Len()] = uint8(rng.Intn(2))
+					live := !withSel || rng.Intn(4) != 0
+					if live && sel != nil {
+						sel = append(sel, int32(rb.Len()))
+					}
+					rb.Append(&r)
+					if live {
+						p := rb.Len() - 1
+						e := crdt.BagElem{Time: rb.Times[p], Val: rb.V0[p], Side: sides[p]}
+						if err := recCluster[th].Thread(0).AppendBag(0, rb.Keys[p], &e); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				rb.Sel = sel
+				if err := batCluster[th].Thread(0).AppendBagBatch(0, rb, 0, rb.Live(), sides); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < nodes; i++ {
+				if err := recCluster[i].Thread(0).FinishStream(); err != nil {
+					t.Fatal(err)
+				}
+				if err := batCluster[i].Thread(0).FinishStream(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			type elem struct {
+				t, v int64
+				s    uint8
+			}
+			collect := func(bs []*Backend) map[uint64][]elem {
+				got := map[uint64][]elem{}
+				for _, b := range bs {
+					b.TriggerReady(nil, func(_, key uint64, elems []crdt.BagElem) {
+						for _, e := range elems {
+							got[key] = append(got[key], elem{e.Time, e.Val, e.Side})
+						}
+					})
+				}
+				for _, es := range got {
+					sort.Slice(es, func(i, j int) bool {
+						if es[i].t != es[j].t {
+							return es[i].t < es[j].t
+						}
+						return es[i].v < es[j].v
+					})
+				}
+				return got
+			}
+			perRec, batch := collect(recCluster), collect(batCluster)
+			if len(batch) != len(perRec) {
+				t.Fatalf("batch %d keys, per-record %d", len(batch), len(perRec))
+			}
+			for k, want := range perRec {
+				got := batch[k]
+				if len(got) != len(want) {
+					t.Fatalf("key %d: batch %d elems, per-record %d", k, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("key %d elem %d: batch %+v, per-record %+v", k, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUpdateAggBatchEdges pins the empty-range no-op and the wrong-table-kind
+// error surfacing through the columnar path.
+func TestUpdateAggBatchEdges(t *testing.T) {
+	bs := newCluster(t, 1, 1, crdt.Sum{}, fixedWindowEnd)
+	ts := bs[0].Thread(0)
+	rb := stream.NewRecordBatch(4)
+	if err := ts.UpdateAggBatch(0, rb, 0, 0); err != nil {
+		t.Fatalf("empty range: %v", err)
+	}
+	if err := ts.AppendBagBatch(0, rb, 2, 2, nil); err != nil {
+		t.Fatalf("empty bag range: %v", err)
+	}
+	if ts.updates != 0 {
+		t.Fatalf("empty ranges counted %d updates", ts.updates)
+	}
+
+	// A bag-typed deployment (nil aggregate) must reject columnar agg updates
+	// the same way UpdateAgg does.
+	bags := newCluster(t, 1, 1, nil, fixedWindowEnd)
+	rb.Append(&stream.Record{Key: 1, Time: 10, V0: 1})
+	if err := bags[0].Thread(0).UpdateAggBatch(0, rb, 0, rb.Len()); !errors.Is(err, ErrTableKind) {
+		t.Fatalf("bag table agg update err = %v, want ErrTableKind", err)
+	}
+}

@@ -311,10 +311,10 @@ func TestFlushRetryResends(t *testing.T) {
 	senders[1][0] = &directSender{dst: backends[0]}
 
 	ts := backends[0].Thread(0)
-	// Enough remote-partition keys that the delta splits into several
-	// 64-byte chunks (3 entries of 28 bytes each exceed one chunk).
+	// Enough remote-partition keys that the compact delta splits into
+	// several 64-byte chunks (varint entries run ~3 bytes each).
 	var remote []uint64
-	for k := uint64(0); len(remote) < 6; k++ {
+	for k := uint64(0); len(remote) < 80; k++ {
 		if p, _ := backends[0].Owner(0, k); p == 1 {
 			remote = append(remote, k)
 		}

@@ -115,10 +115,17 @@ func (ix *index) set(key uint64, off int32) {
 // returned pointer stays valid until the next set/lookupOrReserve call
 // (growth rehashes in place before any slot is touched).
 func (ix *index) lookupOrReserve(key uint64) (off *int32, found bool) {
+	return ix.lookupOrReserveHashed(key, mix64(key))
+}
+
+// lookupOrReserveHashed is lookupOrReserve with the hash precomputed — the
+// batch path hashes the whole key column in one tight loop and probes with
+// the stored hashes. h must equal mix64(key).
+func (ix *index) lookupOrReserveHashed(key, h uint64) (off *int32, found bool) {
 	if ix.count >= len(ix.buckets)*slotsPerBucket*3/4 {
 		ix.grow()
 	}
-	b := &ix.buckets[ix.bucketFor(key)]
+	b := &ix.buckets[int(h&uint64(len(ix.buckets)-1))]
 	var free *bucket
 	freeSlot := -1
 	tail := int32(0) // 1-based overflow position of b; 0 = b is the main bucket
@@ -175,9 +182,26 @@ func (ix *index) forEach(fn func(key uint64, off int32)) {
 }
 
 // grow doubles the bucket array and rehashes.
-func (ix *index) grow() {
+func (ix *index) grow() { ix.growTo(len(ix.buckets) * 2) }
+
+// reserve grows the bucket array so that n more keys fit without triggering
+// growth — one rehash to the final size instead of a doubling cascade.
+// Callers that know a batch's key count (the merge path knows the chunk's
+// entry count) use it to keep growth off the per-entry loop.
+func (ix *index) reserve(n int) {
+	need := ix.count + n
+	size := len(ix.buckets)
+	for need >= size*slotsPerBucket*3/4 {
+		size *= 2
+	}
+	if size > len(ix.buckets) {
+		ix.growTo(size)
+	}
+}
+
+func (ix *index) growTo(size int) {
 	old := *ix
-	ix.buckets = make([]bucket, len(old.buckets)*2)
+	ix.buckets = make([]bucket, size)
 	ix.overflow = nil
 	ix.count = 0
 	old.forEach(func(key uint64, off int32) { ix.set(key, off) })

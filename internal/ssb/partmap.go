@@ -174,6 +174,21 @@ func (m *PartitionMap) Owner(win, key uint64) (node int, gen uint64) {
 	return g.Active[partitionIndex(PartitionHash(key), len(g.Active))], g.Gen
 }
 
+// RouteFor returns the active leader set and generation number governing
+// window win — the batch form of Owner. Where Owner pays a read lock per
+// record, RouteFor pays one per (batch, window) run: the caller routes each
+// key itself with Active[partitionIndex(PartitionHash(key), len(Active))].
+// The returned slice aliases the generation's storage; generations are
+// immutable once installed, so it is safe to read but must never be
+// modified.
+func (m *PartitionMap) RouteFor(win uint64) (active []int, gen uint64) {
+	m.mu.RLock()
+	g := m.genFor(win)
+	active, gen = g.Active, g.Gen
+	m.mu.RUnlock()
+	return active, gen
+}
+
 // ActiveIn reports whether node is active in the generation governing win.
 func (m *PartitionMap) ActiveIn(win uint64, node int) bool {
 	m.mu.RLock()

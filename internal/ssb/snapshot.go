@@ -211,7 +211,7 @@ func (b *Backend) Restore(r io.Reader) error {
 			return fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
 		}
 		tbl := b.newTable()
-		if err := tbl.MergeDelta(raw); err != nil {
+		if err := tbl.mergeRawLog(raw); err != nil {
 			return err
 		}
 		primary[win] = tbl

@@ -278,23 +278,38 @@ func TestSerializeChunkTooSmall(t *testing.T) {
 	if err := tbl.SerializeDelta(4, func([]byte) error { return nil }); err == nil {
 		t.Fatal("tiny chunk size accepted")
 	}
-	if err := tbl.SerializeDelta(entryHeaderSize+4, func([]byte) error { return nil }); err == nil {
+	// Below the worst-case encoded entry bound (pad + 2 varints for sum).
+	if err := tbl.SerializeDelta(aggChunkPad+2*maxVarint-1, func([]byte) error { return nil }); err == nil {
 		t.Fatal("chunk smaller than one entry accepted")
+	}
+	bag := NewBagTable()
+	_ = bag.AppendBag(1, &crdt.BagElem{Val: 1})
+	if err := bag.SerializeDelta(entryHeaderSize-1, func([]byte) error { return nil }); err == nil {
+		t.Fatal("bag chunk below entry header accepted")
 	}
 }
 
 func TestMergeDeltaCorrupt(t *testing.T) {
 	tbl := NewAggTable(crdt.Sum{})
-	if err := tbl.MergeDelta([]byte{1, 2, 3}); !errors.Is(err, ErrChunkFormat) {
+	// Count prefix claims more entries than the chunk can hold.
+	if err := tbl.MergeDelta([]byte{0xFF, 0x01}); !errors.Is(err, ErrChunkFormat) {
 		t.Fatalf("err = %v", err)
 	}
-	// Header claims a huge value length.
-	bad := make([]byte, entryHeaderSize)
-	putU32(bad[12:], 5000)
-	if err := tbl.MergeDelta(bad); !errors.Is(err, ErrChunkFormat) {
+	// Truncated mid-entry: one entry promised, state varint missing.
+	if err := tbl.MergeDelta([]byte{1, 2}); !errors.Is(err, ErrChunkFormat) {
+		t.Fatalf("err = %v", err)
+	}
+	// Trailing garbage after the promised entries.
+	if err := tbl.MergeDelta([]byte{1, 2, 2, 9, 9, 9}); !errors.Is(err, ErrChunkFormat) {
 		t.Fatalf("err = %v", err)
 	}
 	bag := NewBagTable()
+	// Header claims a huge value length.
+	bad := make([]byte, entryHeaderSize)
+	putU32(bad[12:], 5000)
+	if err := bag.MergeDelta(bad); !errors.Is(err, ErrChunkFormat) {
+		t.Fatalf("err = %v", err)
+	}
 	// Wrong element width for a bag.
 	wrong := make([]byte, entryHeaderSize+8)
 	putU32(wrong[12:], 8)

@@ -1,0 +1,167 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzCodec clamps a fuzzed size byte onto a valid codec width, spanning the
+// truncating (16, 24) and full (32+) layouts plus the benchmark schemas.
+func fuzzCodec(size uint8) Codec {
+	widths := []int{16, 24, 32, 64, 78, 206}
+	return MustCodec(widths[int(size)%len(widths)])
+}
+
+// FuzzCodecRoundTrip checks Encode/Decode are inverse up to the codec's
+// width-dependent truncation: sizes below 24 drop V0, below 32 drop V1, and
+// padding bytes never leak into the decoded record.
+func FuzzCodecRoundTrip(f *testing.F) {
+	// Seeds from the table tests: each width class, extreme values, and the
+	// sign-bit cases that catch unsigned/signed conversion slips.
+	f.Add(uint8(0), uint64(1), int64(100), int64(-7), int64(0))
+	f.Add(uint8(1), uint64(2), int64(200), int64(42), int64(1))
+	f.Add(uint8(2), uint64(3), int64(300), int64(0), int64(-1))
+	f.Add(uint8(3), uint64(0xAABBCCDD), int64(1), int64(1<<62), int64(-1<<62))
+	f.Add(uint8(4), ^uint64(0), int64(-1), int64(-1), int64(-1))
+	f.Fuzz(func(t *testing.T, size uint8, key uint64, tm, v0, v1 int64) {
+		c := fuzzCodec(size)
+		in := Record{Key: key, Time: tm, V0: v0, V1: v1}
+		// Poison the buffer so Decode's zeroing of truncated slots is real
+		// work, not a reflection of pre-zeroed memory.
+		buf := make([]byte, c.Size())
+		for i := range buf {
+			buf[i] = 0xA5
+		}
+		c.Encode(buf, &in)
+		var out Record
+		c.Decode(buf, &out)
+		want := in
+		if c.Size() < 24 {
+			want.V0 = 0
+		}
+		if c.Size() < 32 {
+			want.V1 = 0
+		}
+		if out != want {
+			t.Fatalf("size %d: round trip %v -> %v, want %v", c.Size(), in, out, want)
+		}
+		// A second encode of the decoded record must be byte-identical:
+		// the wire form is canonical (retried flushes rely on this).
+		buf2 := make([]byte, c.Size())
+		for i := range buf2 {
+			buf2[i] = 0xA5
+		}
+		c.Encode(buf2, &out)
+		if !bytes.Equal(buf, buf2) {
+			t.Fatalf("size %d: re-encode diverged", c.Size())
+		}
+	})
+}
+
+// FuzzBatchRoundTrip drives BatchWriter/BatchReader end to end: append
+// records derived from the fuzz input until the buffer fills, seal, re-read,
+// and require every header field and record to survive.
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint16(256), uint8(3), uint64(1), int64(100), int64(-7), int64(250))
+	f.Add(uint8(0), uint16(64), uint8(1), uint64(9), int64(1), int64(0), int64(12345))
+	f.Add(uint8(2), uint16(4096), uint8(200), ^uint64(0), int64(-1), int64(1<<40), int64(-1<<40))
+	f.Fuzz(func(t *testing.T, size uint8, bufLen uint16, n uint8, key uint64, tm, v0, wm int64) {
+		c := fuzzCodec(size)
+		buf := make([]byte, int(bufLen))
+		w, err := NewBatchWriter(buf, c)
+		if err != nil {
+			return // undersized buffer: rejection is the contract
+		}
+		appended := 0
+		for i := 0; i < int(n); i++ {
+			r := Record{Key: key + uint64(i), Time: tm + int64(i), V0: v0 - int64(i), V1: int64(i)}
+			if err := w.Append(&r); err != nil {
+				if err != ErrBatchFull {
+					t.Fatalf("Append: %v", err)
+				}
+				break
+			}
+			appended++
+		}
+		if appended > w.Capacity() {
+			t.Fatalf("appended %d past capacity %d", appended, w.Capacity())
+		}
+		used := w.FinishData(wm)
+		if used != BatchHeaderSize+appended*c.Size() {
+			t.Fatalf("used = %d, want %d", used, BatchHeaderSize+appended*c.Size())
+		}
+		rd, err := NewBatchReader(buf[:used], c)
+		if err != nil {
+			t.Fatalf("NewBatchReader on own output: %v", err)
+		}
+		if rd.Kind() != KindData || rd.Count() != appended || rd.Watermark() != wm {
+			t.Fatalf("header: kind=%v count=%d wm=%d, want data/%d/%d", rd.Kind(), rd.Count(), rd.Watermark(), appended, wm)
+		}
+		var got Record
+		for i := 0; i < appended; i++ {
+			if !rd.Next(&got) {
+				t.Fatalf("Next exhausted at %d/%d", i, appended)
+			}
+			want := Record{Key: key + uint64(i), Time: tm + int64(i), V0: v0 - int64(i), V1: int64(i)}
+			if c.Size() < 24 {
+				want.V0 = 0
+			}
+			if c.Size() < 32 {
+				want.V1 = 0
+			}
+			if got != want {
+				t.Fatalf("record %d = %v, want %v", i, got, want)
+			}
+		}
+		if rd.Next(&got) {
+			t.Fatal("reader produced a record past count")
+		}
+	})
+}
+
+// FuzzBatchReaderUntrusted feeds arbitrary bytes to NewBatchReader: it must
+// either reject the buffer or iterate fully in bounds — never panic, never
+// read past the buffer. This is the decode path a corrupt slot would hit.
+func FuzzBatchReaderUntrusted(f *testing.F) {
+	// Seed with one valid framing of each kind plus the corrupt headers the
+	// table tests pin.
+	c := MustCodec(16)
+	valid := make([]byte, 256)
+	w, _ := NewBatchWriter(valid, c)
+	_ = w.Append(&Record{Key: 1, Time: 2})
+	used := w.FinishData(3)
+	f.Add(append([]byte(nil), valid[:used]...))
+	used = w.FinishPunctuation(17, 12345)
+	f.Add(append([]byte(nil), valid[:used]...))
+	used = w.FinishEnd(999)
+	f.Add(append([]byte(nil), valid[:used]...))
+	f.Add([]byte{0xff, 0, 0, 0})
+	f.Add(func() []byte {
+		overflow := make([]byte, BatchHeaderSize+16)
+		overflow[0] = byte(KindData)
+		overflow[4] = 200
+		return overflow
+	}())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewBatchReader(data, c)
+		if err != nil {
+			return
+		}
+		if rd.Kind() < KindData || rd.Kind() > KindEnd {
+			t.Fatalf("accepted invalid kind %d", rd.Kind())
+		}
+		var rec Record
+		n := 0
+		for rd.Next(&rec) {
+			n++
+		}
+		if n != rd.Count() {
+			t.Fatalf("iterated %d records, header count %d", n, rd.Count())
+		}
+		for i := 0; i < rd.Count(); i++ {
+			if raw := rd.RecordBytes(i); len(raw) != c.Size() {
+				t.Fatalf("RecordBytes(%d) len = %d", i, len(raw))
+			}
+		}
+	})
+}

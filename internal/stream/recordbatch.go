@@ -1,0 +1,166 @@
+package stream
+
+// RecordBatch is a fixed-capacity structure-of-arrays record batch: the unit
+// of the columnar hot loop. Where Record is the per-record (array-of-structs)
+// view, a RecordBatch holds the same data as parallel columns so operators
+// run tight per-column loops — filter into a selection vector, map over a
+// value column, assign windows over the timestamp column in runs — instead
+// of paying a virtual call, a closure call, and a branch per record.
+//
+// Columns are index-aligned: record i is (Keys[i], Times[i], V0[i], V1[i])
+// for i < Len(). Times must be non-decreasing within a batch, exactly as the
+// Flow contract requires per flow (§2.2): the run-length window assignment
+// depends on it.
+//
+// Sel is the selection vector: when non-nil it lists the indices of the
+// records still live after filtering, in ascending order. Sel == nil means
+// every record is live. Dropped records are never compacted or copied —
+// downstream operators walk Sel instead.
+type RecordBatch struct {
+	// Keys is the primary-key column.
+	Keys []uint64
+	// Times is the event-time column (non-decreasing).
+	Times []int64
+	// V0 and V1 are the attribute columns.
+	V0 []int64
+	V1 []int64
+	// Sel is the selection vector (nil = all records live).
+	Sel []int32
+
+	n      int
+	lim    int
+	selBuf []int32
+}
+
+// NewRecordBatch allocates a batch with the given record capacity.
+func NewRecordBatch(capacity int) *RecordBatch {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RecordBatch{
+		Keys:  make([]uint64, capacity),
+		Times: make([]int64, capacity),
+		V0:    make([]int64, capacity),
+		V1:    make([]int64, capacity),
+		Sel:   nil,
+		lim:   capacity,
+	}
+}
+
+// Cap returns the record capacity.
+func (b *RecordBatch) Cap() int { return len(b.Keys) }
+
+// Len returns the number of records filled so far.
+func (b *RecordBatch) Len() int { return b.n }
+
+// Limit returns the fill limit of the current round: producers stop at
+// min(Limit, Cap) records even when capacity remains. Sources use it to
+// truncate a batch at exactly a replayed flush boundary (see core's replay
+// plans) so recovery re-ingests byte-identical epochs.
+func (b *RecordBatch) Limit() int { return b.lim }
+
+// Free returns how many records the producer may still append this round.
+func (b *RecordBatch) Free() int { return b.lim - b.n }
+
+// Reset clears the batch for refilling with the given fill limit; limit is
+// clamped to the capacity. The selection vector resets to "all live".
+func (b *RecordBatch) Reset(limit int) {
+	b.n = 0
+	b.Sel = nil
+	if limit > len(b.Keys) {
+		limit = len(b.Keys)
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	b.lim = limit
+}
+
+// Append copies one record into the next slot. The caller must respect
+// Free() > 0.
+func (b *RecordBatch) Append(r *Record) {
+	i := b.n
+	b.Keys[i] = r.Key
+	b.Times[i] = r.Time
+	b.V0[i] = r.V0
+	b.V1[i] = r.V1
+	b.n = i + 1
+}
+
+// AppendColumns bulk-copies k records from parallel source columns — the
+// zero-branch fill path of columnar sources (one memmove per column).
+// k is clamped to Free().
+func (b *RecordBatch) AppendColumns(keys []uint64, times, v0, v1 []int64) int {
+	k := len(keys)
+	if free := b.Free(); k > free {
+		k = free
+	}
+	if k <= 0 {
+		return 0
+	}
+	i := b.n
+	copy(b.Keys[i:i+k], keys[:k])
+	copy(b.Times[i:i+k], times[:k])
+	copy(b.V0[i:i+k], v0[:k])
+	copy(b.V1[i:i+k], v1[:k])
+	b.n = i + k
+	return k
+}
+
+// AppendBlank reserves k record slots and returns the column sub-slices to
+// fill in place — the generator fill path (no staging record, no copies).
+// k is clamped to Free().
+func (b *RecordBatch) AppendBlank(k int) (keys []uint64, times, v0, v1 []int64) {
+	if free := b.Free(); k > free {
+		k = free
+	}
+	if k < 0 {
+		k = 0
+	}
+	i := b.n
+	b.n = i + k
+	return b.Keys[i : i+k], b.Times[i : i+k], b.V0[i : i+k], b.V1[i : i+k]
+}
+
+// Get decodes record i into r (bounds unchecked beyond the slice accesses).
+func (b *RecordBatch) Get(i int, r *Record) {
+	r.Key = b.Keys[i]
+	r.Time = b.Times[i]
+	r.V0 = b.V0[i]
+	r.V1 = b.V1[i]
+}
+
+// Set writes r back into slot i (the compiled per-record map fallback).
+func (b *RecordBatch) Set(i int, r *Record) {
+	b.Keys[i] = r.Key
+	b.Times[i] = r.Time
+	b.V0[i] = r.V0
+	b.V1[i] = r.V1
+}
+
+// UseSel returns an empty selection vector backed by the batch's reusable
+// storage (capacity = Cap(), so filling it never allocates). Filters build
+// their selection in it and assign the result to Sel.
+func (b *RecordBatch) UseSel() []int32 {
+	if cap(b.selBuf) < len(b.Keys) {
+		b.selBuf = make([]int32, 0, len(b.Keys))
+	}
+	return b.selBuf[:0]
+}
+
+// Live returns the number of records live after filtering.
+func (b *RecordBatch) Live() int {
+	if b.Sel == nil {
+		return b.n
+	}
+	return len(b.Sel)
+}
+
+// LiveIndex maps a selection position p (0 <= p < Live()) to its record
+// index.
+func (b *RecordBatch) LiveIndex(p int) int {
+	if b.Sel == nil {
+		return p
+	}
+	return int(b.Sel[p])
+}

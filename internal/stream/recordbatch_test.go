@@ -1,0 +1,145 @@
+package stream
+
+import "testing"
+
+func TestRecordBatchFillAndReset(t *testing.T) {
+	rb := NewRecordBatch(8)
+	if rb.Cap() != 8 || rb.Len() != 0 || rb.Limit() != 8 || rb.Free() != 8 {
+		t.Fatalf("fresh batch: cap=%d len=%d lim=%d free=%d", rb.Cap(), rb.Len(), rb.Limit(), rb.Free())
+	}
+	rb.Append(&Record{Key: 7, Time: 10, V0: -3, V1: 1})
+	rb.Append(&Record{Key: 9, Time: 20, V0: 4, V1: 0})
+	if rb.Len() != 2 || rb.Free() != 6 {
+		t.Fatalf("after 2 appends: len=%d free=%d", rb.Len(), rb.Free())
+	}
+	var r Record
+	rb.Get(0, &r)
+	if (r != Record{Key: 7, Time: 10, V0: -3, V1: 1}) {
+		t.Fatalf("Get(0) = %v", r)
+	}
+	r.V0 = 99
+	rb.Set(0, &r)
+	rb.Get(0, &r)
+	if r.V0 != 99 {
+		t.Fatalf("Set did not stick: %v", r)
+	}
+
+	// Reset clamps the limit into [0, Cap] and clears the selection.
+	rb.Sel = rb.UseSel()
+	rb.Reset(3)
+	if rb.Len() != 0 || rb.Limit() != 3 || rb.Sel != nil {
+		t.Fatalf("Reset(3): len=%d lim=%d sel=%v", rb.Len(), rb.Limit(), rb.Sel)
+	}
+	rb.Reset(100)
+	if rb.Limit() != 8 {
+		t.Fatalf("Reset(100) limit = %d, want clamp to cap 8", rb.Limit())
+	}
+	rb.Reset(-1)
+	if rb.Limit() != 0 || rb.Free() != 0 {
+		t.Fatalf("Reset(-1) limit = %d free = %d, want 0", rb.Limit(), rb.Free())
+	}
+
+	// Capacity below one record clamps to one slot.
+	if tiny := NewRecordBatch(0); tiny.Cap() != 1 {
+		t.Fatalf("NewRecordBatch(0) cap = %d, want 1", tiny.Cap())
+	}
+}
+
+func TestRecordBatchAppendColumnsClamps(t *testing.T) {
+	rb := NewRecordBatch(4)
+	keys := []uint64{1, 2, 3, 4, 5, 6}
+	times := []int64{10, 20, 30, 40, 50, 60}
+	v0 := []int64{-1, -2, -3, -4, -5, -6}
+	v1 := []int64{0, 1, 0, 1, 0, 1}
+	if got := rb.AppendColumns(keys, times, v0, v1); got != 4 {
+		t.Fatalf("AppendColumns into cap 4 copied %d", got)
+	}
+	if rb.Len() != 4 || rb.Free() != 0 {
+		t.Fatalf("len=%d free=%d", rb.Len(), rb.Free())
+	}
+	for i := 0; i < 4; i++ {
+		var r Record
+		rb.Get(i, &r)
+		want := Record{Key: keys[i], Time: times[i], V0: v0[i], V1: v1[i]}
+		if r != want {
+			t.Fatalf("record %d = %v, want %v", i, r, want)
+		}
+	}
+	if got := rb.AppendColumns(keys, times, v0, v1); got != 0 {
+		t.Fatalf("AppendColumns into full batch copied %d", got)
+	}
+}
+
+func TestRecordBatchAppendBlank(t *testing.T) {
+	rb := NewRecordBatch(4)
+	rb.Reset(3)
+	keys, times, v0, v1 := rb.AppendBlank(10)
+	if len(keys) != 3 || len(times) != 3 || len(v0) != 3 || len(v1) != 3 {
+		t.Fatalf("AppendBlank clamp: lens %d %d %d %d, want 3", len(keys), len(times), len(v0), len(v1))
+	}
+	keys[1] = 42
+	times[1] = 7
+	var r Record
+	rb.Get(1, &r)
+	if r.Key != 42 || r.Time != 7 {
+		t.Fatalf("in-place fill not visible: %v", r)
+	}
+	if k, _, _, _ := rb.AppendBlank(-5); len(k) != 0 {
+		t.Fatalf("AppendBlank(-5) returned %d slots", len(k))
+	}
+	if rb.Len() != 3 {
+		t.Fatalf("len = %d after clamped blanks, want 3", rb.Len())
+	}
+}
+
+func TestRecordBatchSelection(t *testing.T) {
+	rb := NewRecordBatch(6)
+	for i := 0; i < 6; i++ {
+		rb.Append(&Record{Key: uint64(i), Time: int64(i), V1: int64(i % 2)})
+	}
+	if rb.Live() != 6 || rb.LiveIndex(4) != 4 {
+		t.Fatalf("nil-Sel live view: live=%d idx4=%d", rb.Live(), rb.LiveIndex(4))
+	}
+	sel := rb.UseSel()
+	if len(sel) != 0 || cap(sel) < rb.Cap() {
+		t.Fatalf("UseSel: len=%d cap=%d", len(sel), cap(sel))
+	}
+	for i := 0; i < rb.Len(); i++ {
+		if rb.V1[i] == 0 {
+			sel = append(sel, int32(i))
+		}
+	}
+	rb.Sel = sel
+	if rb.Live() != 3 {
+		t.Fatalf("filtered live = %d, want 3", rb.Live())
+	}
+	for p, want := range []int{0, 2, 4} {
+		if rb.LiveIndex(p) != want {
+			t.Fatalf("LiveIndex(%d) = %d, want %d", p, rb.LiveIndex(p), want)
+		}
+	}
+	// The selection storage is reused: a second UseSel hands back the same
+	// backing array (the no-allocation contract of the filter hot path).
+	rb.Reset(rb.Cap())
+	sel2 := rb.UseSel()
+	if cap(sel2) != cap(sel) {
+		t.Fatalf("UseSel reallocated: cap %d -> %d", cap(sel), cap(sel2))
+	}
+}
+
+func TestStringers(t *testing.T) {
+	r := Record{Key: 1, Time: 2, V0: 3, V1: 4}
+	if got := r.String(); got != "rec{k=1 t=2 v0=3 v1=4}" {
+		t.Fatalf("Record.String() = %q", got)
+	}
+	for kind, want := range map[BatchKind]string{
+		KindData:        "data",
+		KindPunctuation: "punct",
+		KindEnd:         "end",
+		BatchKind(99):   "invalid",
+	} {
+		if kind.String() != want {
+			t.Fatalf("BatchKind(%d).String() = %q, want %q", kind, kind.String(), want)
+		}
+	}
+}

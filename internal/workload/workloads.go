@@ -49,6 +49,55 @@ func (g *gen) Next(rec *stream.Record) bool {
 	return true
 }
 
+// Batch implements core.BatchFlow: a branch-light columnar fill of the
+// batch's key/time/value columns. The rng call order per record is exactly
+// Next's (one dist.Draw, then the finisher's draws), so the batch and
+// per-record paths generate bit-identical datasets — the differential
+// harness depends on it. Returns false once the flow is exhausted; records
+// appended in that final call remain valid.
+func (g *gen) Batch(rb *stream.RecordBatch) bool {
+	k := rb.Free()
+	if rem := g.limit - g.count; k > rem {
+		k = rem
+	}
+	if k <= 0 {
+		return g.count < g.limit
+	}
+	keys, times, v0, v1 := rb.AppendBlank(k)
+	g.count += k
+	ts, step := g.ts, g.step
+	if g.finish == nil {
+		// Pure column fill: no staging record, no per-record branches.
+		for i := range keys {
+			ts += step
+			keys[i] = g.dist.Draw(g.rng)
+			times[i] = ts
+			v0[i] = 0
+			v1[i] = 0
+		}
+	} else {
+		var rec stream.Record
+		for i := range keys {
+			ts += step
+			rec.Key = g.dist.Draw(g.rng)
+			rec.Time = ts
+			rec.V0 = 0
+			rec.V1 = 0
+			g.finish(g.rng, &rec)
+			keys[i] = rec.Key
+			times[i] = rec.Time
+			v0[i] = rec.V0
+			v1[i] = rec.V1
+		}
+	}
+	g.ts = ts
+	return g.count < g.limit
+}
+
+// Len returns the number of records the generator will still produce —
+// a preallocation hint for harnesses that materialize flows.
+func (g *gen) Len() int { return g.limit - g.count }
+
 // flowSeed derives a per-flow seed so flows are independent but the whole
 // dataset is a pure function of the workload seed.
 func flowSeed(seed int64, node, thread int) int64 {
@@ -141,6 +190,28 @@ func (w YSB) Query() *core.Query {
 		Codec:  stream.MustCodec(YSBRecordSize),
 		Filter: func(r *stream.Record) bool { return r.V0 == 0 },
 		Map:    func(r *stream.Record) { r.V0 = 1 }, // projection to (campaign, 1)
+		// Native batch forms: one predicate scan into the selection vector,
+		// one projection sweep over the survivors.
+		FilterBatch: func(rb *stream.RecordBatch) {
+			sel := rb.UseSel()
+			for i, v := range rb.V0[:rb.Len()] {
+				if v == 0 {
+					sel = append(sel, int32(i))
+				}
+			}
+			rb.Sel = sel
+		},
+		MapBatch: func(rb *stream.RecordBatch) {
+			if rb.Sel == nil {
+				for i := range rb.V0[:rb.Len()] {
+					rb.V0[i] = 1
+				}
+				return
+			}
+			for _, i := range rb.Sel {
+				rb.V0[i] = 1
+			}
+		},
 		Window: win,
 		Agg:    crdt.Count{},
 	}
@@ -273,6 +344,11 @@ func (w NB8) Query() *core.Query {
 		Codec:    stream.MustCodec(AuctionRecordSize),
 		Window:   win,
 		JoinSide: func(r *stream.Record) uint8 { return uint8(r.V1) },
+		JoinSideBatch: func(rb *stream.RecordBatch, sides []uint8) {
+			for i, v := range rb.V1[:rb.Len()] {
+				sides[i] = uint8(v)
+			}
+		},
 	}
 }
 
@@ -337,6 +413,11 @@ func (w NB11) Query() *core.Query {
 		Codec:    stream.MustCodec(BidRecordSize),
 		Window:   win,
 		JoinSide: func(r *stream.Record) uint8 { return uint8(r.V1) },
+		JoinSideBatch: func(rb *stream.RecordBatch, sides []uint8) {
+			for i, v := range rb.V1[:rb.Len()] {
+				sides[i] = uint8(v)
+			}
+		},
 	}
 }
 

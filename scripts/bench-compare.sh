@@ -12,12 +12,12 @@
 # that stopped measuring, which is how regressions walk in unnoticed.
 #
 # Usage: scripts/bench-compare.sh [baseline.json] [current.json]
-#   baseline defaults to BENCH_PR6.json; with no current file the benchmarks
+#   baseline defaults to BENCH_PR7.json; with no current file the benchmarks
 #   are re-run into a temp snapshot first.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASE="${1:-BENCH_PR6.json}"
+BASE="${1:-BENCH_PR7.json}"
 CUR="${2:-}"
 TOLERANCE="${TOLERANCE:-15}"
 
@@ -84,12 +84,16 @@ while read -r name ns allocs; do
   fi
 done < /tmp/bench-cur.$$
 
-# The hard floor, independent of the baseline file's content.
-hot=$(grep '^BenchmarkChannelTransfer/slot=4KB ' /tmp/bench-cur.$$ | cut -d' ' -f3)
-if [ "${hot:--}" != "0" ]; then
-  echo "FAIL: BenchmarkChannelTransfer/slot=4KB allocs/op = ${hot:-missing}, want 0" >&2
-  FAIL=1
-fi
+# The hard floors, independent of the baseline file's content: the fault-off
+# channel hot path and the steady-state columnar source loop are
+# allocation-free by contract.
+for floor in 'BenchmarkChannelTransfer/slot=4KB' 'BenchmarkSourceStepBatch'; do
+  hot=$(grep "^$floor " /tmp/bench-cur.$$ | cut -d' ' -f3)
+  if [ "${hot:--}" != "0" ]; then
+    echo "FAIL: $floor allocs/op = ${hot:-missing}, want 0" >&2
+    FAIL=1
+  fi
+done
 
 while read -r name _ _; do
   if ! grep -q "^$name " /tmp/bench-cur.$$; then

@@ -3,17 +3,17 @@
 # a machine-readable perf snapshot so the repo's performance trajectory is
 # tracked PR over PR.
 #
-# Usage: scripts/bench.sh [output.json]     (default: BENCH_PR6.json)
+# Usage: scripts/bench.sh [output.json]     (default: BENCH_PR7.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_PR6.json}"
+OUT="${1:-BENCH_PR7.json}"
 
 echo "# figure benchmarks (-benchtime=1x)" >&2
 FIG=$(go test -run xxx -bench Fig -benchtime=1x . | grep '^Benchmark' || true)
 echo "$FIG" >&2
 
 echo "# microbenchmarks (-benchtime=0.2s -benchmem)" >&2
-MICRO=$(go test -run xxx -bench . -benchtime=0.2s -benchmem ./internal/rdma/ ./internal/channel/ | grep '^Benchmark' || true)
+MICRO=$(go test -run xxx -bench . -benchtime=0.2s -benchmem ./internal/rdma/ ./internal/channel/ ./internal/core/ | grep '^Benchmark' || true)
 echo "$MICRO" >&2
 
 # Fault-off guard: with no injector configured the failure plane must cost
@@ -40,6 +40,8 @@ echo "# fault-off guard ok: 4KB transfer is allocation-free" >&2
         if ($i == "ns/op")                entry = entry "\"ns_per_op\": " v ", "
         else if ($i == "slash_rec/s")     entry = entry "\"rec_per_s\": " v ", "
         else if ($i == "slash_model_Mrec/s") entry = entry "\"model_mrec_per_s\": " v ", "
+        else if ($i == "rec/s")           entry = entry "\"rec_per_s\": " v ", "
+        else if ($i == "ns/rec")          entry = entry "\"ns_per_rec\": " v ", "
         else if ($i == "MB/s")            entry = entry "\"mb_per_s\": " v ", "
         else if ($i == "B/op")            entry = entry "\"bytes_per_op\": " v ", "
         else if ($i == "allocs/op")       entry = entry "\"allocs_per_op\": " v ", "

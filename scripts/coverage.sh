@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Coverage gate: the combined statement coverage of the four load-bearing
-# packages (core, ssb, rdma, channel) must not sink below the pre-PR-5 floor,
-# and the recovery package — the journal format every restore depends on —
-# must stay at or above 80%. Prints a per-package table; appends it to the
-# GitHub job summary when running in CI.
+# Coverage gate: the combined statement coverage of the load-bearing
+# packages (core, ssb, rdma, channel, plus the stream wire formats and the
+# workload generators feeding the batch hot loop) must not sink below the
+# floor, and the recovery package — the journal format every restore depends
+# on — must stay at or above 80%. Prints a per-package table; appends it to
+# the GitHub job summary when running in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,13 +14,14 @@ PROFILE=$(mktemp /tmp/coverage-XXXXXX.out)
 trap 'rm -f "$PROFILE"' EXIT
 
 go test -coverprofile="$PROFILE" \
-  ./internal/core/ ./internal/ssb/ ./internal/rdma/ ./internal/channel/
+  ./internal/core/ ./internal/ssb/ ./internal/rdma/ ./internal/channel/ \
+  ./internal/stream/ ./internal/workload/
 combined=$(go tool cover -func="$PROFILE" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
 recovery=$(go test -cover ./internal/recovery/ |
   awk '{ for (i = 1; i <= NF; i++) if ($i == "coverage:") { sub(/%/, "", $(i + 1)); print $(i + 1) } }')
 
 table=$(printf 'package group                        coverage  floor\n')
-table+=$(printf '\ncore+ssb+rdma+channel (combined)     %6s%%   %s%%' "$combined" "$COMBINED_FLOOR")
+table+=$(printf '\ncore+ssb+rdma+channel+stream+workload%6s%%   %s%%' "$combined" "$COMBINED_FLOOR")
 table+=$(printf '\ninternal/recovery                    %6s%%   %s%%' "$recovery" "$RECOVERY_FLOOR")
 echo "$table"
 if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
@@ -28,7 +30,7 @@ fi
 
 fail=0
 if awk -v c="$combined" -v f="$COMBINED_FLOOR" 'BEGIN { exit !(c < f) }'; then
-  echo "FAIL: combined core+ssb+rdma+channel coverage $combined% is below the $COMBINED_FLOOR% floor" >&2
+  echo "FAIL: combined hot-path package coverage $combined% is below the $COMBINED_FLOOR% floor" >&2
   fail=1
 fi
 if awk -v c="$recovery" -v f="$RECOVERY_FLOOR" 'BEGIN { exit !(c < f) }'; then
