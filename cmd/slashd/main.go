@@ -23,6 +23,7 @@ import (
 	"github.com/slash-stream/slash/internal/metrics"
 	"github.com/slash-stream/slash/internal/rdma"
 	"github.com/slash-stream/slash/internal/recovery"
+	"github.com/slash-stream/slash/internal/stateq"
 	"github.com/slash-stream/slash/internal/workload"
 )
 
@@ -41,6 +42,8 @@ func main() {
 		mxAddr   = flag.String("metrics-addr", "", "serve /metrics (plaintext) and /metrics.json on this address, e.g. :9090")
 		ckptDir  = flag.String("checkpoint-dir", "", "arm the recovery plane, journaling epoch-aligned checkpoints under this directory")
 		ckptIval = flag.Int("checkpoint-interval", 0, "checkpoint cadence in epoch commits per leader (0 = default 32; needs -checkpoint-dir)")
+		stAddr   = flag.String("state-addr", "", "arm the queryable-state plane and serve /state/{windows,lookup,scan,topk} on this address, e.g. :9091")
+		stReader = flag.Int("state-readers", 4, "reader clients (reader QPs) backing the -state-addr server")
 	)
 	flag.Parse()
 
@@ -104,8 +107,35 @@ func main() {
 	col := &core.Collector{}
 	fmt.Fprintf(os.Stderr, "slashd: %d nodes × %d threads, %s, %d records/thread\n",
 		*nodes, *threads, q.Name, *records)
-	rep, err := core.Run(cfg, q, flows, col)
-	if err != nil {
+	var rep *core.Report
+	if *stAddr != "" {
+		// Queryable state needs the controller alive while the HTTP surface
+		// serves, so run start and wait explicitly instead of core.Run.
+		cfg.State = &stateq.Options{}
+		ctrl, err := core.NewController(cfg, q, flows, col)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := newStateServer(ctrl, *stReader)
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", *stAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "slashd: serving window state on http://%s/state/windows\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, srv.handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "slashd: state server:", err)
+			}
+		}()
+		ctrl.Start()
+		rep, err = ctrl.Wait()
+		if err != nil {
+			fatal(err)
+		}
+	} else if rep, err = core.Run(cfg, q, flows, col); err != nil {
 		fatal(err)
 	}
 
@@ -148,8 +178,17 @@ func main() {
 		fmt.Printf("\nmetrics:\n")
 		reg.WriteText(os.Stdout)
 	}
-	if *mxAddr != "" {
-		fmt.Fprintln(os.Stderr, "slashd: run finished; metrics still served (interrupt to exit)")
+	if *mxAddr != "" || *stAddr != "" {
+		// Sealed snapshots outlive a clean run (docs/STATE_PROTOCOL.md), so
+		// the state surface keeps answering until the deployment is torn down.
+		what := "metrics"
+		if *stAddr != "" {
+			what = "window state"
+			if *mxAddr != "" {
+				what = "metrics and window state"
+			}
+		}
+		fmt.Fprintf(os.Stderr, "slashd: run finished; %s still served (interrupt to exit)\n", what)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig

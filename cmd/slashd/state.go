@@ -1,0 +1,140 @@
+// Queryable-state HTTP surface: -state-addr serves live window state while
+// the run executes. Every request is answered from snapshot regions fetched
+// over one-sided RDMA READs by a pool of stateq reader clients — the merge
+// threads serve no RPCs on this path (docs/STATE_PROTOCOL.md).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/slash-stream/slash/internal/core"
+	"github.com/slash-stream/slash/internal/stateq"
+)
+
+// stateServer answers /state/* queries through a fixed pool of reader
+// clients. A client serializes its own reads, so the pool bounds both
+// concurrency and reader-QP count.
+type stateServer struct {
+	clients chan *stateq.Client
+}
+
+// newStateServer creates readers reader clients against the controller's
+// state registry.
+func newStateServer(ctrl *core.Controller, readers int) (*stateServer, error) {
+	s := &stateServer{clients: make(chan *stateq.Client, readers)}
+	for i := 0; i < readers; i++ {
+		cl, err := ctrl.NewStateClient("slashd-http")
+		if err != nil {
+			return nil, err
+		}
+		s.clients <- cl
+	}
+	return s, nil
+}
+
+// handler routes the /state API.
+func (s *stateServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/state/windows", s.windows)
+	mux.HandleFunc("/state/lookup", s.lookup)
+	mux.HandleFunc("/state/scan", s.scan)
+	mux.HandleFunc("/state/topk", s.topk)
+	return mux
+}
+
+// with runs fn with a pooled client.
+func (s *stateServer) with(fn func(*stateq.Client) (any, error)) (any, error) {
+	cl := <-s.clients
+	defer func() { s.clients <- cl }()
+	return fn(cl)
+}
+
+func (s *stateServer) windows(w http.ResponseWriter, r *http.Request) {
+	s.reply(w, func(cl *stateq.Client) (any, error) { return cl.Windows() })
+}
+
+func (s *stateServer) lookup(w http.ResponseWriter, r *http.Request) {
+	win, err := qUint(r, "win")
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := qUint(r, "key")
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.reply(w, func(cl *stateq.Client) (any, error) {
+		v, err := cl.Lookup(win, key)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"win": win, "key": key, "value": v}, nil
+	})
+}
+
+func (s *stateServer) scan(w http.ResponseWriter, r *http.Request) {
+	win, err := qUint(r, "win")
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.reply(w, func(cl *stateq.Client) (any, error) { return cl.Scan(win) })
+}
+
+func (s *stateServer) topk(w http.ResponseWriter, r *http.Request) {
+	win, err := qUint(r, "win")
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		if k, err = strconv.Atoi(v); err != nil || k < 1 {
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("bad k %q", v))
+			return
+		}
+	}
+	s.reply(w, func(cl *stateq.Client) (any, error) { return cl.TopK(win, k) })
+}
+
+// reply renders fn's result as JSON, mapping the client error taxonomy to
+// HTTP statuses.
+func (s *stateServer) reply(w http.ResponseWriter, fn func(*stateq.Client) (any, error)) {
+	out, err := s.with(fn)
+	if err != nil {
+		switch {
+		case errors.Is(err, stateq.ErrNotFound), errors.Is(err, stateq.ErrNoSnapshot):
+			httpErr(w, http.StatusNotFound, err)
+		case errors.Is(err, stateq.ErrUnavailable), errors.Is(err, stateq.ErrNoEndpoint), errors.Is(err, stateq.ErrFenced):
+			httpErr(w, http.StatusServiceUnavailable, err)
+		default:
+			httpErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func qUint(r *http.Request, name string) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing %s parameter", name)
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return n, nil
+}
+
+func httpErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

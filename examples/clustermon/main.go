@@ -2,10 +2,17 @@
 // job over 2-second tumbling windows, fed by a synthetic stream shaped like
 // the Google cluster trace (skewed job popularity).
 //
+// This example is also the first consumer of the queryable-state plane
+// (docs/STATE_PROTOCOL.md): it starts the query with Cluster.Start instead
+// of Run and, while the job is executing, a monitor goroutine reads the
+// hottest jobs of each window straight out of the leaders' snapshot regions
+// with one-sided RDMA READs — no sink involved, no pause of the merge path.
+//
 //	go run ./examples/clustermon -nodes 4
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +31,7 @@ func main() {
 	cluster, err := slash.NewCluster(slash.ClusterConfig{
 		Nodes:          *nodes,
 		ThreadsPerNode: *threads,
+		QueryableState: true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -35,7 +43,64 @@ func main() {
 		AvgPerKey()
 
 	col := &slash.Collector{}
-	rep, err := cluster.Run(q, w.Flows(*nodes, *threads), col)
+	run, err := cluster.Start(q, w.Flows(*nodes, *threads), col)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The live monitor: poll the snapshot directories and, the moment a
+	// window is sealed on every leader, serve its top jobs over one-sided
+	// READs — while later windows are still merging.
+	mon, err := run.StateClient("monitor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mon.Close()
+	done := make(chan struct{})
+	monStopped := make(chan struct{})
+	go func() {
+		defer close(monStopped)
+		reported := map[uint64]bool{}
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			wins, err := mon.Windows()
+			if err != nil {
+				continue // directories not up yet
+			}
+			sealed := map[uint64]int{}
+			for _, wi := range wins {
+				if wi.Sealed {
+					sealed[wi.Window]++
+				}
+			}
+			for win, n := range sealed {
+				if n < *nodes || reported[win] {
+					continue
+				}
+				top, err := mon.TopK(win, 5)
+				if err != nil {
+					if errors.Is(err, slash.ErrStateNoSnapshot) {
+						continue // evicted between the listing and the scan
+					}
+					continue
+				}
+				reported[win] = true
+				fmt.Printf("  [live] window %d sealed — hottest jobs:", win)
+				for _, e := range top {
+					fmt.Printf("  %d:%d%%", e.Key, e.Value)
+				}
+				fmt.Println()
+			}
+		}
+	}()
+
+	rep, err := run.Wait()
+	close(done)
+	<-monStopped
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,17 +110,34 @@ func main() {
 	fmt.Printf("  %d samples in %v (%.0f records/s)\n",
 		rep.Records, rep.Elapsed.Round(time.Millisecond), rep.RecordsPerSec)
 	fmt.Printf("  %d (window, job) means across %d window triggers\n", len(rows), rep.WindowsOutput)
+	fmt.Printf("  state plane: %d one-sided READs, %d torn-read retries\n",
+		mon.Reads(), mon.TornReads())
 
-	// Jobs with the highest mean utilization in the first window.
+	// Final check, still through the state plane: sealed snapshots outlive
+	// the run, so the monitor can re-serve the first window and the result
+	// must match what the sink collected.
 	var first []slash.AggResult
 	for _, r := range rows {
 		if r.Win == rows[0].Win {
 			first = append(first, r)
 		}
 	}
-	sort.Slice(first, func(i, j int) bool { return first[i].Value > first[j].Value })
-	fmt.Printf("  hottest jobs in window %d:\n", rows[0].Win)
-	for i := 0; i < 5 && i < len(first); i++ {
-		fmt.Printf("    job %-10d mean CPU %d%%\n", first[i].Key, first[i].Value)
+	sort.Slice(first, func(i, j int) bool {
+		if first[i].Value != first[j].Value {
+			return first[i].Value > first[j].Value
+		}
+		return first[i].Key < first[j].Key
+	})
+	top, err := mon.TopK(rows[0].Win, 5)
+	if err != nil {
+		log.Fatalf("post-run state read: %v", err)
+	}
+	fmt.Printf("  hottest jobs in window %d (served from snapshot regions):\n", rows[0].Win)
+	for i, e := range top {
+		mark := "✓"
+		if i >= len(first) || first[i] != (slash.AggResult{Win: rows[0].Win, Key: e.Key, Value: e.Value}) {
+			mark = "✗ sink disagrees"
+		}
+		fmt.Printf("    job %-10d mean CPU %d%%  %s\n", e.Key, e.Value, mark)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"github.com/slash-stream/slash/internal/rdma"
 	"github.com/slash-stream/slash/internal/sched"
 	"github.com/slash-stream/slash/internal/ssb"
+	"github.com/slash-stream/slash/internal/stateq"
 	"github.com/slash-stream/slash/internal/stream"
 	"github.com/slash-stream/slash/internal/window"
 )
@@ -102,6 +103,7 @@ type Controller struct {
 	pmap      *ssb.PartitionMap
 	pool      *sched.Pool
 	run       *runState
+	stateReg  *stateq.Registry // nil unless Config.State is set
 
 	// reconfigMu serializes AddNodes/RemoveNodes end to end: each call is
 	// one barrier, one generation.
@@ -211,6 +213,10 @@ func NewController(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Controller
 		c.transport = newTrunkTransport(c.fabric, *cfg.Trunk, cfg.MaxNodes)
 	} else {
 		c.transport = newPairTransport(c.fabric, cfg.Channel, cfg.MaxNodes)
+	}
+	if cfg.State != nil {
+		cfg.State.Fill()
+		c.stateReg = stateq.NewRegistry(c.fabric, c.pmap)
 	}
 	c.run = &runState{pool: c.pool, sink: sink}
 	// On failure, closing the producers unblocks any sender spinning for
@@ -360,6 +366,18 @@ func (c *Controller) buildMesh(id int) (*ssb.Backend, []inbound, error) {
 		return nil, nil, err
 	}
 	c.backends[id] = be
+	if c.stateReg != nil {
+		// Queryable-state plane: register this incarnation's snapshot
+		// directory on the node's NIC and route the merge path's publications
+		// into it. A restart builds a fresh publisher here; the old
+		// incarnation's regions were fenced before its NIC was removed.
+		pub, err := stateq.NewPublisher(nic, id, c.nodeInc[id], *c.cfg.State)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.stateReg.Install(pub)
+		be.SetStatePublisher(pub, c.cfg.State.PublishBytes)
+	}
 	return be, myIn, nil
 }
 
@@ -494,6 +512,20 @@ func (c *Controller) Start() {
 	c.pool.Start()
 }
 
+// StateRegistry returns the queryable-state control plane, or nil when
+// Config.State is unset.
+func (c *Controller) StateRegistry() *stateq.Registry { return c.stateReg }
+
+// NewStateClient creates a reader client on the deployment's queryable-state
+// plane: its own NIC on the fabric, one reader QP per publishing node, all
+// reads one-sided. Errors when Config.State is unset.
+func (c *Controller) NewStateClient(name string) (*stateq.Client, error) {
+	if c.stateReg == nil {
+		return nil, errors.New("core: queryable-state plane not configured (set Config.State)")
+	}
+	return stateq.NewClient(c.stateReg, name)
+}
+
 // Wait blocks until every flow finished and every window fired, tears the
 // mesh down, and reports execution statistics.
 func (c *Controller) Wait() (*Report, error) {
@@ -522,6 +554,10 @@ func (c *Controller) Wait() (*Report, error) {
 	// Trunk endpoints close their lane QPs and deregister their memory here;
 	// the NICs (and the traffic counters read below) survive the shutdown.
 	c.transport.Shutdown()
+	// The snapshot directories are deliberately NOT fenced here: after a
+	// clean run their sealed contents are the final window results, and they
+	// stay readable until the deployment is discarded (slashd keeps serving
+	// them after the report). Mid-run fences — restart, retire — still apply.
 	if err := c.run.err(); err != nil {
 		return nil, err
 	}
@@ -933,6 +969,11 @@ func (c *Controller) observeReconfig(rec *Reconfig) {
 // drained: it detaches the node from the mesh (heartbeats to it are dropped,
 // its channels close) and narrows every backend's heartbeat peer set.
 func (c *Controller) nodeRetired(node int) {
+	if c.stateReg != nil {
+		// Retired leaders serve no state: fence the snapshot directory so
+		// readers re-resolve instead of reading a frozen final image.
+		c.stateReg.Fence(node)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	liveNow := c.live[:0:0]

@@ -13,6 +13,7 @@ import (
 	"github.com/slash-stream/slash/internal/recovery"
 	"github.com/slash-stream/slash/internal/sched"
 	"github.com/slash-stream/slash/internal/ssb"
+	"github.com/slash-stream/slash/internal/stateq"
 )
 
 // Config describes a Slash deployment: a rack-scale cluster simulated in
@@ -69,6 +70,12 @@ type Config struct {
 	// fault-free fast path: no journaling, no rings, no extra branches in
 	// the per-record loop.
 	Recovery *RecoveryOptions
+	// State, when non-nil, arms the queryable-state plane: every leader
+	// publishes its live and recently-sealed window state into versioned
+	// snapshot regions that reader QPs fetch with one-sided READs (see
+	// internal/stateq and docs/STATE_PROTOCOL.md). Nil keeps the merge path
+	// free of publication work.
+	State *stateq.Options
 }
 
 // RecoveryOptions configures the checkpoint/recovery plane.

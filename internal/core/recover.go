@@ -592,6 +592,13 @@ func (c *Controller) restartNodeExpect(x, expect int) error {
 	// frames to it with teardown semantics instead of poisoning shared
 	// lanes, and every survivor forgets its trunk to the old name.
 	c.transport.DropNode(x)
+	// Fence the dead incarnation's snapshot directory before its NIC goes:
+	// state readers observe the fence word (or a deregistered region), drop
+	// their cached endpoint, and re-resolve to the incarnation buildMesh is
+	// about to install. They never see pre-crash state as current.
+	if c.stateReg != nil {
+		c.stateReg.Fence(x)
+	}
 	// Fence at the fabric: the old name can never be reconnected, and any
 	// injector fault state keyed on it stays with the dead incarnation.
 	c.fabric.RemoveNIC(oldName)

@@ -699,6 +699,10 @@ func (t *mergeTask) step() sched.Status {
 	if n := t.be.TriggerReady(t.emitAgg, t.emitBag); n > 0 {
 		progress = true
 	}
+	// Republish live window snapshots touched by this step's merges (no-op
+	// unless the queryable-state plane is armed; sealed windows published
+	// inside TriggerReady).
+	t.be.PublishDirty()
 	if t.ckptEvery > 0 {
 		// A journal that fell behind voids the recovery contract: fail loudly
 		// rather than risk an unrecoverable restore later.

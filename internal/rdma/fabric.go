@@ -302,6 +302,9 @@ var (
 	ErrOtherFabric  = errors.New("rdma: NICs belong to different fabrics")
 	ErrZeroLength   = errors.New("rdma: zero-length transfer")
 	ErrDeregistered = errors.New("rdma: memory region deregistered")
+	// ErrAccessDenied is the error of a StatusRemoteAccessErr completion for a
+	// verb the target region's Access mask does not permit.
+	ErrAccessDenied = errors.New("rdma: remote access not permitted by region access flags")
 	ErrCQOverrun    = errors.New("rdma: completion queue overrun (completions dropped)")
 	// ErrWRFlush is the error of a completion with StatusWRFlush: the
 	// request never executed because the QP was already in the error state.

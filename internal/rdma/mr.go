@@ -15,11 +15,31 @@ import (
 // at a time) and use WriteVersion as the publication point: a reader that
 // observes a new write version through WriteVersion is guaranteed to observe
 // the bytes of every remote write published before that version.
+// Access is the remote-permission bitmask of a memory region, mirroring the
+// ibv_access_flags a region is registered with. Verbs arriving for a region
+// without the matching flag complete with StatusRemoteAccessErr, exactly as a
+// protection-domain violation does on hardware.
+type Access uint8
+
+// Remote access permissions.
+const (
+	// AccessRemoteRead permits one-sided READ verbs.
+	AccessRemoteRead Access = 1 << iota
+	// AccessRemoteWrite permits one-sided WRITE verbs.
+	AccessRemoteWrite
+	// AccessRemoteAtomic permits CAS and FETCH_ADD verbs.
+	AccessRemoteAtomic
+
+	// AccessFull grants every remote permission (the RegisterBuffer default).
+	AccessFull = AccessRemoteRead | AccessRemoteWrite | AccessRemoteAtomic
+)
+
 type MemoryRegion struct {
-	nic  *NIC
-	buf  []byte
-	lkey uint32
-	rkey uint32
+	nic    *NIC
+	buf    []byte
+	lkey   uint32
+	rkey   uint32
+	access Access
 
 	// version counts completed remote writes into this region. It is
 	// advanced with release semantics after the payload bytes are in place.
@@ -42,16 +62,25 @@ func (n *NIC) RegisterMemory(size int) (*MemoryRegion, error) {
 	return n.RegisterBuffer(make([]byte, size))
 }
 
-// RegisterBuffer registers caller-provided memory with the NIC. The caller
-// must not resize buf afterwards.
+// RegisterBuffer registers caller-provided memory with the NIC under full
+// remote access. The caller must not resize buf afterwards.
 func (n *NIC) RegisterBuffer(buf []byte) (*MemoryRegion, error) {
+	return n.RegisterBufferAccess(buf, AccessFull)
+}
+
+// RegisterBufferAccess registers caller-provided memory with an explicit
+// remote-permission mask. Regions exported to untrusted readers (the
+// queryable-state plane) register with AccessRemoteRead only, so a buggy or
+// malicious peer cannot mutate them: WRITE and atomic verbs complete with
+// StatusRemoteAccessErr.
+func (n *NIC) RegisterBufferAccess(buf []byte, access Access) (*MemoryRegion, error) {
 	if len(buf) == 0 {
 		return nil, ErrZeroLength
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.nextKey++
-	mr := &MemoryRegion{nic: n, buf: buf, lkey: n.nextKey, rkey: n.nextKey}
+	mr := &MemoryRegion{nic: n, buf: buf, lkey: n.nextKey, rkey: n.nextKey, access: access}
 	n.regions[mr.rkey] = mr
 	n.fabric.regBytes.Add(int64(len(buf)))
 	return mr, nil
@@ -100,6 +129,12 @@ func (n *NIC) lookupRegion(rkey uint32) (*MemoryRegion, error) {
 
 // RKey returns the remote key peers use to address this region.
 func (mr *MemoryRegion) RKey() uint32 { return mr.rkey }
+
+// Access returns the remote-permission mask the region was registered with.
+func (mr *MemoryRegion) Access() Access { return mr.access }
+
+// allows reports whether every permission in a was granted at registration.
+func (mr *MemoryRegion) allows(a Access) bool { return mr.access&a == a }
 
 // Len returns the region size in bytes.
 func (mr *MemoryRegion) Len() int { return len(mr.buf) }
@@ -158,6 +193,25 @@ func (mr *MemoryRegion) AtomicStore(off int, v uint64) error {
 	}
 	mr.atomicMu.Lock()
 	putLEU64(mr.buf[off:], v)
+	mr.atomicMu.Unlock()
+	mr.publish()
+	return nil
+}
+
+// Store copies p into the region at off coherently with in-flight one-sided
+// READs: the copy runs under the region's atomic lock, the same lock the DMA
+// engine holds while servicing a READ, so a concurrent reader observes either
+// the old bytes or the new bytes of each locked copy, never a Go-level race.
+// This models a DMA-coherent store (clflush + fence on real hardware) and is
+// the publication primitive of the snapshot-region protocol: publishers write
+// payload bytes with Store between two AtomicStore version-word updates, and
+// remote readers validate the version word around their READ.
+func (mr *MemoryRegion) Store(off int, p []byte) error {
+	if err := mr.checkRange(off, len(p)); err != nil {
+		return err
+	}
+	mr.atomicMu.Lock()
+	copy(mr.buf[off:], p)
 	mr.atomicMu.Unlock()
 	mr.publish()
 	return nil

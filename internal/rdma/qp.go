@@ -756,6 +756,9 @@ func (qp *QueuePair) doWrite(wr workRequest) error {
 	if err != nil {
 		return err
 	}
+	if !mr.allows(AccessRemoteWrite) {
+		return ErrAccessDenied
+	}
 	if wr.inline8 {
 		if err := mr.checkRange(wr.remoteOff, 8); err != nil {
 			return err
@@ -789,6 +792,9 @@ func (qp *QueuePair) doRead(wr workRequest) error {
 	mr, err := qp.remote.lookupRegion(wr.rkey)
 	if err != nil {
 		return err
+	}
+	if !mr.allows(AccessRemoteRead) {
+		return ErrAccessDenied
 	}
 	if err := mr.checkRange(wr.remoteOff, len(wr.local)); err != nil {
 		return err
@@ -871,6 +877,9 @@ func (qp *QueuePair) doAtomic(wr workRequest) (uint64, error) {
 	mr, err := qp.remote.lookupRegion(wr.rkey)
 	if err != nil {
 		return 0, err
+	}
+	if !mr.allows(AccessRemoteAtomic) {
+		return 0, ErrAccessDenied
 	}
 	if err := mr.checkRange(wr.remoteOff, 8); err != nil {
 		return 0, err

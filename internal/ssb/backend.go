@@ -209,6 +209,14 @@ type Backend struct {
 	lastEpoch []uint64
 	tablePool []*Table
 
+	// Queryable-state publication (nil unless SetStatePublisher was called):
+	// the stateq publisher, the live-republication threshold, per-window
+	// un-published delta bytes, and the windows published at least once.
+	statePub       StatePublisher
+	stateMinDelta  int
+	stateDirty     map[uint64]int
+	statePublished map[uint64]bool
+
 	// Recovery state (nil / empty unless Config.Recoverable): the
 	// epoch-commit tracker, the pending incremental-checkpoint log (inbound
 	// deltas merged since the last checkpoint record), and the first journal
@@ -450,6 +458,7 @@ func (b *Backend) HandleChunk(c *Chunk) error {
 		}
 		b.chunksMerged++
 		b.bytesMerged += uint64(len(c.Payload))
+		b.markStateDirty(c.Window, len(c.Payload))
 	}
 	// Merging happens before the watermark becomes visible, so a trigger
 	// that observes the new clock entry also observes the merged state.
@@ -499,6 +508,9 @@ func (b *Backend) TriggerReady(emitAgg EmitAgg, emitBag EmitBag) int {
 				emitBag(win, key, elems)
 			})
 		}
+		// Publish the final image before the table is recycled: sealed
+		// snapshots are the byte-exact state the sink was fed from.
+		b.sealStateLocked(win, tbl)
 		b.putTable(tbl)
 		delete(b.primary, win)
 		b.triggered[win] = true

@@ -132,6 +132,7 @@ func (b *Backend) handleChunkRecoverable(c *Chunk) error {
 		t.count++
 		b.chunksMerged++
 		b.bytesMerged += uint64(len(c.Payload))
+		b.markStateDirty(c.Window, len(c.Payload))
 		if b.cfg.Journal != nil {
 			b.appendCkptLog(c.Window, c.Payload)
 		}

@@ -75,6 +75,11 @@ func (t *Table) Entries() int { return t.elem }
 // next epoch flush will ship.
 func (t *Table) LogBytes() int { return len(t.log) }
 
+// Log exposes the raw log for snapshot publication (self-describing entries;
+// see the entry layout above). Read-only: the slice aliases the table's
+// backing memory and is invalidated by the next append or Reset.
+func (t *Table) Log() []byte { return t.log }
+
 // appendEntry writes a new log entry and returns its offset.
 func (t *Table) appendEntry(key uint64, prev int32, value []byte) (int32, error) {
 	off, dst, err := t.appendBlank(key, prev, len(value))

@@ -1,0 +1,134 @@
+// Package stateq is the queryable-state plane: it serves live and
+// recently-sealed SSB window state to external readers over one-sided RDMA
+// READs, without ever interrupting the merge threads that own the state.
+//
+// The design follows the paper's thesis (remote state access should bypass
+// the remote CPU) and borrows Storm's optimistic synchronization recipe:
+// each leader publishes window snapshots into versioned, read-only memory
+// regions; readers fetch them with one-sided READs and validate a seqlock
+// version word client-side, retrying on torn reads. Publishers never take a
+// reader-visible lock — the only writer-side cost is copying the window's
+// log bytes into the snapshot region.
+//
+// The wire format served by this package is specified normatively in
+// docs/STATE_PROTOCOL.md; the constants below are that spec in code. An
+// independent client written from the doc alone must interoperate with
+// Publisher.
+package stateq
+
+// LayoutVersion is the snapshot-region protocol version this package
+// implements (header word 1). Readers must reject other versions.
+const LayoutVersion = 1
+
+// Magic identifies a snapshot directory region (header word 0).
+var Magic = [8]byte{'S', 'L', 'S', 'H', 'S', 'T', 'Q', '1'}
+
+// HeaderSize is the byte size of the directory header; SlotSize the size of
+// one directory slot. The directory region is HeaderSize + Slots*SlotSize
+// bytes, slots packed immediately after the header.
+const (
+	HeaderSize = 64
+	SlotSize   = 64
+)
+
+// Directory header field offsets (all fields are 8-byte little-endian words
+// at 8-byte alignment, so readers and the publisher can access each through
+// atomic verbs).
+const (
+	hdrMagic  = 0  // Magic
+	hdrLayout = 8  // LayoutVersion
+	hdrSlots  = 16 // slot count
+	hdrNode   = 24 // publishing node id
+	hdrInc    = 32 // node incarnation (bumped by each restart)
+	hdrFence  = 40 // 0 live; 1 fenced (terminal)
+)
+
+// Slot field offsets relative to the slot base (HeaderSize + i*SlotSize).
+const (
+	slotVersion = 0  // seqlock word: 0 empty, even stable, odd mid-publish
+	slotWindow  = 8  // window id
+	slotEpoch   = 16 // leader merge progress (max sender epoch) at publish
+	slotGen     = 24 // partition-map generation governing the window
+	slotPayload = 32 // payload rkey (low 32 bits) | payload length (high 32)
+	slotFlags   = 40 // FlagSealed, FlagHolistic; aggregate kind in bits 8-15
+	slotStride  = 48 // log entry stride for aggregate tables (0 for bags)
+	slotKeys    = 56 // distinct keys in the snapshot
+)
+
+// Slot flag bits.
+const (
+	// FlagSealed marks a final snapshot: the window triggered and its state
+	// will never change again (the bytes served equal the sink's output).
+	FlagSealed = 1 << 0
+	// FlagHolistic marks bag (holistic) state, which v1 clients cannot
+	// finalize; they must return ErrHolistic instead of decoding.
+	FlagHolistic = 1 << 1
+
+	// aggKindShift positions the aggregate-kind byte inside the flags word.
+	aggKindShift = 8
+)
+
+// SlotInfo is one decoded directory slot.
+type SlotInfo struct {
+	Version     uint64
+	Window      uint64
+	Epoch       uint64
+	Gen         uint64
+	PayloadRKey uint32
+	PayloadLen  uint32
+	Sealed      bool
+	Holistic    bool
+	AggKind     uint8
+	Stride      int
+	Keys        int
+}
+
+// Live reports whether the slot holds a stable published snapshot: a
+// non-zero even version word (odd means a republication is in flight).
+func (s *SlotInfo) Live() bool { return s.Version != 0 && s.Version%2 == 0 }
+
+// decodeSlot parses one SlotSize-byte slot image.
+func decodeSlot(b []byte) SlotInfo {
+	flags := leU64(b[slotFlags:])
+	return SlotInfo{
+		Version:     leU64(b[slotVersion:]),
+		Window:      leU64(b[slotWindow:]),
+		Epoch:       leU64(b[slotEpoch:]),
+		Gen:         leU64(b[slotGen:]),
+		PayloadRKey: uint32(leU64(b[slotPayload:])),
+		PayloadLen:  uint32(leU64(b[slotPayload:]) >> 32),
+		Sealed:      flags&FlagSealed != 0,
+		Holistic:    flags&FlagHolistic != 0,
+		AggKind:     uint8(flags >> aggKindShift),
+		Stride:      int(leU64(b[slotStride:])),
+		Keys:        int(leU64(b[slotKeys:])),
+	}
+}
+
+// slotOffset returns the byte offset of slot i inside the directory.
+func slotOffset(i int) int { return HeaderSize + i*SlotSize }
+
+// leU64/putLEU64/leU32 are the package-local little-endian helpers; the whole
+// repository's wire format is little-endian.
+func leU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLEU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func leU32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,124 @@
+package stateq
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/slash-stream/slash/internal/rdma"
+	"github.com/slash-stream/slash/internal/ssb"
+)
+
+// Endpoint is the out-of-band bootstrap a reader needs to reach one node's
+// snapshot directory: the NIC to connect a reader QP to, the directory
+// region's rkey, and the incarnation the directory is stamped with. In a
+// real deployment this is the only state that flows through a control plane
+// (an etcd entry per node); everything else is one-sided READs.
+type Endpoint struct {
+	Node    int
+	Inc     int
+	NIC     *rdma.NIC
+	DirRKey uint32
+	Slots   int
+}
+
+// Registry is the control plane of the stateq plane: it maps node ids to
+// their current publication endpoints and hands readers the shared
+// partition map for owner routing. The controller installs an endpoint when
+// it builds a node's publisher and fences it when the node restarts or
+// retires; clients re-resolve after any failed read, which is how they
+// follow a node across incarnations.
+type Registry struct {
+	fabric *rdma.Fabric
+	pmap   *ssb.PartitionMap
+
+	mu   sync.RWMutex
+	pubs map[int]*Publisher
+
+	clientSeq atomic.Int64
+}
+
+// NewRegistry creates a registry over the deployment's fabric and shared
+// partition map.
+func NewRegistry(fabric *rdma.Fabric, pmap *ssb.PartitionMap) *Registry {
+	return &Registry{fabric: fabric, pmap: pmap, pubs: make(map[int]*Publisher)}
+}
+
+// Fabric returns the deployment fabric (clients register their NICs on it).
+func (r *Registry) Fabric() *rdma.Fabric { return r.fabric }
+
+// Map returns the shared partition map used for owner routing.
+func (r *Registry) Map() *ssb.PartitionMap { return r.pmap }
+
+// Install publishes p as its node's current endpoint, replacing any older
+// incarnation.
+func (r *Registry) Install(p *Publisher) {
+	r.mu.Lock()
+	r.pubs[p.Node()] = p
+	r.mu.Unlock()
+}
+
+// Fence fences and removes node's current publisher, if any. Readers with
+// in-flight optimistic reads observe the fence word or a deregistered
+// region and re-resolve.
+func (r *Registry) Fence(node int) {
+	r.mu.Lock()
+	p := r.pubs[node]
+	delete(r.pubs, node)
+	r.mu.Unlock()
+	if p != nil {
+		p.Fence()
+	}
+}
+
+// Publisher returns node's current publisher (tests and the controller's
+// teardown path use it).
+func (r *Registry) Publisher(node int) (*Publisher, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.pubs[node]
+	return p, ok
+}
+
+// Endpoint resolves node's current publication endpoint.
+func (r *Registry) Endpoint(node int) (Endpoint, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.pubs[node]
+	if !ok {
+		return Endpoint{}, false
+	}
+	return Endpoint{Node: p.Node(), Inc: p.Incarnation(), NIC: p.NIC(), DirRKey: p.DirRKey(), Slots: p.Slots()}, true
+}
+
+// Endpoints lists every installed endpoint, sorted by node id.
+func (r *Registry) Endpoints() []Endpoint {
+	r.mu.RLock()
+	eps := make([]Endpoint, 0, len(r.pubs))
+	for _, p := range r.pubs {
+		eps = append(eps, Endpoint{Node: p.Node(), Inc: p.Incarnation(), NIC: p.NIC(), DirRKey: p.DirRKey(), Slots: p.Slots()})
+	}
+	r.mu.RUnlock()
+	sort.Slice(eps, func(i, j int) bool { return eps[i].Node < eps[j].Node })
+	return eps
+}
+
+// FenceAll fences every installed publisher (deployment teardown).
+func (r *Registry) FenceAll() {
+	r.mu.Lock()
+	pubs := make([]*Publisher, 0, len(r.pubs))
+	for _, p := range r.pubs {
+		pubs = append(pubs, p)
+	}
+	r.pubs = make(map[int]*Publisher)
+	r.mu.Unlock()
+	for _, p := range pubs {
+		p.Fence()
+	}
+}
+
+// clientName generates a fabric-unique NIC name for a reader client.
+func (r *Registry) clientName(prefix string) string {
+	return fmt.Sprintf("%s#%d", prefix, r.clientSeq.Add(1))
+}

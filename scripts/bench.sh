@@ -3,17 +3,17 @@
 # a machine-readable perf snapshot so the repo's performance trajectory is
 # tracked PR over PR.
 #
-# Usage: scripts/bench.sh [output.json]     (default: BENCH_PR7.json)
+# Usage: scripts/bench.sh [output.json]     (default: BENCH_PR9.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR9.json}"
 
 echo "# figure benchmarks (-benchtime=1x)" >&2
 FIG=$(go test -run xxx -bench Fig -benchtime=1x . | grep '^Benchmark' || true)
 echo "$FIG" >&2
 
 echo "# microbenchmarks (-benchtime=0.2s -benchmem)" >&2
-MICRO=$(go test -run xxx -bench . -benchtime=0.2s -benchmem ./internal/rdma/ ./internal/channel/ ./internal/core/ | grep '^Benchmark' || true)
+MICRO=$(go test -run xxx -bench . -benchtime=0.2s -benchmem ./internal/rdma/ ./internal/channel/ ./internal/core/ ./internal/stateq/ | grep '^Benchmark' || true)
 echo "$MICRO" >&2
 
 # Fault-off guard: with no injector configured the failure plane must cost

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Coverage gate: the combined statement coverage of the load-bearing
-# packages (core, ssb, rdma, channel, plus the stream wire formats and the
-# workload generators feeding the batch hot loop) must not sink below the
-# floor, and the recovery package — the journal format every restore depends
+# packages (core, ssb, rdma, channel, plus the stream wire formats, the
+# workload generators feeding the batch hot loop, and the stateq
+# queryable-state plane) must not sink below the floor, and the recovery
+# package — the journal format every restore depends
 # on — must stay at or above 80%. Prints a per-package table; appends it to
 # the GitHub job summary when running in CI.
 set -euo pipefail
@@ -15,13 +16,13 @@ trap 'rm -f "$PROFILE"' EXIT
 
 go test -coverprofile="$PROFILE" \
   ./internal/core/ ./internal/ssb/ ./internal/rdma/ ./internal/channel/ \
-  ./internal/stream/ ./internal/workload/
+  ./internal/stream/ ./internal/workload/ ./internal/stateq/
 combined=$(go tool cover -func="$PROFILE" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
 recovery=$(go test -cover ./internal/recovery/ |
   awk '{ for (i = 1; i <= NF; i++) if ($i == "coverage:") { sub(/%/, "", $(i + 1)); print $(i + 1) } }')
 
 table=$(printf 'package group                        coverage  floor\n')
-table+=$(printf '\ncore+ssb+rdma+channel+stream+workload%6s%%   %s%%' "$combined" "$COMBINED_FLOOR")
+table+=$(printf '\ncore+ssb+rdma+channel+stream+workload+stateq%6s%%   %s%%' "$combined" "$COMBINED_FLOOR")
 table+=$(printf '\ninternal/recovery                    %6s%%   %s%%' "$recovery" "$RECOVERY_FLOOR")
 echo "$table"
 if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then

@@ -28,6 +28,7 @@ import (
 	"github.com/slash-stream/slash/internal/core"
 	"github.com/slash-stream/slash/internal/crdt"
 	"github.com/slash-stream/slash/internal/rdma"
+	"github.com/slash-stream/slash/internal/stateq"
 	"github.com/slash-stream/slash/internal/stream"
 	"github.com/slash-stream/slash/internal/window"
 )
@@ -94,6 +95,18 @@ type ClusterConfig struct {
 	BaseLatency time.Duration
 	// Throttle enables wall-clock pacing of the simulated fabric.
 	Throttle bool
+	// QueryableState arms the queryable-state plane: every leader publishes
+	// its live and recently-sealed window state into versioned snapshot
+	// regions, and StateClient readers fetch them over one-sided RDMA READs
+	// (docs/STATE_PROTOCOL.md). Requires Start (a Run tears the fabric down
+	// before any client could read).
+	QueryableState bool
+	// StateSlots is the per-node snapshot directory capacity when
+	// QueryableState is set (default 16).
+	StateSlots int
+	// StatePublishBytes throttles live-window republication to once per this
+	// many merged delta bytes when QueryableState is set (default 256 KiB).
+	StatePublishBytes int
 }
 
 // Cluster is a reusable handle for running queries on a deployment shape.
@@ -122,14 +135,9 @@ func (c *Cluster) Nodes() int { return c.cfg.Nodes }
 // ThreadsPerNode returns the configured source threads per node.
 func (c *Cluster) ThreadsPerNode() int { return c.cfg.ThreadsPerNode }
 
-// Run executes the query over flows[node][thread] and streams results into
-// sink (nil discards results and only measures).
-func (c *Cluster) Run(q *Query, flows [][]Flow, sink Sink) (*Report, error) {
-	cq, err := q.build()
-	if err != nil {
-		return nil, err
-	}
-	return core.Run(core.Config{
+// coreConfig lowers the cluster configuration to the engine's.
+func (c *Cluster) coreConfig() core.Config {
+	cfg := core.Config{
 		Nodes:          c.cfg.Nodes,
 		ThreadsPerNode: c.cfg.ThreadsPerNode,
 		EpochBytes:     c.cfg.EpochBytes,
@@ -140,8 +148,75 @@ func (c *Cluster) Run(q *Query, flows [][]Flow, sink Sink) (*Report, error) {
 			BaseLatency:   c.cfg.BaseLatency,
 			Throttle:      c.cfg.Throttle,
 		},
-	}, cq, flows, sink)
+	}
+	if c.cfg.QueryableState {
+		cfg.State = &stateq.Options{Slots: c.cfg.StateSlots, PublishBytes: c.cfg.StatePublishBytes}
+	}
+	return cfg
 }
+
+// Run executes the query over flows[node][thread] and streams results into
+// sink (nil discards results and only measures).
+func (c *Cluster) Run(q *Query, flows [][]Flow, sink Sink) (*Report, error) {
+	cq, err := q.build()
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(c.coreConfig(), cq, flows, sink)
+}
+
+// StateClient reads published window state over one-sided RDMA READs: point
+// lookups routed by the partition map, window scans unioned across leaders,
+// and top-K over the pre-hashed key column. Obtain one from LiveRun.
+type StateClient = stateq.Client
+
+// StateEntry is one (key, finalized value) pair served by a StateClient.
+type StateEntry = stateq.Entry
+
+// StateWindowInfo describes one published window snapshot.
+type StateWindowInfo = stateq.WindowInfo
+
+// Errors surfaced by StateClient reads.
+var (
+	ErrStateNotFound    = stateq.ErrNotFound
+	ErrStateNoSnapshot  = stateq.ErrNoSnapshot
+	ErrStateUnavailable = stateq.ErrUnavailable
+)
+
+// LiveRun is a started execution: results stream into the sink while state
+// clients query live window state. Wait blocks for completion exactly like
+// Run.
+type LiveRun struct {
+	ctrl *core.Controller
+}
+
+// Start launches the query like Run but returns before completion, exposing
+// the live deployment. The caller must Wait.
+func (c *Cluster) Start(q *Query, flows [][]Flow, sink Sink) (*LiveRun, error) {
+	cq, err := q.build()
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := core.NewController(c.coreConfig(), cq, flows, sink)
+	if err != nil {
+		return nil, err
+	}
+	ctrl.Start()
+	return &LiveRun{ctrl: ctrl}, nil
+}
+
+// StateClient creates a reader against the run's queryable-state plane.
+// Errors unless the cluster was configured with QueryableState.
+func (r *LiveRun) StateClient(name string) (*StateClient, error) {
+	return r.ctrl.NewStateClient(name)
+}
+
+// Controller exposes the underlying elastic controller (reconfiguration,
+// recovery, state registry).
+func (r *LiveRun) Controller() *core.Controller { return r.ctrl }
+
+// Wait blocks until the run completes and returns its report.
+func (r *LiveRun) Wait() (*Report, error) { return r.ctrl.Wait() }
 
 // Query is a declarative streaming query under construction. Methods
 // return the receiver for chaining; errors surface at Run.
