@@ -1,0 +1,109 @@
+// Multi-process cluster mode. One slashd process runs `-listen` as the
+// coordinator (control plane only: registration, MR exchange, QP bring-up,
+// restart sequencing, result merge); each worker process runs `-join -rank N`
+// and hosts exactly one engine node, with the channel mesh carried over the
+// netfab transport between processes. The same binary with neither flag runs
+// the whole deployment in-process — the oracle the cluster is diffed against.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/slash-stream/slash/internal/cluster"
+	"github.com/slash-stream/slash/internal/recovery"
+)
+
+func logfStderr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "slashd: "+format+"\n", args...)
+}
+
+// runCoordinator hosts the control plane: wait for spec.Nodes workers, drive
+// bootstrap, release the run, survive voted restarts, merge and report.
+func runCoordinator(addr string, spec cluster.Spec, dump string) {
+	co, err := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		Spec: spec,
+		Addr: addr,
+		Logf: logfStderr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer co.Close()
+	fmt.Fprintf(os.Stderr, "slashd: coordinating %d-node %s cluster on %s\n",
+		spec.Nodes, spec.Workload, co.Addr())
+	start := time.Now()
+	res, err := co.Run()
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	var records, updates, txBytes, txMsgs int64
+	var merged, windows, deduped uint64
+	var replayed, recoveries int
+	for _, r := range res.Reports {
+		records += r.Records
+		updates += r.Updates
+		txBytes += r.NetTxBytes
+		txMsgs += r.NetTxMsgs
+		merged += r.ChunksMerged
+		windows += r.WindowsOutput
+		deduped += r.ChunksDeduped
+		replayed += r.ReplayedChunks
+		recoveries += r.Recoveries
+	}
+	fmt.Printf("query:            %s\n", spec.Workload)
+	fmt.Printf("deployment:       %d worker processes × %d source threads\n", spec.Nodes, spec.Threads)
+	fmt.Printf("records:          %d\n", records)
+	fmt.Printf("state updates:    %d\n", updates)
+	fmt.Printf("elapsed:          %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput:       %.0f records/s\n", float64(records)/elapsed.Seconds())
+	fmt.Printf("network:          %.1f MB in %d messages (TCP-framed verbs)\n", float64(txBytes)/1e6, txMsgs)
+	fmt.Printf("SSB:              %d delta chunks merged, %d windows triggered\n", merged, windows)
+	fmt.Printf("recovery:         %d voted restarts, %d member recoveries, %d chunks replayed, %d deduped\n",
+		res.Restarts, recoveries, replayed, deduped)
+	fmt.Printf("results:          %d rows\n", len(res.Rows))
+	if dump != "" {
+		if err := writeDump(dump, res.Rows); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runWorker joins a coordinator as one engine node. The run spec arrives in
+// the Welcome, so only -join, -rank, and -checkpoint-dir matter here.
+func runWorker(join string, rank int, ckptDir string) {
+	var store recovery.Store
+	if ckptDir != "" {
+		ds, err := recovery.NewDirStore(ckptDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		store = ds
+		fmt.Fprintf(os.Stderr, "slashd: rank %d journaling to %s\n", rank, ds.Dir())
+	}
+	w := cluster.NewWorker(cluster.WorkerOptions{
+		Coordinator: join,
+		Rank:        rank,
+		Store:       store,
+		Logf:        logfStderr,
+	})
+	if err := w.Run(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "slashd: rank %d done\n", rank)
+}
+
+// writeDump writes rows in the canonical one-per-line format ("-" = stdout);
+// the differential smoke diffs these files byte-for-byte.
+func writeDump(path string, rows []cluster.Row) error {
+	out := cluster.RenderRows(rows)
+	if path == "-" {
+		_, err := os.Stdout.WriteString(out)
+		return err
+	}
+	return os.WriteFile(path, []byte(out), 0o644)
+}

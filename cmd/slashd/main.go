@@ -19,6 +19,7 @@ import (
 	"os/signal"
 	"time"
 
+	"github.com/slash-stream/slash/internal/cluster"
 	"github.com/slash-stream/slash/internal/core"
 	"github.com/slash-stream/slash/internal/metrics"
 	"github.com/slash-stream/slash/internal/rdma"
@@ -44,10 +45,35 @@ func main() {
 		ckptIval = flag.Int("checkpoint-interval", 0, "checkpoint cadence in epoch commits per leader (0 = default 32; needs -checkpoint-dir)")
 		stAddr   = flag.String("state-addr", "", "arm the queryable-state plane and serve /state/{windows,lookup,scan,topk} on this address, e.g. :9091")
 		stReader = flag.Int("state-readers", 4, "reader clients (reader QPs) backing the -state-addr server")
+		listen   = flag.String("listen", "", "coordinate a multi-process cluster on this address (e.g. 127.0.0.1:7070), waiting for -nodes workers")
+		join     = flag.String("join", "", "join a coordinator at this address as one worker process (needs -rank; the run spec comes from the coordinator)")
+		rank     = flag.Int("rank", 0, "this worker's node rank (with -join)")
+		dump     = flag.String("dump", "", "write canonical result rows to this file (\"-\" = stdout) for differential comparison")
 	)
 	flag.Parse()
 
-	q, flows, err := buildWorkload(*name, *nodes, *threads, *records, *seed)
+	if *listen != "" && *join != "" {
+		fatal(fmt.Errorf("-listen and -join are mutually exclusive"))
+	}
+	if *join != "" {
+		runWorker(*join, *rank, *ckptDir)
+		return
+	}
+	if *listen != "" {
+		runCoordinator(*listen, cluster.Spec{
+			Workload:          *name,
+			Nodes:             *nodes,
+			Threads:           *threads,
+			Records:           *records,
+			Seed:              *seed,
+			EpochBytes:        *epoch,
+			Credits:           *credits,
+			CheckpointCommits: *ckptIval,
+		}, *dump)
+		return
+	}
+
+	q, flows, err := workload.Build(*name, *nodes, *threads, *records, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -157,6 +183,14 @@ func main() {
 			store.Dir(), len(rep.Recoveries), rep.ReplayedChunks, rep.ChunksDeduped)
 	}
 
+	if *dump != "" {
+		// Same canonical row format the cluster coordinator dumps, so the two
+		// files diff byte-for-byte when the deployments agree.
+		if err := writeDump(*dump, cluster.CollectRows(col)); err != nil {
+			fatal(err)
+		}
+	}
+
 	aggs := col.Aggs()
 	joins := col.Joins()
 	if len(aggs) > 0 {
@@ -192,31 +226,6 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
-	}
-}
-
-func buildWorkload(name string, nodes, threads, records int, seed int64) (*core.Query, [][]core.Flow, error) {
-	switch name {
-	case "ysb":
-		w := workload.YSB{RecordsPerFlow: records, Keys: 100_000, Seed: seed}
-		return w.Query(), w.Flows(nodes, threads), nil
-	case "nb7":
-		w := workload.NB7{RecordsPerFlow: records, Keys: 100_000, Seed: seed}
-		return w.Query(), w.Flows(nodes, threads), nil
-	case "nb8":
-		w := workload.NB8{RecordsPerFlow: records, Sellers: 20_000, Seed: seed}
-		return w.Query(), w.Flows(nodes, threads), nil
-	case "nb11":
-		w := workload.NB11{RecordsPerFlow: records, Keys: 20_000, Seed: seed}
-		return w.Query(), w.Flows(nodes, threads), nil
-	case "cm":
-		w := workload.CM{RecordsPerFlow: records, Jobs: 50_000, Seed: seed}
-		return w.Query(), w.Flows(nodes, threads), nil
-	case "ro":
-		w := workload.RO{RecordsPerFlow: records, Keys: 1 << 20, Seed: seed}
-		return w.Query(), w.Flows(nodes, threads), nil
-	default:
-		return nil, nil, fmt.Errorf("unknown workload %q", name)
 	}
 }
 

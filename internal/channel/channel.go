@@ -159,27 +159,13 @@ func New(prodNIC, consNIC *rdma.NIC, cfg Config) (*Producer, *Consumer, error) {
 		creditMR.Deregister()
 		return nil, nil, err
 	}
-	p := &Producer{
-		cfg:      cfg,
-		qp:       qpProd,
-		staging:  staging,
-		ringRKey: ring.RKey(),
-		creditMR: creditMR,
-		bufs:     make([]SendBuffer, cfg.Credits),
+	p, err := NewProducer(cfg, qpProd, qpProd.SendCQ(), staging, creditMR, ring.RKey())
+	if err != nil {
+		return nil, nil, err
 	}
-	// Preallocate one SendBuffer per staging slot: steady-state Acquire
-	// reuses them, so the hot path never touches the heap.
-	for i := range p.bufs {
-		base := i * cfg.SlotSize
-		p.bufs[i].Data = staging.Bytes()[base : base+cfg.SlotSize-FooterSize]
-	}
-	c := &Consumer{
-		cfg:        cfg,
-		qp:         qpCons,
-		ring:       ring,
-		creditRKey: creditMR.RKey(),
-		flushAt:    max(1, cfg.Credits/2),
-		bufs:       make([]RecvBuffer, cfg.Credits),
+	c, err := NewConsumer(cfg, qpCons, qpCons.SendCQ(), ring, creditMR.RKey())
+	if err != nil {
+		return nil, nil, err
 	}
 	if reg := prodNIC.Fabric().Metrics(); reg != nil {
 		// The producer QP id is fabric-unique, so it doubles as the
@@ -202,10 +188,11 @@ func New(prodNIC, consNIC *rdma.NIC, cfg Config) (*Producer, *Consumer, error) {
 // Producer is the sending endpoint of an RDMA channel.
 type Producer struct {
 	cfg      Config
-	qp       *rdma.QueuePair
-	staging  *rdma.MemoryRegion
+	qp       Verbs
+	cq       CompletionSource
+	staging  Memory
 	ringRKey uint32
-	creditMR *rdma.MemoryRegion
+	creditMR Memory
 
 	// bufs is the preallocated SendBuffer ring, one per staging slot;
 	// Acquire hands out &bufs[seq%c] without allocating.
@@ -380,11 +367,11 @@ func (p *Producer) drainErrors() error {
 	if err := p.err.get(); err != nil {
 		return err
 	}
-	if p.qp.SendCQ().Overrun() {
+	if p.cq.Overrun() {
 		return p.fail(fmt.Errorf("channel: send %w", rdma.ErrCQOverrun))
 	}
 	for {
-		c, ok := p.qp.SendCQ().TryPoll()
+		c, ok := p.cq.TryPoll()
 		if !ok {
 			return nil
 		}
@@ -399,7 +386,7 @@ func (p *Producer) drainErrors() error {
 // when the QP is in the error state, the bare completion error otherwise.
 // Flush completions in particular carry only ErrWRFlush; the QPFailure behind
 // them explains why the QP was flushing.
-func qpCause(qp *rdma.QueuePair, c rdma.Completion) error {
+func qpCause(qp Verbs, c rdma.Completion) error {
 	if err := qp.Err(); err != nil {
 		return err
 	}
@@ -428,8 +415,9 @@ func (p *Producer) Close() {
 // Consumer is the receiving endpoint of an RDMA channel.
 type Consumer struct {
 	cfg        Config
-	qp         *rdma.QueuePair
-	ring       *rdma.MemoryRegion
+	qp         Verbs
+	cq         CompletionSource
+	ring       Memory
 	creditRKey uint32
 
 	// bufs is the preallocated RecvBuffer ring, one per slot; TryPoll hands
@@ -607,11 +595,11 @@ func (c *Consumer) drainErrors() error {
 	if err := c.err.get(); err != nil {
 		return err
 	}
-	if c.qp.SendCQ().Overrun() {
+	if c.cq.Overrun() {
 		return c.fail(fmt.Errorf("channel: credit %w", rdma.ErrCQOverrun))
 	}
 	for {
-		comp, ok := c.qp.SendCQ().TryPoll()
+		comp, ok := c.cq.TryPoll()
 		if !ok {
 			return nil
 		}

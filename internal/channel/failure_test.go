@@ -187,7 +187,7 @@ func TestCreditFlushFailureSurfaces(t *testing.T) {
 		}
 	}
 	// Kill the credit counter region: the next flush's inline WRITE fails.
-	p.creditMR.Deregister()
+	p.creditMR.(*rdma.MemoryRegion).Deregister()
 
 	// flushAt = 2, so the second release triggers the doomed flush.
 	rb := mustRecv(t, c)
@@ -247,7 +247,7 @@ func TestIdlePollFlushFailureLatched(t *testing.T) {
 	if err := c.Release(rb); err != nil {
 		t.Fatal(err)
 	}
-	p.creditMR.Deregister()
+	p.creditMR.(*rdma.MemoryRegion).Deregister()
 	// The idle poll pushes the coalesced credit out and the failure latches.
 	for i := 0; i < 1e6 && c.Err() == nil; i++ {
 		if _, ok := c.TryPoll(); ok {

@@ -165,7 +165,7 @@ func TestProducerSurfacesCQOverrun(t *testing.T) {
 		}
 	}
 	p.qp.Drain()
-	if !p.qp.SendCQ().Overrun() {
+	if !p.cq.Overrun() {
 		t.Fatal("send CQ did not overrun")
 	}
 	if sb := p.Acquire(); sb != nil {

@@ -1,0 +1,746 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// CoordinatorOptions configures the control plane.
+type CoordinatorOptions struct {
+	// Spec fixes the run every member executes.
+	Spec Spec
+	// Addr is the control-plane listen address ("127.0.0.1:0" when empty).
+	Addr string
+	// FenceDelay is the vote-collection window after the first link-failure
+	// report; a control-connection death short-circuits it.
+	FenceDelay time.Duration
+	// HandshakeTimeout bounds each bootstrap/restart step, including the wait
+	// for a dead member's respawn.
+	HandshakeTimeout time.Duration
+	// MaxRestarts bounds voted restarts for the run.
+	MaxRestarts int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Result is the merged outcome of a cluster run.
+type Result struct {
+	// Rows is every member's sink output merged and canonically sorted:
+	// aggregates before joins, each by (win, key). Window ownership is
+	// disjoint across members, so the merge is a concatenation.
+	Rows []Row
+	// Reports holds each member's statistics, indexed by rank.
+	Reports []MemberReport
+	// Restarts is the number of voted member restarts the run survived.
+	Restarts int
+}
+
+// member is the coordinator's view of one rank.
+type member struct {
+	sess  *session
+	alive bool
+}
+
+// event is one occurrence on a control connection, pushed by its reader.
+type event struct {
+	sess *session
+	m    *msg
+	err  error
+}
+
+// Coordinator is the cluster control plane: it listens for members, drives
+// bootstrap (registration → MR exchange → QP bring-up → start), arbitrates
+// failure votes, orders the fence → restore → replay → rejoin sequence, and
+// merges the members' results. All protocol state lives in the Run goroutine;
+// connection readers only forward events.
+type Coordinator struct {
+	opts CoordinatorOptions
+	spec Spec
+	ln   net.Listener
+
+	events chan event
+	done   chan struct{}
+	once   sync.Once
+
+	connMu sync.Mutex
+	conns  []net.Conn
+
+	// Run-goroutine state.
+	members      []*member
+	incs         []int
+	idle         []bool
+	pendingHello []event
+	restarts     int
+	lastRestart  int
+}
+
+// NewCoordinator starts listening and accepting members; Run drives the
+// protocol.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if opts.Spec.Nodes <= 0 {
+		return nil, errors.New("cluster: Spec.Nodes must be positive")
+	}
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	if opts.FenceDelay <= 0 {
+		opts.FenceDelay = DefaultFenceDelay
+	}
+	if opts.HandshakeTimeout <= 0 {
+		opts.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if opts.MaxRestarts <= 0 {
+		opts.MaxRestarts = DefaultMaxRestarts
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		opts:        opts,
+		spec:        opts.Spec,
+		ln:          ln,
+		events:      make(chan event, 256),
+		done:        make(chan struct{}),
+		members:     make([]*member, opts.Spec.Nodes),
+		incs:        make([]int, opts.Spec.Nodes),
+		idle:        make([]bool, opts.Spec.Nodes),
+		lastRestart: -1,
+	}
+	go c.accept()
+	return c, nil
+}
+
+// Addr returns the control-plane address members dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close tears the control plane down: the listener stops and every control
+// connection — including ones still mid-handshake — is closed, unblocking any
+// member waiting on the coordinator.
+func (c *Coordinator) Close() {
+	c.once.Do(func() { close(c.done) })
+	_ = c.ln.Close()
+	c.connMu.Lock()
+	conns := append([]net.Conn(nil), c.conns...)
+	c.connMu.Unlock()
+	for _, conn := range conns {
+		_ = conn.Close()
+	}
+}
+
+func (c *Coordinator) accept() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.connMu.Lock()
+		c.conns = append(c.conns, conn)
+		c.connMu.Unlock()
+		go c.reader(conn)
+	}
+}
+
+// reader forwards one connection's messages as events. It holds no protocol
+// state; staleness is judged in Run by session identity.
+func (c *Coordinator) reader(conn net.Conn) {
+	sess := newSession(conn)
+	for {
+		m, err := sess.read()
+		select {
+		case c.events <- event{sess: sess, m: m, err: err}:
+		case <-c.done:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+var (
+	errCoordinatorClosed = errors.New("cluster: coordinator closed")
+	errTimeout           = errors.New("cluster: control-plane timeout")
+)
+
+// recv returns the next event; timeout 0 waits forever, negative times out
+// immediately (an already-expired deadline).
+func (c *Coordinator) recv(timeout time.Duration) (event, error) {
+	if timeout < 0 {
+		select {
+		case ev := <-c.events:
+			return ev, nil
+		default:
+			return event{}, errTimeout
+		}
+	}
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case ev := <-c.events:
+		return ev, nil
+	case <-timer:
+		return event{}, errTimeout
+	case <-c.done:
+		return event{}, errCoordinatorClosed
+	}
+}
+
+// recvUntil is recv against an absolute deadline; an expired deadline drains
+// queued events before timing out rather than waiting forever.
+func (c *Coordinator) recvUntil(deadline time.Time) (event, error) {
+	d := time.Until(deadline)
+	if d <= 0 {
+		d = -1
+	}
+	return c.recv(d)
+}
+
+func (c *Coordinator) rankOf(s *session) (int, bool) {
+	for r, m := range c.members {
+		if m != nil && m.sess == s {
+			return r, true
+		}
+	}
+	return -1, false
+}
+
+// handleHello admits, rejects, or stashes a registration. Rejections answer
+// on the joiner's connection and close it; a Hello for a currently-dead rank
+// is stashed for the restart sequence to claim.
+func (c *Coordinator) handleHello(ev event) {
+	r := ev.m.Rank
+	reject := func(reason string) {
+		c.opts.Logf("coordinator: rejecting rank %d: %s", r, reason)
+		_ = ev.sess.send(&msg{Kind: kWelcome, Err: reason})
+		ev.sess.close()
+	}
+	switch {
+	case r < 0 || r >= c.spec.Nodes:
+		reject(fmt.Sprintf("rank %d outside deployment of %d nodes", r, c.spec.Nodes))
+	case ev.m.Inc >= 0 && ev.m.Inc != c.incs[r]:
+		// The incarnation fence: a stale identity (an old incarnation dialing
+		// back after its replacement) can never rejoin.
+		reject(fmt.Sprintf("incarnation fence: rank %d claims incarnation %d, cluster is at %d", r, ev.m.Inc, c.incs[r]))
+	case c.members[r] != nil && c.members[r].alive:
+		reject(fmt.Sprintf("duplicate registration for rank %d", r))
+	default:
+		c.pendingHello = append(c.pendingHello, ev)
+	}
+}
+
+// dispatch handles the event kinds every wait point must tolerate. It returns
+// the event back when the caller should examine it, or nil when consumed.
+func (c *Coordinator) dispatch(ev event) (*event, error) {
+	if ev.err != nil {
+		r, ok := c.rankOf(ev.sess)
+		if ok && c.members[r].alive {
+			// A live member's control connection died.
+			return &ev, nil
+		}
+		return nil, nil // stale connection of a replaced incarnation
+	}
+	switch ev.m.Kind {
+	case kHello:
+		c.handleHello(ev)
+		return nil, nil
+	case kIdle:
+		if r, ok := c.rankOf(ev.sess); ok && c.members[r].alive {
+			c.idle[r] = true
+		}
+		return nil, nil
+	}
+	return &ev, nil
+}
+
+// collect waits for one `want` message from every listed rank, tolerating the
+// interleaved steady-state traffic. A live member's connection death or a
+// message carrying Err fails the collection — during bootstrap and restart
+// sequences that is fatal for the run (nested failures are not survivable).
+func (c *Coordinator) collect(want kind, ranks []int) (map[int]*msg, error) {
+	pending := make(map[int]bool, len(ranks))
+	for _, r := range ranks {
+		pending[r] = true
+	}
+	out := make(map[int]*msg, len(ranks))
+	deadline := time.Now().Add(c.opts.HandshakeTimeout)
+	for len(pending) > 0 {
+		ev, err := c.recvUntil(deadline)
+		if err != nil {
+			return nil, fmt.Errorf("awaiting message kind %d: %w", want, err)
+		}
+		evp, err := c.dispatch(ev)
+		if err != nil {
+			return nil, err
+		}
+		if evp == nil {
+			continue
+		}
+		if evp.err != nil {
+			r, _ := c.rankOf(evp.sess)
+			if !pending[r] {
+				// Already delivered what this collection wanted (e.g. its
+				// result, after which a worker exits); note the departure and
+				// let any later step surface it.
+				c.members[r].alive = false
+				continue
+			}
+			return nil, fmt.Errorf("cluster: rank %d connection lost mid-sequence: %w", r, evp.err)
+		}
+		r, ok := c.rankOf(evp.sess)
+		if !ok || !c.members[r].alive {
+			continue
+		}
+		switch evp.m.Kind {
+		case kLinkDown:
+			// A report about the mesh being rebuilt; the unfreeze retries
+			// parked flushes, so mid-sequence reports are not actionable.
+			continue
+		case want:
+			if !pending[r] {
+				continue
+			}
+			if evp.m.Err != "" {
+				return nil, fmt.Errorf("cluster: rank %d failed: %s", r, evp.m.Err)
+			}
+			out[r] = evp.m
+			delete(pending, r)
+		default:
+			return nil, fmt.Errorf("cluster: rank %d sent kind %d while awaiting %d", r, evp.m.Kind, want)
+		}
+	}
+	return out, nil
+}
+
+// broadcast sends m to every listed rank.
+func (c *Coordinator) broadcast(ranks []int, m *msg) error {
+	for _, r := range ranks {
+		if err := c.members[r].sess.send(m); err != nil {
+			return fmt.Errorf("cluster: send to rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) liveRanks() []int {
+	var out []int
+	for r, m := range c.members {
+		if m != nil && m.alive {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (c *Coordinator) allIdle() bool {
+	for r := range c.idle {
+		if !c.idle[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run drives the cluster to completion: bootstrap, steady state with failure
+// arbitration, and result collection.
+func (c *Coordinator) Run() (*Result, error) {
+	if err := c.bootstrap(); err != nil {
+		return nil, err
+	}
+	for !c.allIdle() {
+		ev, err := c.recv(0)
+		if err != nil {
+			return nil, err
+		}
+		evp, err := c.dispatch(ev)
+		if err != nil {
+			return nil, err
+		}
+		if evp == nil {
+			continue
+		}
+		if evp.err != nil {
+			// Strong failure signal: the member's process is gone.
+			r, _ := c.rankOf(evp.sess)
+			if err := c.restart(r); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		switch evp.m.Kind {
+		case kLinkDown:
+			suspect, ok := c.vote(evp.m)
+			if !ok {
+				continue
+			}
+			if err := c.restart(suspect); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("cluster: unexpected steady-state message kind %d", evp.m.Kind)
+		}
+	}
+	return c.finish()
+}
+
+// bootstrap admits every rank, exchanges their registered halves, orders the
+// QP bring-up, and releases the run.
+func (c *Coordinator) bootstrap() error {
+	all := make([]int, c.spec.Nodes)
+	for i := range all {
+		all[i] = i
+	}
+	deadline := time.Now().Add(c.opts.HandshakeTimeout)
+	joined := 0
+	for joined < c.spec.Nodes {
+		ev, err := c.recvUntil(deadline)
+		if err != nil {
+			return fmt.Errorf("awaiting registrations (%d/%d joined): %w", joined, c.spec.Nodes, err)
+		}
+		if ev.err != nil {
+			if r, ok := c.rankOf(ev.sess); ok {
+				return fmt.Errorf("cluster: rank %d died during bootstrap: %w", r, ev.err)
+			}
+			continue
+		}
+		if ev.m.Kind != kHello {
+			return fmt.Errorf("cluster: expected hello, got kind %d", ev.m.Kind)
+		}
+		c.handleHello(ev)
+		// handleHello stashes admissible joins; claim them here.
+		for len(c.pendingHello) > 0 {
+			h := c.pendingHello[0]
+			c.pendingHello = c.pendingHello[1:]
+			r := h.m.Rank
+			c.members[r] = &member{sess: h.sess, alive: true}
+			joined++
+			c.opts.Logf("coordinator: rank %d joined (%d/%d)", r, joined, c.spec.Nodes)
+		}
+	}
+	// Welcome everyone only once registration closes: a welcomed member
+	// starts its MR exchange immediately, and those messages must not land
+	// while this loop still treats anything but a Hello as a protocol error.
+	for r := 0; r < c.spec.Nodes; r++ {
+		if err := c.members[r].sess.send(&msg{Kind: kWelcome, Spec: &c.spec, Incs: append([]int(nil), c.incs...)}); err != nil {
+			return fmt.Errorf("cluster: welcome rank %d: %w", r, err)
+		}
+	}
+	// MR exchange: gather every member's halves, hand each the full view.
+	halves, err := c.collect(kHalves, all)
+	if err != nil {
+		return fmt.Errorf("cluster: MR exchange: %w", err)
+	}
+	peers := make(map[int]Halves, c.spec.Nodes)
+	for r, m := range halves {
+		if m.Halves == nil {
+			return fmt.Errorf("cluster: rank %d published no halves", r)
+		}
+		peers[r] = *m.Halves
+	}
+	if err := c.broadcast(all, &msg{Kind: kWire, Peers: peers}); err != nil {
+		return err
+	}
+	if _, err := c.collect(kReady, all); err != nil {
+		return fmt.Errorf("cluster: QP bring-up: %w", err)
+	}
+	c.opts.Logf("coordinator: %d members wired, starting", c.spec.Nodes)
+	return c.broadcast(all, &msg{Kind: kStart})
+}
+
+// vote collects link-failure reports over FenceDelay and picks the suspect:
+// every report votes for its far endpoint (the reporter vouches for itself by
+// reporting), stale-incarnation reports are dropped, ties break away from the
+// most recently restarted node. A connection death mid-window short-circuits
+// to its rank. Returns ok=false when every report was stale.
+func (c *Coordinator) vote(first *msg) (int, bool) {
+	votes := make(map[int]int)
+	add := func(r int, m *msg) {
+		if m.Src < 0 || m.Src >= c.spec.Nodes || m.Dst < 0 || m.Dst >= c.spec.Nodes {
+			return
+		}
+		if m.SrcInc != c.incs[m.Src] || m.DstInc != c.incs[m.Dst] {
+			return // stale: a completed restart already replaced this link
+		}
+		far := m.Src
+		if far == r {
+			far = m.Dst
+		}
+		votes[far]++
+	}
+	if r, ok := c.reporterOf(first); ok {
+		add(r, first)
+	}
+	deadline := time.Now().Add(c.opts.FenceDelay)
+	for {
+		ev, err := c.recvUntil(deadline)
+		if err != nil {
+			break // window elapsed (or closed; the caller will notice)
+		}
+		if ev.err != nil {
+			if r, ok := c.rankOf(ev.sess); ok && c.members[r].alive {
+				return r, true // process death outranks any vote
+			}
+			continue
+		}
+		switch ev.m.Kind {
+		case kLinkDown:
+			if r, ok := c.rankOf(ev.sess); ok && c.members[r].alive {
+				add(r, ev.m)
+			}
+		case kHello:
+			c.handleHello(ev)
+		case kIdle:
+			if r, ok := c.rankOf(ev.sess); ok && c.members[r].alive {
+				c.idle[r] = true
+			}
+		}
+	}
+	best, bestVotes := -1, 0
+	for r, v := range votes {
+		switch {
+		case v > bestVotes:
+			best, bestVotes = r, v
+		case v == bestVotes && best == c.lastRestart:
+			best = r // tie-break away from the node we just restarted
+		}
+	}
+	return best, best >= 0
+}
+
+// reporterOf resolves which live rank a link-down message came from. The
+// steady loop already resolved it once; this re-resolution keeps vote()
+// self-contained.
+func (c *Coordinator) reporterOf(m *msg) (int, bool) {
+	if m.Rank >= 0 && m.Rank < c.spec.Nodes && c.members[m.Rank] != nil && c.members[m.Rank].alive {
+		return m.Rank, true
+	}
+	return -1, false
+}
+
+// restart drives the 13-step fence → restore → replay → rejoin sequence for
+// suspect x. Any step failing fails the run: a second fault mid-restart is
+// beyond the protocol.
+func (c *Coordinator) restart(x int) error {
+	if c.restarts >= c.opts.MaxRestarts {
+		return fmt.Errorf("cluster: restart budget exhausted (%d)", c.opts.MaxRestarts)
+	}
+	c.restarts++
+	c.opts.Logf("coordinator: restarting rank %d (restart %d)", x, c.restarts)
+
+	// 1. Retire the suspect. A live false positive is force-closed — the
+	// fence makes its incarnation unable to do further harm either way.
+	if m := c.members[x]; m != nil {
+		m.alive = false
+		m.sess.close()
+	}
+	newInc := c.incs[x] + 1
+	c.incs[x] = newInc
+	survivors := c.liveRanks()
+	if len(survivors) == 0 {
+		return errors.New("cluster: no survivors to restart from")
+	}
+
+	// 2. Freeze the survivors' sources so no flush targets the mesh mid-
+	// rebuild.
+	if err := c.broadcast(survivors, &msg{Kind: kFreeze, On: true}); err != nil {
+		return err
+	}
+	if _, err := c.collect(kAck, survivors); err != nil {
+		return fmt.Errorf("cluster: freeze: %w", err)
+	}
+
+	// 3. Fence: survivors sever their links to x, adopt its new incarnation,
+	// and report their committed-epoch horizons.
+	if err := c.broadcast(survivors, &msg{Kind: kFence, Node: x, Inc: newInc}); err != nil {
+		return err
+	}
+	fenceAcks, err := c.collect(kFenceAck, survivors)
+	if err != nil {
+		return fmt.Errorf("cluster: fence: %w", err)
+	}
+	var committed []uint64
+	for _, ack := range fenceAcks {
+		if committed == nil {
+			committed = append([]uint64(nil), ack.Committed...)
+			continue
+		}
+		for i, v := range ack.Committed {
+			if i < len(committed) && v < committed[i] {
+				committed[i] = v
+			}
+		}
+	}
+
+	// 4. Await the respawn's registration (it may already be stashed).
+	hello, err := c.awaitHello(x)
+	if err != nil {
+		return err
+	}
+	c.members[x] = &member{sess: hello.sess, alive: true}
+	if err := hello.sess.send(&msg{Kind: kWelcome, Spec: &c.spec, Incs: append([]int(nil), c.incs...), Restore: true}); err != nil {
+		return fmt.Errorf("cluster: welcome respawned rank %d: %w", x, err)
+	}
+
+	// 5. MR re-exchange, scoped to x's links: x registers a full set, each
+	// survivor re-registers fresh regions for the two links shared with x.
+	xHalvesMsg, err := c.collect(kHalves, []int{x})
+	if err != nil {
+		return fmt.Errorf("cluster: respawn MR exchange: %w", err)
+	}
+	xHalves := xHalvesMsg[x].Halves
+	if err := c.broadcast(survivors, &msg{Kind: kRelink, Node: x}); err != nil {
+		return err
+	}
+	relinkAcks, err := c.collect(kRelinkAck, survivors)
+	if err != nil {
+		return fmt.Errorf("cluster: relink: %w", err)
+	}
+	peersForX := make(map[int]Halves, len(survivors))
+	for r, ack := range relinkAcks {
+		peersForX[r] = *ack.Halves
+	}
+
+	// 6. QP bring-up, both directions. x applies its wire before reading the
+	// restore order (same connection, in order); survivors ack theirs.
+	if err := c.members[x].sess.send(&msg{Kind: kWire, Peers: peersForX}); err != nil {
+		return err
+	}
+	if err := c.broadcast(survivors, &msg{Kind: kWire, Peers: map[int]Halves{x: *xHalves}}); err != nil {
+		return err
+	}
+	if _, err := c.collect(kAck, survivors); err != nil {
+		return fmt.Errorf("cluster: rewire: %w", err)
+	}
+
+	// 7. Survivors adopt the rebuilt links into their meshes.
+	if err := c.broadcast(survivors, &msg{Kind: kAdopt, Node: x}); err != nil {
+		return err
+	}
+	if _, err := c.collect(kAck, survivors); err != nil {
+		return fmt.Errorf("cluster: adopt: %w", err)
+	}
+
+	// 8. x restores from its journal at the cluster-wide commit horizon.
+	if err := c.members[x].sess.send(&msg{Kind: kRestore, Committed: committed}); err != nil {
+		return err
+	}
+	restoreAck, err := c.collect(kRestoreAck, []int{x})
+	if err != nil {
+		return fmt.Errorf("cluster: restore: %w", err)
+	}
+	restored := restoreAck[x].Restored
+
+	// 9. Survivors re-deliver retained ring entries above x's horizon.
+	if err := c.broadcast(survivors, &msg{Kind: kReplay, Node: x, Restored: restored}); err != nil {
+		return err
+	}
+	replayAcks, err := c.collect(kReplayAck, survivors)
+	if err != nil {
+		return fmt.Errorf("cluster: replay: %w", err)
+	}
+	replayed := 0
+	for _, ack := range replayAcks {
+		replayed += ack.Chunks
+	}
+
+	// 10. Release everyone and reset the idle bookkeeping — members that
+	// reported idle before the fault re-report against the rebuilt mesh.
+	live := c.liveRanks()
+	if err := c.broadcast(live, &msg{Kind: kFreeze, On: false}); err != nil {
+		return err
+	}
+	for r := range c.idle {
+		c.idle[r] = false
+	}
+	c.lastRestart = x
+	c.opts.Logf("coordinator: rank %d restored (replayed %d chunks)", x, replayed)
+	return nil
+}
+
+// awaitHello returns the admissible registration for rank x, consulting the
+// stash first (a fast respawn can dial back in before the restart sequence
+// reaches this step).
+func (c *Coordinator) awaitHello(x int) (*event, error) {
+	for i, h := range c.pendingHello {
+		if h.m.Rank == x {
+			c.pendingHello = append(c.pendingHello[:i], c.pendingHello[i+1:]...)
+			if h.m.Inc >= 0 && h.m.Inc != c.incs[x] {
+				_ = h.sess.send(&msg{Kind: kWelcome, Err: fmt.Sprintf("incarnation fence: rank %d claims incarnation %d, cluster is at %d", x, h.m.Inc, c.incs[x])})
+				h.sess.close()
+				continue
+			}
+			return &h, nil
+		}
+	}
+	deadline := time.Now().Add(c.opts.HandshakeTimeout)
+	for {
+		ev, err := c.recvUntil(deadline)
+		if err != nil {
+			return nil, fmt.Errorf("awaiting respawn of rank %d: %w", x, err)
+		}
+		evp, err := c.dispatch(ev)
+		if err != nil {
+			return nil, err
+		}
+		if evp == nil {
+			// dispatch stashes admissible hellos; check for ours.
+			for i, h := range c.pendingHello {
+				if h.m.Rank == x {
+					c.pendingHello = append(c.pendingHello[:i], c.pendingHello[i+1:]...)
+					return &h, nil
+				}
+			}
+			continue
+		}
+		if evp.err != nil {
+			r, _ := c.rankOf(evp.sess)
+			return nil, fmt.Errorf("cluster: rank %d connection lost mid-restart: %w", r, evp.err)
+		}
+		if evp.m.Kind == kLinkDown {
+			continue // reports about the link being rebuilt
+		}
+		return nil, fmt.Errorf("cluster: unexpected kind %d while awaiting respawn", evp.m.Kind)
+	}
+}
+
+// finish tears the run down and merges the members' results.
+func (c *Coordinator) finish() (*Result, error) {
+	live := c.liveRanks()
+	if err := c.broadcast(live, &msg{Kind: kFinish}); err != nil {
+		return nil, err
+	}
+	results, err := c.collect(kResult, live)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: collecting results: %w", err)
+	}
+	res := &Result{Reports: make([]MemberReport, c.spec.Nodes), Restarts: c.restarts}
+	for r, m := range results {
+		res.Rows = append(res.Rows, m.Rows...)
+		if m.Report != nil {
+			res.Reports[r] = *m.Report
+		}
+	}
+	sort.Slice(res.Rows, func(i, j int) bool {
+		a, b := res.Rows[i], res.Rows[j]
+		if a.Join != b.Join {
+			return !a.Join // aggregates before joins, matching the oracle dump
+		}
+		if a.Win != b.Win {
+			return a.Win < b.Win
+		}
+		return a.Key < b.Key
+	})
+	c.opts.Logf("coordinator: run complete (%d rows, %d restarts)", len(res.Rows), c.restarts)
+	return res, nil
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/slash-stream/slash/internal/channel"
+	"github.com/slash-stream/slash/internal/netfab"
+)
+
+// fabric is one member's share of the cross-process channel mesh. For every
+// directed link the member terminates it owns exactly the halves a real RDMA
+// connection manager would hand out:
+//
+//	link m -> rank (inbound):  the ring region (on this host, written by m's
+//	                           producer) and a QP dialed to m carrying the
+//	                           credit writes back.
+//	link rank -> m (outbound): the credit region (on this host, written by
+//	                           m's consumer) and a QP dialed to m carrying
+//	                           the chunk writes.
+//
+// Region rkeys travel in Halves during bootstrap; wire() dials the QPs and
+// assembles the channel endpoints core's Placement.Link then looks up.
+type fabric struct {
+	rank int
+	cfg  channel.Config
+	host *netfab.Host
+
+	mu    sync.Mutex
+	rings map[int]*netfab.Region // src -> ring region of link src->rank
+	creds map[int]*netfab.Region // dst -> credit region of link rank->dst
+	sends map[int]channel.SendPort
+	recvs map[int]channel.RecvPort
+	qps   map[int][]*netfab.QP
+}
+
+// newFabric listens and registers the member's regions for every peer — the
+// MR-registration step, done before any address leaves the process.
+func newFabric(rank, nodes int, cfg channel.Config) (*fabric, error) {
+	host, err := netfab.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	f := &fabric{
+		rank:  rank,
+		cfg:   cfg,
+		host:  host,
+		rings: make(map[int]*netfab.Region),
+		creds: make(map[int]*netfab.Region),
+		sends: make(map[int]channel.SendPort),
+		recvs: make(map[int]channel.RecvPort),
+		qps:   make(map[int][]*netfab.QP),
+	}
+	for m := 0; m < nodes; m++ {
+		if m == rank {
+			continue
+		}
+		if err := f.register(m); err != nil {
+			_ = host.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// register allocates fresh regions for the two links shared with peer m.
+// Callers hold f.mu (or are the constructor).
+func (f *fabric) register(m int) error {
+	ring, err := f.host.Register(f.cfg.Credits * f.cfg.SlotSize)
+	if err != nil {
+		return err
+	}
+	cred, err := f.host.Register(8)
+	if err != nil {
+		return err
+	}
+	f.rings[m], f.creds[m] = ring, cred
+	return nil
+}
+
+// halves publishes every registered region's rkey.
+func (f *fabric) halves() *Halves {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := &Halves{Addr: f.host.Addr(), RingRKeys: map[int]uint32{}, CreditRKeys: map[int]uint32{}}
+	for m, r := range f.rings {
+		h.RingRKeys[m] = r.RKey()
+	}
+	for m, c := range f.creds {
+		h.CreditRKeys[m] = c.RKey()
+	}
+	return h
+}
+
+// relink re-registers fresh regions for the links shared with a restarting
+// peer and returns their halves. Fresh regions (not reset ones) guarantee
+// the rebuilt channel starts from clean credit and ring state — the old
+// regions die with their rkeys unreferenced.
+func (f *fabric) relink(m int) (*Halves, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m == f.rank {
+		return nil, fmt.Errorf("cluster: relink of own rank %d", m)
+	}
+	if err := f.register(m); err != nil {
+		return nil, err
+	}
+	return &Halves{
+		Addr:        f.host.Addr(),
+		RingRKeys:   map[int]uint32{m: f.rings[m].RKey()},
+		CreditRKeys: map[int]uint32{m: f.creds[m].RKey()},
+	}, nil
+}
+
+// wire dials QPs to every listed peer and builds the channel endpoints —
+// the QP bring-up step. Re-wiring a peer (restart) first closes the old QPs;
+// the replaced ports were already closed by the engine's fence.
+func (f *fabric) wire(peers map[int]Halves) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for m, h := range peers {
+		if m == f.rank {
+			continue
+		}
+		for _, q := range f.qps[m] {
+			q.Close()
+		}
+		f.qps[m] = nil
+		ringRK, ok := h.RingRKeys[f.rank]
+		if !ok {
+			return fmt.Errorf("cluster: peer %d published no ring rkey for node %d", m, f.rank)
+		}
+		credRK, ok := h.CreditRKeys[f.rank]
+		if !ok {
+			return fmt.Errorf("cluster: peer %d published no credit rkey for node %d", m, f.rank)
+		}
+		qpProd, err := netfab.Dial(h.Addr, fmt.Sprintf("node%d->node%d", f.rank, m))
+		if err != nil {
+			return fmt.Errorf("cluster: dial peer %d: %w", m, err)
+		}
+		prod, err := channel.NewProducer(f.cfg, qpProd, qpProd.CQ(),
+			netfab.NewLocalBuffer(f.cfg.Credits*f.cfg.SlotSize), f.creds[m], ringRK)
+		if err != nil {
+			qpProd.Close()
+			return err
+		}
+		qpCons, err := netfab.Dial(h.Addr, fmt.Sprintf("node%d<-node%d", f.rank, m))
+		if err != nil {
+			prod.Close()
+			qpProd.Close()
+			return fmt.Errorf("cluster: dial peer %d: %w", m, err)
+		}
+		cons, err := channel.NewConsumer(f.cfg, qpCons, qpCons.CQ(), f.rings[m], credRK)
+		if err != nil {
+			prod.Close()
+			qpProd.Close()
+			qpCons.Close()
+			return err
+		}
+		f.sends[m], f.recvs[m] = prod, cons
+		f.qps[m] = []*netfab.QP{qpProd, qpCons}
+	}
+	return nil
+}
+
+// link implements core Placement.Link: a lookup of the locally-held halves
+// of the directed link src->dst. The send half exists when this member owns
+// src, the recv half when it owns dst; the peer holds the other.
+func (f *fabric) link(src, dst int) (channel.SendPort, channel.RecvPort, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case src == f.rank && dst == f.rank:
+		return nil, nil, fmt.Errorf("cluster: self link %d->%d", src, dst)
+	case src == f.rank:
+		s := f.sends[dst]
+		if s == nil {
+			return nil, nil, fmt.Errorf("cluster: link %d->%d is not wired", src, dst)
+		}
+		return s, nil, nil
+	case dst == f.rank:
+		r := f.recvs[src]
+		if r == nil {
+			return nil, nil, fmt.Errorf("cluster: link %d->%d is not wired", src, dst)
+		}
+		return nil, r, nil
+	default:
+		return nil, nil, fmt.Errorf("cluster: link %d->%d has no endpoint on rank %d", src, dst, f.rank)
+	}
+}
+
+// close tears the member's transport down: the host stops serving its
+// regions and every dialed QP drops.
+func (f *fabric) close() {
+	f.mu.Lock()
+	qps := f.qps
+	f.qps = map[int][]*netfab.QP{}
+	f.mu.Unlock()
+	_ = f.host.Close()
+	for _, qs := range qps {
+		for _, q := range qs {
+			q.Close()
+		}
+	}
+}

@@ -38,6 +38,11 @@ var (
 	// ErrNotRunning rejects reconfiguring a deployment that has not started
 	// or has already been waited on.
 	ErrNotRunning = errors.New("core: deployment is not running")
+	// ErrPlacementMembership rejects AddNodes/RemoveNodes on a placement
+	// (multi-process) member: each process owns a fixed slice of the
+	// deployment, and membership changes run through the external control
+	// plane's Cluster* sequence instead (see internal/cluster).
+	ErrPlacementMembership = errors.New("core: placement member has a fixed membership")
 )
 
 // AutoCutover, passed as the cutover window of AddNodes or RemoveNodes,
@@ -251,9 +256,35 @@ func NewController(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Controller
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for i := 0; i < cfg.Nodes; i++ {
-		if err := c.buildNode(i, flows[i]); err != nil {
-			return nil, err
+	if pl := cfg.Placement; pl != nil {
+		// Placement mode: remote nodes' mesh halves came up the moment the
+		// external bootstrap exchanged endpoints, so they are live from
+		// birth; only owned nodes get local backends and tasks. A respawned
+		// process (Restore) leaves its owned nodes unbuilt until the
+		// coordinator drives ClusterRestore with the cluster's committed
+		// horizon.
+		for i := 0; i < cfg.Nodes; i++ {
+			if !pl.Owned(i) {
+				c.live = append(c.live, i)
+			}
+		}
+		for i := 0; i < cfg.Nodes; i++ {
+			if !pl.Owned(i) {
+				continue
+			}
+			c.flows[i] = flows[i]
+			if pl.Restore {
+				continue
+			}
+			if err := c.buildNode(i, flows[i]); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i := 0; i < cfg.Nodes; i++ {
+			if err := c.buildNode(i, flows[i]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	c.used = cfg.Nodes
@@ -261,6 +292,9 @@ func NewController(cfg Config, q *Query, flows [][]Flow, sink Sink) (*Controller
 	// the first record flows (§5.1 property P1: an unactivated live node
 	// could let a window trigger without its data).
 	for _, be := range c.backends[:cfg.Nodes] {
+		if be == nil {
+			continue // placement mode: remote or not-yet-restored node
+		}
 		for _, n := range c.live {
 			be.ActivateNode(n)
 		}
@@ -321,25 +355,55 @@ func (c *Controller) buildMesh(id int) (*ssb.Backend, []inbound, error) {
 	}
 	c.nics[id] = nic
 	var myIn []inbound
-	for _, m := range c.live {
-		p, cons, err := c.transport.Link(id, m)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: channel %d->%d: %w", id, m, err)
+	if pl := c.cfg.Placement; pl != nil {
+		// Placement mode: the external control plane already brought the
+		// cross-process endpoints up; Link is a lookup of the locally-held
+		// halves. A nil recv half means the peer owns the consumer side; a
+		// nil send half means the peer owns the producer side.
+		for _, m := range c.live {
+			s, r, err := pl.Link(id, m)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: channel %d->%d: %w", id, m, err)
+			}
+			c.producers[id][m] = s
+			c.senders[id][m] = c.newSender(id, m, s)
+			if r != nil { // m is owned by this process too: both halves local
+				c.consumers[m] = append(c.consumers[m], consEntry{src: id, cons: r})
+				c.merges[m].AddInbound(inbound{src: id, inc: c.nodeInc[id], cons: r})
+			}
+			s2, r2, err := pl.Link(m, id)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: channel %d->%d: %w", m, id, err)
+			}
+			c.consumers[id] = append(c.consumers[id], consEntry{src: m, cons: r2})
+			myIn = append(myIn, inbound{src: m, inc: c.nodeInc[m], cons: r2})
+			if s2 != nil {
+				c.producers[m][id] = s2
+				c.senders[m][id] = c.newSender(m, id, s2)
+				c.backends[m].SetSender(id, c.senders[m][id])
+			}
 		}
-		c.producers[id][m] = p
-		c.senders[id][m] = c.newSender(id, m, p)
-		c.consumers[m] = append(c.consumers[m], consEntry{src: id, cons: cons})
-		c.merges[m].AddInbound(inbound{src: id, inc: c.nodeInc[id], cons: cons})
+	} else {
+		for _, m := range c.live {
+			p, cons, err := c.transport.Link(id, m)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: channel %d->%d: %w", id, m, err)
+			}
+			c.producers[id][m] = p
+			c.senders[id][m] = c.newSender(id, m, p)
+			c.consumers[m] = append(c.consumers[m], consEntry{src: id, cons: cons})
+			c.merges[m].AddInbound(inbound{src: id, inc: c.nodeInc[id], cons: cons})
 
-		p2, cons2, err := c.transport.Link(m, id)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: channel %d->%d: %w", m, id, err)
+			p2, cons2, err := c.transport.Link(m, id)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: channel %d->%d: %w", m, id, err)
+			}
+			c.producers[m][id] = p2
+			c.senders[m][id] = c.newSender(m, id, p2)
+			c.consumers[id] = append(c.consumers[id], consEntry{src: m, cons: cons2})
+			myIn = append(myIn, inbound{src: m, inc: c.nodeInc[m], cons: cons2})
+			c.backends[m].SetSender(id, c.senders[m][id])
 		}
-		c.producers[m][id] = p2
-		c.senders[m][id] = c.newSender(m, id, p2)
-		c.consumers[id] = append(c.consumers[id], consEntry{src: m, cons: cons2})
-		myIn = append(myIn, inbound{src: m, inc: c.nodeInc[m], cons: cons2})
-		c.backends[m].SetSender(id, c.senders[m][id])
 	}
 
 	sbs := make([]ssb.Sender, c.cfg.MaxNodes)
@@ -393,6 +457,15 @@ func (c *Controller) buildMesh(id int) (*ssb.Backend, []inbound, error) {
 func (c *Controller) activateNode(id int, be *ssb.Backend) {
 	be.ActivateNode(id)
 	for _, m := range c.live {
+		if c.sources[m] == nil {
+			// Placement mode: a remote node's thread states are not visible
+			// here; activate them all. Finished threads are re-retired by
+			// the FIN heartbeats the mesh (or ring replay) delivers.
+			for th := 0; th < c.cfg.ThreadsPerNode; th++ {
+				be.Clock().Activate(m*c.cfg.ThreadsPerNode + th)
+			}
+			continue
+		}
 		for th := 0; th < c.cfg.ThreadsPerNode; th++ {
 			if !c.sources[m][th].done.Load() {
 				be.Clock().Activate(m*c.cfg.ThreadsPerNode + th)
@@ -472,6 +545,10 @@ func (c *Controller) makeTasks(id int, be *ssb.Backend, myIn []inbound, nodeFlow
 		mt.selfInc = c.nodeInc[id]
 		mt.ckptEvery = c.cfg.Recovery.CheckpointCommits
 		mt.onCkpt = c.onCheckpoint
+		if c.cfg.Recovery.DurableEmits {
+			c.journals[id].durable = true
+			mt.jrn = c.journals[id]
+		}
 	}
 	// Stagger each node's initial rotation so the cluster's merge tasks do
 	// not all start their round-robin on the same peer.
@@ -530,6 +607,22 @@ func (c *Controller) NewStateClient(name string) (*stateq.Client, error) {
 // mesh down, and reports execution statistics.
 func (c *Controller) Wait() (*Report, error) {
 	c.pool.Wait()
+	return c.Teardown()
+}
+
+// WaitIdle blocks until the local task pool drained without tearing the mesh
+// down. Placement members call it between phases: a survivor's pool goes idle
+// when its owned nodes finished, but its consumers must stay pollable until
+// the whole cluster finished (or a restart re-arms it with replay work).
+func (c *Controller) WaitIdle() error {
+	c.pool.Wait()
+	return c.run.err()
+}
+
+// Teardown closes the mesh and assembles the final Report. Wait = pool.Wait +
+// Teardown; placement members interleave WaitIdle/re-arm cycles before the
+// coordinator's finish message finally drives Teardown.
+func (c *Controller) Teardown() (*Report, error) {
 	if c.mgr != nil {
 		// The failure manager re-adds workers mid-restart, so the pool can go
 		// busy again after a Wait returns. Retire the manager (it finishes any
@@ -776,6 +869,10 @@ func (c *Controller) AddNodes(flowGroups [][]Flow, cutover uint64) ([]int, error
 		c.mu.Unlock()
 		return nil, ErrNotRunning
 	}
+	if c.cfg.Placement != nil {
+		c.mu.Unlock()
+		return nil, ErrPlacementMembership
+	}
 	k := len(flowGroups)
 	if k == 0 {
 		c.mu.Unlock()
@@ -874,6 +971,10 @@ func (c *Controller) RemoveNodes(ids []int, cutover uint64) error {
 	if !c.started {
 		c.mu.Unlock()
 		return ErrNotRunning
+	}
+	if c.cfg.Placement != nil {
+		c.mu.Unlock()
+		return ErrPlacementMembership
 	}
 	if len(ids) == 0 {
 		c.mu.Unlock()

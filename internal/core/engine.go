@@ -76,6 +76,43 @@ type Config struct {
 	// internal/stateq and docs/STATE_PROTOCOL.md). Nil keeps the merge path
 	// free of publication work.
 	State *stateq.Options
+	// Placement, when non-nil, runs this controller as ONE member of a
+	// multi-process deployment: it builds only the nodes Placement.Owned
+	// claims, wires every owned<->remote link through Placement.Link (ports
+	// pre-built by an external bootstrap, e.g. internal/cluster over the
+	// netfab transport), and forwards link-failure reports to
+	// Placement.OnLinkDown instead of restarting nodes itself. Config.Nodes
+	// stays the CLUSTER-wide node count; membership changes go through the
+	// Cluster* methods, driven by the external control plane, and
+	// AddNodes/RemoveNodes are rejected.
+	Placement *Placement
+}
+
+// Placement is a controller's view of a multi-process deployment (see
+// Config.Placement). The zero-config in-process engine is the special case
+// Placement == nil: every node is owned and links come from the local
+// transport.
+type Placement struct {
+	// Owned reports whether this process hosts node id. Exactly one process
+	// of the deployment must own each node.
+	Owned func(id int) bool
+	// Link returns the locally-available halves of the directed channel
+	// src -> dst: the send half when src is owned, the receive half when dst
+	// is owned (the other return is nil — it lives in the peer's process).
+	// Ports are pre-built by the cluster bootstrap, so this is a lookup, not
+	// a bring-up; after a peer restart the bootstrap re-exchanges endpoints
+	// and Link returns the rebuilt ports.
+	Link func(src, dst int) (channel.SendPort, channel.RecvPort, error)
+	// OnLinkDown, when non-nil, receives link-failure reports the local
+	// failure manager would otherwise vote on: in a multi-process deployment
+	// only the external coordinator sees every process's reports, so the
+	// vote moves there. The incarnation stamps let it discard reports about
+	// links a completed restart already replaced.
+	OnLinkDown func(src, dst, srcInc, dstInc int, err error)
+	// Restore leaves the owned nodes unbuilt at NewController: a respawned
+	// process restores them from the journal via ClusterRestore once the
+	// coordinator hands it the cluster's committed-epoch horizon.
+	Restore bool
 }
 
 // RecoveryOptions configures the checkpoint/recovery plane.
@@ -105,6 +142,14 @@ type RecoveryOptions struct {
 	// own. When false, link failures still route to the manager but fail the
 	// run (operators can only restart via RestartNode before that).
 	AutoRestart bool
+	// DurableEmits journals the result rows of every window trigger
+	// (recovery.KindEmit, written immediately before the window's trigger
+	// mark) and re-emits them into the sink during journal replay. The
+	// in-process engine does not need this — a restarted node's past emits
+	// already reached the shared sink — but in a multi-process deployment
+	// the sink dies with its process, so a respawned member must replay its
+	// own output. Placement mode (internal/cluster) turns this on.
+	DurableEmits bool
 }
 
 func (o *RecoveryOptions) fill() error {
@@ -169,7 +214,30 @@ func (c *Config) fill() error {
 			return err
 		}
 	}
+	if c.Placement != nil {
+		if c.Placement.Owned == nil || c.Placement.Link == nil {
+			return errors.New("core: Placement needs Owned and Link")
+		}
+		if c.Trunk != nil {
+			return errors.New("core: Placement does not support the trunk transport")
+		}
+		if c.MaxNodes != c.Nodes {
+			return errors.New("core: Placement deployments have a fixed membership (MaxNodes == Nodes)")
+		}
+	}
 	return nil
+}
+
+// ChannelSlotSize returns the channel slot size the engine derives for a
+// chunk-size configuration (Config.fill's geometry: chunk + SSB header +
+// channel footer). The cluster bootstrap sizes its netfab ring regions with
+// this before NewController runs, so both sides of a cross-process link agree
+// byte for byte with the in-process mesh.
+func ChannelSlotSize(chunkSize int) int {
+	if chunkSize == 0 {
+		chunkSize = ssb.DefaultChunkSize
+	}
+	return chunkSize + ssb.ChunkHeaderSize + channel.FooterSize
 }
 
 // Errors surfaced by the recovery plane.

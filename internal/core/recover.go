@@ -58,16 +58,51 @@ type Recovery struct {
 type nodeJournal struct {
 	store recovery.Store
 	node  int
+	// durable turns on durable emits: sink rows buffered per window are
+	// journaled as a KindEmit record immediately ahead of the window's
+	// trigger mark, and replay re-emits them. Only placement (multi-process)
+	// deployments set it — there the sink dies with the process, so replay
+	// must re-produce the lost rows; in-process restarts share one sink and
+	// re-emitting would double-count.
+	durable bool
 
-	mu  sync.Mutex
-	seq uint64
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64][]emitRec // window -> buffered sink rows (durable only)
 }
 
 func (j *nodeJournal) append(k recovery.Kind, gen uint64, clock []int64, payload []byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.appendLocked(k, gen, clock, payload)
+}
+
+func (j *nodeJournal) appendLocked(k recovery.Kind, gen uint64, clock []int64, payload []byte) error {
 	j.seq++
 	return j.store.Append(j.node, &recovery.Record{Kind: k, Seq: j.seq, Gen: gen, Clock: clock, Payload: payload})
+}
+
+// setSeq raises the journal's sequence counter to n. Replay calls it so a
+// restored incarnation keeps appending with a continuous sequence.
+func (j *nodeJournal) setSeq(n uint64) {
+	j.mu.Lock()
+	if n > j.seq {
+		j.seq = n
+	}
+	j.mu.Unlock()
+}
+
+// bufferEmit stages one sink row of win until the window's trigger mark is
+// journaled. Rows are buffered, not appended eagerly, so the journal carries
+// exactly one KindEmit record per fired window, written atomically ahead of
+// its trigger mark.
+func (j *nodeJournal) bufferEmit(win uint64, r emitRec) {
+	j.mu.Lock()
+	if j.pending == nil {
+		j.pending = map[uint64][]emitRec{}
+	}
+	j.pending[win] = append(j.pending[win], r)
+	j.mu.Unlock()
 }
 
 // Checkpoint implements ssb.Journal.
@@ -75,9 +110,23 @@ func (j *nodeJournal) Checkpoint(gen uint64, clock []int64, payload []byte) erro
 	return j.append(recovery.KindCheckpoint, gen, clock, payload)
 }
 
-// Trigger implements ssb.Journal.
+// Trigger implements ssb.Journal. With durable emits armed, the window's
+// buffered sink rows are journaled first: a replayed KindTrigger then knows
+// its rows are on record. A crash after the sink emitted but before this
+// append leaves no trigger mark, so the window re-fires (and re-emits) on
+// restore — lossless either way, deduplicated by the KindEmit overwrite.
 func (j *nodeJournal) Trigger(gen uint64, win uint64) error {
-	return j.append(recovery.KindTrigger, gen, nil, ssb.EncodeTriggerPayload(win))
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.durable {
+		if rows := j.pending[win]; len(rows) > 0 {
+			delete(j.pending, win)
+			if err := j.appendLocked(recovery.KindEmit, gen, nil, encodeEmits(win, rows)); err != nil {
+				return err
+			}
+		}
+	}
+	return j.appendLocked(recovery.KindTrigger, gen, nil, ssb.EncodeTriggerPayload(win))
 }
 
 // source appends a source-progress mark. Written AHEAD of the flush it
@@ -137,6 +186,56 @@ func decodeSourceMark(p []byte) (sourceMark, error) {
 		Inc:      p[36],
 		Done:     p[37] != 0,
 	}, nil
+}
+
+// emitRec is one journaled sink row: an aggregate value (tag 0, a=value) or a
+// join cardinality pair (tag 1, a=left, b=right). The window id lives in the
+// enclosing KindEmit record, one per fired window.
+type emitRec struct {
+	tag  uint8
+	key  uint64
+	a, b int64
+}
+
+const emitRecSize = 25
+
+// encodeEmits serializes a window's sink rows: win u64 | count u32 | rows.
+func encodeEmits(win uint64, rows []emitRec) []byte {
+	b := make([]byte, 12+len(rows)*emitRecSize)
+	binary.LittleEndian.PutUint64(b[0:], win)
+	binary.LittleEndian.PutUint32(b[8:], uint32(len(rows)))
+	off := 12
+	for _, r := range rows {
+		b[off] = r.tag
+		binary.LittleEndian.PutUint64(b[off+1:], r.key)
+		binary.LittleEndian.PutUint64(b[off+9:], uint64(r.a))
+		binary.LittleEndian.PutUint64(b[off+17:], uint64(r.b))
+		off += emitRecSize
+	}
+	return b
+}
+
+func decodeEmits(p []byte) (uint64, []emitRec, error) {
+	if len(p) < 12 {
+		return 0, nil, fmt.Errorf("core: emit record of %d bytes, want >= 12", len(p))
+	}
+	win := binary.LittleEndian.Uint64(p[0:])
+	n := int(binary.LittleEndian.Uint32(p[8:]))
+	if len(p) != 12+n*emitRecSize {
+		return 0, nil, fmt.Errorf("core: emit record of %d bytes, want %d rows", len(p), n)
+	}
+	rows := make([]emitRec, n)
+	off := 12
+	for i := range rows {
+		rows[i] = emitRec{
+			tag: p[off],
+			key: binary.LittleEndian.Uint64(p[off+1:]),
+			a:   int64(binary.LittleEndian.Uint64(p[off+9:])),
+			b:   int64(binary.LittleEndian.Uint64(p[off+17:])),
+		}
+		off += emitRecSize
+	}
+	return win, rows, nil
 }
 
 // ringEntry is one retained post: the encoded chunk bytes plus the sender
@@ -318,12 +417,24 @@ func (m *recoveryMgr) shutdown() {
 
 func (m *recoveryMgr) run() {
 	defer close(m.doneCh)
+	// Placement mode: the vote moves to the external coordinator, which sees
+	// every process's reports. Forward each non-stale observation (the
+	// incarnation filter still discards reports about replaced links) and
+	// never fence locally — the coordinator drives the Cluster* sequence.
+	var forward func(src, dst, srcInc, dstInc int, err error)
+	if pl := m.c.cfg.Placement; pl != nil {
+		forward = pl.OnLinkDown
+	}
 	for {
 		select {
 		case <-m.stopCh:
 			return
 		case r := <-m.reports:
 			if m.stale(r) {
+				continue
+			}
+			if forward != nil {
+				forward(r.src, r.dst, r.srcInc, r.dstInc, r.err)
 				continue
 			}
 			m.handle(r)
@@ -640,7 +751,7 @@ func (c *Controller) restartNodeExpect(x, expect int) error {
 	}
 	be.FinishRestore()
 	restored := be.CommittedEpochs()
-	plans, err := c.buildPlans(x, marks, restored, oldDone)
+	plans, err := c.buildPlans(x, marks, restored, oldDone, nil)
 	if err != nil {
 		return fail(err)
 	}
@@ -720,14 +831,20 @@ func (c *Controller) restartNodeExpect(x, expect int) error {
 
 // replayJournal replays node x's journal into its fresh backend, in order:
 // checkpoints merge their staged deltas and fast-forward tracker and clock,
-// trigger marks re-mark fired windows without re-emitting. Source marks are
-// collected for buildPlans.
+// trigger marks re-mark fired windows — without re-emitting in-process (the
+// shared sink already holds the rows), re-emitting from the journaled
+// KindEmit records when durable emits are armed (the dead process's sink is
+// gone). Source marks are collected for buildPlans.
 func (c *Controller) replayJournal(x int, be *ssb.Backend) ([]sourceMark, error) {
 	recs, err := c.cfg.Recovery.Store.Load(x)
 	if err != nil {
 		return nil, err
 	}
+	durable := c.cfg.Recovery.DurableEmits
 	var marks []sourceMark
+	// Stash of journaled sink rows keyed by window: overwriting on a repeat
+	// KindEmit (a pre-crash restart replayed the window too) deduplicates.
+	var stashed map[uint64][]emitRec
 	for i := range recs {
 		rec := &recs[i]
 		switch rec.Kind {
@@ -740,8 +857,29 @@ func (c *Controller) replayJournal(x int, be *ssb.Backend) ([]sourceMark, error)
 			if err != nil {
 				return nil, err
 			}
+			if durable {
+				for _, r := range stashed[win] {
+					if r.tag == 0 {
+						c.run.sink.EmitAgg(x, win, r.key, r.a)
+					} else {
+						c.run.sink.EmitJoin(x, win, r.key, int(r.a), int(r.b))
+					}
+				}
+				delete(stashed, win)
+			}
 			if err := be.RestoreTrigger(win); err != nil {
 				return nil, err
+			}
+		case recovery.KindEmit:
+			win, rows, err := decodeEmits(rec.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if durable {
+				if stashed == nil {
+					stashed = map[uint64][]emitRec{}
+				}
+				stashed[win] = rows
 			}
 		case recovery.KindSource:
 			m, err := decodeSourceMark(rec.Payload)
@@ -753,6 +891,12 @@ func (c *Controller) replayJournal(x int, be *ssb.Backend) ([]sourceMark, error)
 			return nil, fmt.Errorf("core: journal record of unknown kind %d", rec.Kind)
 		}
 	}
+	// A stale KindEmit stash (trigger append lost to the crash) is dropped:
+	// the window never marked fired, so the restored backend re-fires it and
+	// journals a fresh KindEmit then.
+	if n := len(recs); n > 0 && c.journals != nil {
+		c.journals[x].setSeq(recs[n-1].Seq)
+	}
 	return marks, nil
 }
 
@@ -761,20 +905,32 @@ func (c *Controller) replayJournal(x int, be *ssb.Backend) ([]sourceMark, error)
 // is committed at EVERY live backend (the restored one included): epochs at
 // or below it need no re-send, everything above is re-produced by
 // re-ingesting from the boundary and flushing at the journaled boundaries.
+// peerCommitted overrides the survivor horizon for placement deployments,
+// where the other backends live in other processes: the control plane
+// collects their committed vectors at the fence and passes the element-wise
+// view here; nil means read the co-located live backends directly.
 // Callers hold c.mu.
-func (c *Controller) buildPlans(x int, marks []sourceMark, restored []uint64, oldDone []bool) ([]*threadRestore, error) {
+func (c *Controller) buildPlans(x int, marks []sourceMark, restored []uint64, oldDone []bool, peerCommitted [][]uint64) ([]*threadRestore, error) {
 	tpn := c.cfg.ThreadsPerNode
 	committedMin := func(gtid int) uint64 {
 		eMin := uint64(math.MaxUint64)
 		if gtid < len(restored) {
 			eMin = restored[gtid]
 		}
-		for _, m := range c.live {
-			if m == x {
-				continue
+		if peerCommitted != nil {
+			for _, v := range peerCommitted {
+				if gtid < len(v) && v[gtid] < eMin {
+					eMin = v[gtid]
+				}
 			}
-			if v := c.backends[m].CommittedEpochs(); gtid < len(v) && v[gtid] < eMin {
-				eMin = v[gtid]
+		} else {
+			for _, m := range c.live {
+				if m == x {
+					continue
+				}
+				if v := c.backends[m].CommittedEpochs(); gtid < len(v) && v[gtid] < eMin {
+					eMin = v[gtid]
+				}
 			}
 		}
 		if eMin == uint64(math.MaxUint64) {

@@ -588,6 +588,10 @@ type mergeTask struct {
 	ckptEvery int
 	onCkpt    func(node int, committed []uint64)
 	exited    atomic.Bool
+	// jrn buffers sink rows for durable emits (DurableEmits only): every row
+	// of a window is staged before the window's trigger mark is journaled, so
+	// a restored process can re-emit what its dead predecessor's sink lost.
+	jrn *nodeJournal
 
 	// retiring marks this node as removed from the partition map at cutover
 	// window retireCut: once the clock covers retireEnd — the end timestamp
@@ -791,10 +795,19 @@ func (t *mergeTask) wrap(in inbound, err error) error {
 }
 
 func (t *mergeTask) emitAgg(win, key uint64, value int64) {
+	if t.jrn != nil {
+		// Buffered ahead of the sink emit: TriggerReady emits every row of
+		// the window and then journals its trigger mark within the same
+		// single-threaded call, so the KindEmit flush sees the full set.
+		t.jrn.bufferEmit(win, emitRec{tag: 0, key: key, a: value})
+	}
 	t.run.sink.EmitAgg(t.node, win, key, value)
 }
 
 func (t *mergeTask) emitBag(win, key uint64, elems []crdt.BagElem) {
 	left, right := splitBag(elems)
+	if t.jrn != nil {
+		t.jrn.bufferEmit(win, emitRec{tag: 1, key: key, a: int64(left), b: int64(right)})
+	}
 	t.run.sink.EmitJoin(t.node, win, key, left, right)
 }

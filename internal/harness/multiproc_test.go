@@ -1,0 +1,24 @@
+package harness
+
+import "testing"
+
+// TestMultiProcDifferential drives the in-binary multi-process differential:
+// oracle, clean cluster, and kill+restart cluster — MultiProc itself errors
+// on any divergence, so the test mostly asserts the experiment's shape.
+func TestMultiProcDifferential(t *testing.T) {
+	rows, err := MultiProc(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (oracle, cluster, cluster+kill)", len(rows))
+	}
+	for _, r := range rows[1:] {
+		if r.Metrics["rows"] != rows[0].Metrics["rows"] {
+			t.Errorf("%s: %v result rows, oracle has %v", r.Params, r.Metrics["rows"], rows[0].Metrics["rows"])
+		}
+	}
+	if rows[2].Metrics["restarts"] < 1 {
+		t.Errorf("chaos run reported %v restarts, want >=1", rows[2].Metrics["restarts"])
+	}
+}

@@ -1,0 +1,309 @@
+package netfab
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/slash-stream/slash/internal/rdma"
+)
+
+// DefaultRNRTimeout bounds how long an inbound SEND waits for a matching
+// posted receive before acking StatusRNRRetryExceeded — the TCP analog of
+// the RNR retry budget.
+const DefaultRNRTimeout = 100 * time.Millisecond
+
+// Host is the passive side of the netfab transport: one per node per
+// process. It accepts QP connections, owns the registered regions remote
+// peers address by rkey, and applies inbound work requests in arrival order
+// per connection (reliable-connection FIFO), acking each with its
+// completion status.
+type Host struct {
+	ln         net.Listener
+	rnrTimeout time.Duration
+
+	mu      sync.Mutex
+	regions map[uint32]*Region
+	srqs    map[uint32]*SRQ
+	conns   map[net.Conn]struct{}
+	nextKey uint32
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// Listen starts a Host on addr ("127.0.0.1:0" picks a free port).
+func Listen(addr string) (*Host, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h := &Host{
+		ln:         ln,
+		rnrTimeout: DefaultRNRTimeout,
+		regions:    make(map[uint32]*Region),
+		srqs:       make(map[uint32]*SRQ),
+		conns:      make(map[net.Conn]struct{}),
+	}
+	h.wg.Add(1)
+	go h.serve()
+	return h, nil
+}
+
+// Addr returns the listen address peers dial.
+func (h *Host) Addr() string { return h.ln.Addr().String() }
+
+// Register allocates a region of size bytes remote peers can write and read
+// under the returned region's rkey. Rkeys are host-scoped: the control plane
+// exchanges (address, rkey) pairs during bootstrap, exactly the MR-exchange
+// step of a real RDMA connection manager.
+func (h *Host) Register(size int) (*Region, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrHostClosed
+	}
+	h.nextKey++
+	r := &Region{buf: make([]byte, size), rkey: h.nextKey}
+	h.regions[r.rkey] = r
+	return r, nil
+}
+
+// NewSRQ creates a shared receive queue inbound SENDs can target by id.
+// Receive completions land on the SRQ's own CQ.
+func (h *Host) NewSRQ(depth int) (*SRQ, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrHostClosed
+	}
+	if depth <= 0 {
+		depth = 64
+	}
+	h.nextKey++
+	s := &SRQ{id: h.nextKey, cq: NewCQ(depth), recvs: make(chan recvSlot, depth)}
+	h.srqs[s.id] = s
+	return s, nil
+}
+
+// Close shuts the host down: the listener stops accepting, and every
+// accepted connection is closed, which fails the peer QPs riding them
+// (their pending requests complete with transport-retry semantics) and
+// unblocks any Drain or dial waiting on this host. Registered regions stay
+// readable locally so teardown paths can still inspect them.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	conns := make([]net.Conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	err := h.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	h.wg.Wait()
+	return err
+}
+
+func (h *Host) serve() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		// Mirror the dial side: completion and READ responses are small and
+		// latency-bound, so Nagle coalescing only adds delayed-ACK stalls.
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		h.conns[conn] = struct{}{}
+		h.wg.Add(1)
+		h.mu.Unlock()
+		go h.handle(conn)
+	}
+}
+
+// handle applies one connection's request stream in order. Any framing
+// violation drops the connection; the peer QP observes it as a transport
+// failure and latches.
+func (h *Host) handle(conn net.Conn) {
+	defer h.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		h.mu.Lock()
+		delete(h.conns, conn)
+		h.mu.Unlock()
+		wireTokens.Delete(wireKey(conn.RemoteAddr(), conn.LocalAddr()))
+	}()
+	tok := wireFor(conn.RemoteAddr(), conn.LocalAddr())
+	br := bufio.NewReaderSize(conn, 64*1024)
+	bw := bufio.NewWriterSize(conn, 64*1024)
+	hdr := make([]byte, reqHeaderSize)
+	ack := make([]byte, ackHeaderSize)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			return
+		}
+		// Publish the sender's writes to this goroutine (see wireTokens).
+		tok.clock.Load()
+		op := hdr[0]
+		wrID := leU64(hdr[1:])
+		a := leU32(hdr[9:])
+		b := leU64(hdr[13:])
+		n := int(leU32(hdr[21:]))
+		if n < 0 || n > maxFrame {
+			return
+		}
+		var status rdma.Status
+		var resp []byte
+		if op == opRead {
+			// n is the requested length; reads carry no request payload.
+			status, resp = h.applyRead(a, int(b), n)
+		} else {
+			if cap(payload) < n {
+				payload = make([]byte, n)
+			}
+			payload = payload[:n]
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return
+			}
+			status = h.apply(op, a, b, payload)
+		}
+		putLEU64(ack, wrID)
+		ack[8] = byte(status)
+		putLEU32(ack[9:], uint32(len(resp)))
+		if _, err := bw.Write(ack); err != nil {
+			return
+		}
+		if len(resp) > 0 {
+			if _, err := bw.Write(resp); err != nil {
+				return
+			}
+		}
+		// Ack eagerly only when no further request is queued: pipelined
+		// bursts coalesce their acks into one flush.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (h *Host) region(rkey uint32) *Region {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.regions[rkey]
+}
+
+func (h *Host) apply(op byte, a uint32, b uint64, payload []byte) rdma.Status {
+	switch op {
+	case opWrite:
+		r := h.region(a)
+		if r == nil {
+			return rdma.StatusRemoteAccessErr
+		}
+		return r.storeBytes(int(b), payload)
+	case opWriteU64:
+		r := h.region(a)
+		if r == nil || len(payload) != 8 {
+			return rdma.StatusRemoteAccessErr
+		}
+		return r.storeU64(int(b), leU64(payload))
+	case opSend:
+		h.mu.Lock()
+		s := h.srqs[a]
+		h.mu.Unlock()
+		if s == nil {
+			return rdma.StatusRemoteAccessErr
+		}
+		return s.deliver(payload, h.rnrTimeout)
+	}
+	return rdma.StatusRemoteAccessErr
+}
+
+func (h *Host) applyRead(rkey uint32, off, n int) (rdma.Status, []byte) {
+	r := h.region(rkey)
+	if r == nil || off < 0 || n < 0 || off+n > len(r.buf) {
+		return rdma.StatusRemoteAccessErr, nil
+	}
+	// Copy under the inline-write lock so a READ racing a credit-counter
+	// write observes a whole word, mirroring the in-process engine's
+	// atomic coherence.
+	r.mu.Lock()
+	out := make([]byte, n)
+	copy(out, r.buf[off:off+n])
+	r.mu.Unlock()
+	return rdma.StatusSuccess, out
+}
+
+// SRQ is a shared receive queue: inbound SENDs consume posted receives in
+// FIFO order and complete on the SRQ's CQ with OpRecv.
+type SRQ struct {
+	id    uint32
+	cq    *CQ
+	recvs chan recvSlot
+}
+
+type recvSlot struct {
+	wrID uint64
+	buf  []byte
+}
+
+// ID is the queue id senders target (exchanged by the control plane).
+func (s *SRQ) ID() uint32 { return s.id }
+
+// CQ returns the receive completion queue.
+func (s *SRQ) CQ() *CQ { return s.cq }
+
+// PostRecv posts a receive buffer. The queue holds at most depth receives.
+func (s *SRQ) PostRecv(wrID uint64, buf []byte) error {
+	select {
+	case s.recvs <- recvSlot{wrID: wrID, buf: buf}:
+		return nil
+	default:
+		return ErrRecvQueueFull
+	}
+}
+
+// deliver matches one inbound SEND against a posted receive, waiting up to
+// rnr for one to appear — the receiver-not-ready retry budget.
+func (s *SRQ) deliver(payload []byte, rnr time.Duration) rdma.Status {
+	var slot recvSlot
+	select {
+	case slot = <-s.recvs:
+	default:
+		t := time.NewTimer(rnr)
+		select {
+		case slot = <-s.recvs:
+			t.Stop()
+		case <-t.C:
+			return rdma.StatusRNRRetryExceeded
+		}
+	}
+	if len(slot.buf) < len(payload) {
+		s.cq.push(rdma.Completion{
+			WRID: slot.wrID, Op: rdma.OpRecv,
+			Status: rdma.StatusRemoteAccessErr, Err: rdma.ErrRecvTooSmall,
+		})
+		return rdma.StatusRemoteAccessErr
+	}
+	copy(slot.buf, payload)
+	s.cq.push(rdma.Completion{WRID: slot.wrID, Op: rdma.OpRecv, Bytes: len(payload)})
+	return rdma.StatusSuccess
+}

@@ -33,6 +33,13 @@ const (
 	// KindSource records one source thread's progress after a successful
 	// epoch flush: records consumed, epoch counter, watermark, incarnation.
 	KindSource
+	// KindEmit carries the result rows a window trigger emitted, appended
+	// immediately before that window's KindTrigger record. Only written when
+	// the engine runs with durable emits (multi-process mode, where the
+	// crashed node's in-memory sink dies with its process): replay re-emits
+	// the buffered rows before re-marking the trigger, so restored output is
+	// byte-identical without re-running the merge.
+	KindEmit
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +51,8 @@ func (k Kind) String() string {
 		return "trigger"
 	case KindSource:
 		return "source"
+	case KindEmit:
+		return "emit"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -148,10 +157,11 @@ type Manifest struct {
 	// Clock is the vector-clock stamp of the newest checkpoint (nil when no
 	// checkpoint was taken).
 	Clock []int64
-	// Checkpoints, Triggers, and SourceMarks count records per kind.
+	// Checkpoints, Triggers, SourceMarks, and Emits count records per kind.
 	Checkpoints int
 	Triggers    int
 	SourceMarks int
+	Emits       int
 }
 
 // BuildManifest summarizes a loaded journal.
@@ -174,6 +184,8 @@ func BuildManifest(node int, recs []Record) (Manifest, error) {
 			m.Triggers++
 		case KindSource:
 			m.SourceMarks++
+		case KindEmit:
+			m.Emits++
 		}
 	}
 	return m, nil

@@ -23,6 +23,29 @@ type Endpoint struct {
 	Slots   int
 }
 
+// EndpointDescriptor is the wire-serializable form of Endpoint — what a
+// control plane ships between processes during bootstrap (the etcd-entry
+// shape of §7.3, and what the cluster's MR-exchange step would carry next to
+// the channel rkeys). A NIC pointer only means something inside one process,
+// so the descriptor names the NIC instead; the receiving side resolves the
+// name against its own fabric view when it builds reader clients.
+type EndpointDescriptor struct {
+	Node    int
+	Inc     int
+	NICName string
+	DirRKey uint32
+	Slots   int
+}
+
+// Describe flattens the endpoint into its wire-serializable form.
+func (e Endpoint) Describe() EndpointDescriptor {
+	d := EndpointDescriptor{Node: e.Node, Inc: e.Inc, DirRKey: e.DirRKey, Slots: e.Slots}
+	if e.NIC != nil {
+		d.NICName = e.NIC.Name()
+	}
+	return d
+}
+
 // Registry is the control plane of the stateq plane: it maps node ids to
 // their current publication endpoints and hands readers the shared
 // partition map for owner routing. The controller installs an endpoint when
@@ -102,6 +125,17 @@ func (r *Registry) Endpoints() []Endpoint {
 	r.mu.RUnlock()
 	sort.Slice(eps, func(i, j int) bool { return eps[i].Node < eps[j].Node })
 	return eps
+}
+
+// Descriptors lists every installed endpoint in wire-serializable form,
+// sorted by node id — the payload a cross-process bootstrap exchanges.
+func (r *Registry) Descriptors() []EndpointDescriptor {
+	eps := r.Endpoints()
+	ds := make([]EndpointDescriptor, len(eps))
+	for i, e := range eps {
+		ds[i] = e.Describe()
+	}
+	return ds
 }
 
 // FenceAll fences every installed publisher (deployment teardown).

@@ -1,9 +1,12 @@
 package stateq
 
 import (
+	"bytes"
 	"encoding/binary"
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -531,5 +534,45 @@ func TestTornReadTorture(t *testing.T) {
 	}
 	if p.Published() != pubs {
 		t.Fatalf("published %d, want %d", p.Published(), pubs)
+	}
+}
+
+// TestEndpointDescriptors: the wire-serializable descriptor carries the same
+// identity as the in-process endpoint (with the NIC flattened to its name)
+// and survives a gob round-trip — what a cross-process bootstrap exchange
+// needs from it.
+func TestEndpointDescriptors(t *testing.T) {
+	const nodes = 3
+	reg, _ := testPlane(t, nodes, Options{})
+	eps := reg.Endpoints()
+	ds := reg.Descriptors()
+	if len(ds) != nodes {
+		t.Fatalf("got %d descriptors, want %d", len(ds), nodes)
+	}
+	for i, d := range ds {
+		e := eps[i]
+		if d.Node != e.Node || d.Inc != e.Inc || d.DirRKey != e.DirRKey || d.Slots != e.Slots {
+			t.Errorf("descriptor %d = %+v does not match endpoint %+v", i, d, e)
+		}
+		if d.NICName != e.NIC.Name() {
+			t.Errorf("descriptor %d NICName = %q, want %q", i, d.NICName, e.NIC.Name())
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ds); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var back []EndpointDescriptor
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+	if !reflect.DeepEqual(ds, back) {
+		t.Errorf("gob round-trip changed descriptors:\n got %+v\nwant %+v", back, ds)
+	}
+	// A fenced node drops out of the descriptor list like it drops out of
+	// the endpoint list.
+	reg.Fence(1)
+	if ds = reg.Descriptors(); len(ds) != nodes-1 {
+		t.Fatalf("after fence: %d descriptors, want %d", len(ds), nodes-1)
 	}
 }

@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/slash-stream/slash/internal/core"
+)
+
+// Names lists the benchmark workloads Build accepts, in display order.
+var Names = []string{"ysb", "nb7", "nb8", "nb11", "cm", "ro"}
+
+// Build constructs a named benchmark workload with its standard key-space
+// sizing: the query plus one deterministic flow per (node, thread). slashd
+// and the multi-process cluster members share it, so every member of a
+// cluster derives bit-identical inputs from the same (name, seed) pair.
+func Build(name string, nodes, threads, records int, seed int64) (*core.Query, [][]core.Flow, error) {
+	switch name {
+	case "ysb":
+		w := YSB{RecordsPerFlow: records, Keys: 100_000, Seed: seed}
+		return w.Query(), w.Flows(nodes, threads), nil
+	case "nb7":
+		w := NB7{RecordsPerFlow: records, Keys: 100_000, Seed: seed}
+		return w.Query(), w.Flows(nodes, threads), nil
+	case "nb8":
+		w := NB8{RecordsPerFlow: records, Sellers: 20_000, Seed: seed}
+		return w.Query(), w.Flows(nodes, threads), nil
+	case "nb11":
+		w := NB11{RecordsPerFlow: records, Keys: 20_000, Seed: seed}
+		return w.Query(), w.Flows(nodes, threads), nil
+	case "cm":
+		w := CM{RecordsPerFlow: records, Jobs: 50_000, Seed: seed}
+		return w.Query(), w.Flows(nodes, threads), nil
+	case "ro":
+		w := RO{RecordsPerFlow: records, Keys: 1 << 20, Seed: seed}
+		return w.Query(), w.Flows(nodes, threads), nil
+	default:
+		return nil, nil, fmt.Errorf("workload: unknown workload %q", name)
+	}
+}

@@ -23,6 +23,7 @@ const (
 // distribution, non-decreasing timestamps at a fixed event-time step, and a
 // workload-specific finisher for the attribute slots.
 type gen struct {
+	seed   int64
 	rng    *rand.Rand
 	dist   KeyDist
 	limit  int
@@ -98,6 +99,19 @@ func (g *gen) Batch(rb *stream.RecordBatch) bool {
 // a preallocation hint for harnesses that materialize flows.
 func (g *gen) Len() int { return g.limit - g.count }
 
+// Rewind implements core.RewindableFlow: the generator is a pure function of
+// its seed, so repositioning re-seeds and re-draws the first `consumed`
+// records (consuming the rng in exactly Next's call order), leaving the flow
+// where the recovery plane's replay plan needs it.
+func (g *gen) Rewind(consumed int64) {
+	g.rng = rand.New(rand.NewSource(g.seed))
+	g.count = 0
+	g.ts = 0
+	var rec stream.Record
+	for int64(g.count) < consumed && g.Next(&rec) {
+	}
+}
+
 // flowSeed derives a per-flow seed so flows are independent but the whole
 // dataset is a pure function of the workload seed.
 func flowSeed(seed int64, node, thread int) int64 {
@@ -167,6 +181,7 @@ func (w YSB) Flows(nodes, threads int) [][]core.Flow {
 	}
 	return buildFlows(nodes, threads, func(n, t int) core.Flow {
 		return &gen{
+			seed:  flowSeed(w.Seed, n, t),
 			rng:   rand.New(rand.NewSource(flowSeed(w.Seed, n, t))),
 			dist:  dist,
 			limit: w.RecordsPerFlow,
@@ -253,6 +268,7 @@ func (w NB7) Flows(nodes, threads int) [][]core.Flow {
 	w = w.fill()
 	return buildFlows(nodes, threads, func(n, t int) core.Flow {
 		return &gen{
+			seed:  flowSeed(w.Seed, n, t),
 			rng:   rand.New(rand.NewSource(flowSeed(w.Seed, n, t))),
 			dist:  Pareto{N: w.Keys, Alpha: w.Alpha},
 			limit: w.RecordsPerFlow,
@@ -315,6 +331,7 @@ func (w NB8) Flows(nodes, threads int) [][]core.Flow {
 	w = w.fill()
 	return buildFlows(nodes, threads, func(n, t int) core.Flow {
 		return &gen{
+			seed:  flowSeed(w.Seed, n, t),
 			rng:   rand.New(rand.NewSource(flowSeed(w.Seed, n, t))),
 			dist:  Uniform{N: w.Sellers},
 			limit: w.RecordsPerFlow,
@@ -385,6 +402,7 @@ func (w NB11) Flows(nodes, threads int) [][]core.Flow {
 	w = w.fill()
 	return buildFlows(nodes, threads, func(n, t int) core.Flow {
 		return &gen{
+			seed:  flowSeed(w.Seed, n, t),
 			rng:   rand.New(rand.NewSource(flowSeed(w.Seed, n, t))),
 			dist:  Uniform{N: w.Keys},
 			limit: w.RecordsPerFlow,
@@ -458,6 +476,7 @@ func (w CM) Flows(nodes, threads int) [][]core.Flow {
 	}
 	return buildFlows(nodes, threads, func(n, t int) core.Flow {
 		return &gen{
+			seed:  flowSeed(w.Seed, n, t),
 			rng:   rand.New(rand.NewSource(flowSeed(w.Seed, n, t))),
 			dist:  zipf,
 			limit: w.RecordsPerFlow,
@@ -524,6 +543,7 @@ func (w RO) Flows(nodes, threads int) [][]core.Flow {
 	}
 	return buildFlows(nodes, threads, func(n, t int) core.Flow {
 		return &gen{
+			seed:  flowSeed(w.Seed, n, t),
 			rng:   rand.New(rand.NewSource(flowSeed(w.Seed, n, t))),
 			dist:  dist,
 			limit: w.RecordsPerFlow,

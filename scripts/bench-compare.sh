@@ -12,12 +12,12 @@
 # that stopped measuring, which is how regressions walk in unnoticed.
 #
 # Usage: scripts/bench-compare.sh [baseline.json] [current.json]
-#   baseline defaults to BENCH_PR9.json; with no current file the benchmarks
+#   baseline defaults to BENCH_PR10.json; with no current file the benchmarks
 #   are re-run into a temp snapshot first.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASE="${1:-BENCH_PR9.json}"
+BASE="${1:-BENCH_PR10.json}"
 CUR="${2:-}"
 TOLERANCE="${TOLERANCE:-15}"
 

@@ -3,17 +3,19 @@
 # a machine-readable perf snapshot so the repo's performance trajectory is
 # tracked PR over PR.
 #
-# Usage: scripts/bench.sh [output.json]     (default: BENCH_PR9.json)
+# Usage: scripts/bench.sh [output.json]     (default: BENCH_PR10.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 
 echo "# figure benchmarks (-benchtime=1x)" >&2
 FIG=$(go test -run xxx -bench Fig -benchtime=1x . | grep '^Benchmark' || true)
 echo "$FIG" >&2
 
 echo "# microbenchmarks (-benchtime=0.2s -benchmem)" >&2
-MICRO=$(go test -run xxx -bench . -benchtime=0.2s -benchmem ./internal/rdma/ ./internal/channel/ ./internal/core/ ./internal/stateq/ | grep '^Benchmark' || true)
+# netfab's 4KB-transfer row records the cross-process (TCP loopback) baseline
+# next to the in-process one — informational, the wire sets the floor there.
+MICRO=$(go test -run xxx -bench . -benchtime=0.2s -benchmem ./internal/rdma/ ./internal/channel/ ./internal/core/ ./internal/stateq/ ./internal/netfab/ | grep '^Benchmark' || true)
 echo "$MICRO" >&2
 
 # Fault-off guard: with no injector configured the failure plane must cost

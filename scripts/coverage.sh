@@ -1,28 +1,33 @@
 #!/usr/bin/env bash
 # Coverage gate: the combined statement coverage of the load-bearing
 # packages (core, ssb, rdma, channel, plus the stream wire formats, the
-# workload generators feeding the batch hot loop, and the stateq
-# queryable-state plane) must not sink below the floor, and the recovery
+# workload generators feeding the batch hot loop, the stateq
+# queryable-state plane, and the netfab/cluster multi-process transport and
+# control plane) must not sink below the floor, and the recovery
 # package — the journal format every restore depends
 # on — must stay at or above 80%. Prints a per-package table; appends it to
 # the GitHub job summary when running in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-COMBINED_FLOOR="${COMBINED_FLOOR:-86.3}"
+# The floor was re-based when netfab+cluster joined the denominator (the
+# control plane's error paths are exercised by the multiproc smoke, not unit
+# tests); ratchet it up as the new packages gain coverage.
+COMBINED_FLOOR="${COMBINED_FLOOR:-81.5}"
 RECOVERY_FLOOR="${RECOVERY_FLOOR:-80.0}"
 PROFILE=$(mktemp /tmp/coverage-XXXXXX.out)
 trap 'rm -f "$PROFILE"' EXIT
 
 go test -coverprofile="$PROFILE" \
   ./internal/core/ ./internal/ssb/ ./internal/rdma/ ./internal/channel/ \
-  ./internal/stream/ ./internal/workload/ ./internal/stateq/
+  ./internal/stream/ ./internal/workload/ ./internal/stateq/ \
+  ./internal/netfab/ ./internal/cluster/
 combined=$(go tool cover -func="$PROFILE" | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
 recovery=$(go test -cover ./internal/recovery/ |
   awk '{ for (i = 1; i <= NF; i++) if ($i == "coverage:") { sub(/%/, "", $(i + 1)); print $(i + 1) } }')
 
 table=$(printf 'package group                        coverage  floor\n')
-table+=$(printf '\ncore+ssb+rdma+channel+stream+workload+stateq%6s%%   %s%%' "$combined" "$COMBINED_FLOOR")
+table+=$(printf '\nhot path + netfab + cluster combined%6s%%   %s%%' "$combined" "$COMBINED_FLOOR")
 table+=$(printf '\ninternal/recovery                    %6s%%   %s%%' "$recovery" "$RECOVERY_FLOOR")
 echo "$table"
 if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
